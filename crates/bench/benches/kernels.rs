@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the Landau kernels and the §III-F
+//! assembly-path ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use landau_core::ipdata::IpData;
+use landau_core::kernels::{
+    assemble_atomic, assemble_setvalues, inner_integral_cpu, inner_integral_cuda_model,
+    inner_integral_kokkos_model, landau_element_matrices, mass_element_matrices,
+};
+use landau_core::species::{Species, SpeciesList};
+use landau_core::tensor::landau_tensor_2d;
+use landau_fem::assemble::csr_pattern;
+use landau_fem::FemSpace;
+use landau_mesh::presets::{MeshSpec, RefineShell};
+use std::hint::black_box;
+
+fn setup() -> (FemSpace, SpeciesList, IpData) {
+    let spec = MeshSpec {
+        domain_radius: 4.0,
+        base_level: 1,
+        shells: vec![RefineShell {
+            radius: 2.0,
+            max_cell_size: 1.0,
+        }],
+        tail_box: None,
+    };
+    let space = FemSpace::new(spec.build(), 3);
+    let sl = SpeciesList::new(vec![
+        Species::electron(),
+        Species {
+            name: "i+".into(),
+            mass: 2.0,
+            charge: 1.0,
+            density: 1.0,
+            temperature: 0.7,
+        },
+    ]);
+    let mut ip = IpData::new(&space, &sl);
+    let nd = space.n_dofs;
+    let mut state = vec![0.0; 2 * nd];
+    for (s, sp) in sl.list.iter().enumerate() {
+        state[s * nd..(s + 1) * nd]
+            .copy_from_slice(&space.interpolate(|r, z| sp.maxwellian(r, z, 0.0)));
+    }
+    ip.pack(&space, &state);
+    (space, sl, ip)
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    c.bench_function("landau_tensor_2d", |b| {
+        b.iter(|| {
+            black_box(landau_tensor_2d(
+                black_box(0.53),
+                black_box(-0.21),
+                black_box(1.17),
+                black_box(0.84),
+            ))
+        })
+    });
+}
+
+fn bench_inner_integral(c: &mut Criterion) {
+    let (_space, sl, ip) = setup();
+    let mut g = c.benchmark_group("inner_integral");
+    g.sample_size(10);
+    g.bench_function("cpu", |b| b.iter(|| inner_integral_cpu(&ip, &sl)));
+    g.bench_function("cuda_model", |b| {
+        b.iter(|| inner_integral_cuda_model(&ip, &sl, 16))
+    });
+    g.bench_function("kokkos_model", |b| {
+        b.iter(|| inner_integral_kokkos_model(&ip, &sl, 16))
+    });
+    g.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let (space, sl, ip) = setup();
+    let (coeffs, _) = inner_integral_cpu(&ip, &sl);
+    let (ce, _) = landau_element_matrices(&space, &sl, &ip, &coeffs);
+    let pat = csr_pattern(&space);
+    let mut g = c.benchmark_group("assembly");
+    g.sample_size(20);
+    g.bench_function("transform_element_matrices", |b| {
+        b.iter(|| landau_element_matrices(&space, &sl, &ip, &coeffs))
+    });
+    g.bench_function("setvalues", |b| {
+        let mut mats = vec![pat.clone(), pat.clone()];
+        b.iter(|| assemble_setvalues(&space, 2, &ce, &mut mats))
+    });
+    g.bench_function("atomic", |b| {
+        let mut mats = vec![pat.clone(), pat.clone()];
+        b.iter(|| assemble_atomic(&space, 2, &ce, &mut mats))
+    });
+    g.bench_function("mass_kernel", |b| {
+        b.iter(|| mass_element_matrices(&space, 2, &ip, 1.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tensor, bench_inner_integral, bench_assembly);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the direct solver (§III-G ablation: banded LU
+//! vs dense LU; RCM vs natural ordering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use landau_math::dense::{DenseLu, DenseMatrix};
+use landau_sparse::band::BandMatrix;
+use landau_sparse::csr::Csr;
+use landau_sparse::rcm::{bandwidth, rcm_order};
+
+/// A 2D 5-point-grid-like SPD system of dimension n = k².
+fn grid_system(k: usize) -> Csr {
+    let n = k * k;
+    let mut cols = vec![Vec::new(); n];
+    let idx = |x: usize, y: usize| y * k + x;
+    for y in 0..k {
+        for x in 0..k {
+            let u = idx(x, y);
+            cols[u].push(u);
+            if x > 0 {
+                cols[u].push(idx(x - 1, y));
+            }
+            if x + 1 < k {
+                cols[u].push(idx(x + 1, y));
+            }
+            if y > 0 {
+                cols[u].push(idx(x, y - 1));
+            }
+            if y + 1 < k {
+                cols[u].push(idx(x, y + 1));
+            }
+        }
+    }
+    let mut a = Csr::from_pattern(n, n, &cols);
+    for i in 0..n {
+        for kk in a.row_ptr[i]..a.row_ptr[i + 1] {
+            a.vals[kk] = if a.col_idx[kk] == i { 4.5 } else { -1.0 };
+        }
+    }
+    a
+}
+
+fn bench_direct_solvers(c: &mut Criterion) {
+    let k = 18; // n = 324, the Landau-block size class
+    let a = grid_system(k);
+    let n = a.n_rows;
+    let perm = rcm_order(&a);
+    let pa = a.permute_symmetric(&perm);
+    let bw = bandwidth(&pa);
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+
+    let mut g = c.benchmark_group("direct_solver");
+    g.sample_size(20);
+    g.bench_function(format!("band_lu_rcm_bw{bw}"), |bch| {
+        bch.iter(|| {
+            let mut m = BandMatrix::from_csr(&pa);
+            m.factor().unwrap();
+            let mut x = b.clone();
+            m.solve_into(&mut x);
+            x
+        })
+    });
+    let bw_nat = bandwidth(&a);
+    g.bench_function(format!("band_lu_natural_bw{bw_nat}"), |bch| {
+        bch.iter(|| {
+            let mut m = BandMatrix::from_csr(&a);
+            m.factor().unwrap();
+            let mut x = b.clone();
+            m.solve_into(&mut x);
+            x
+        })
+    });
+    g.bench_function("dense_lu", |bch| {
+        let d = {
+            let mut d = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for kk in a.row_ptr[i]..a.row_ptr[i + 1] {
+                    d[(i, a.col_idx[kk])] = a.vals[kk];
+                }
+            }
+            d
+        };
+        bch.iter(|| {
+            let lu = DenseLu::factor(&d).unwrap();
+            lu.solve(&b)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_direct_solvers);
+criterion_main!(benches);

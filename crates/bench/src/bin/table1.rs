@@ -1,0 +1,69 @@
+//! Table I: cost of the Landau operator for the 10-species plasma vs the
+//! number of velocity grids (§III-H).
+//!
+//! Reports, for 1 / 3 / 10 grids: total integration points N, Landau tensor
+//! evaluations (N_total²-style cross-grid count) and solve size n. Paper
+//! values: (1,184, 1.4M, 8,050), (960, 0.9M, 1,930), (3,200, 10.2M, 1,930).
+
+use landau_bench::print_table;
+use landau_core::species::SpeciesList;
+use landau_fem::FemSpace;
+use landau_mesh::presets::MeshSpec;
+
+/// Build a 20-cell-class mesh resolving thermal scales `vts` on a domain of
+/// `5 v_th` of the fastest species.
+fn grid_for(vts: &[f64]) -> FemSpace {
+    let vmax = vts.iter().cloned().fold(0.0f64, f64::max);
+    // cells_per_vt 0.6 reproduces the paper's 20-cell-class grids.
+    let spec = MeshSpec::for_thermal_speeds(5.0 * vmax, 1, vts, 0.6, 3.5);
+    FemSpace::new(spec.build(), 3)
+}
+
+fn main() {
+    let sl = SpeciesList::thermal_quench_10(0.02);
+    let vt_e = sl.list[0].thermal_speed();
+    let vt_d = sl.list[1].thermal_speed();
+    let vt_w = sl.list[2].thermal_speed();
+
+    // 1 grid: everything shares one grid resolving e and W (D is bracketed).
+    let shared = grid_for(&[vt_e, vt_d, vt_w]);
+    // 3 grids: e | D | 8×W (the W states share one thermal velocity).
+    let g_e = grid_for(&[vt_e]);
+    let g_d = grid_for(&[vt_d]);
+    let g_w = grid_for(&[vt_w]);
+    // 10 grids: one per species.
+    let per_species: Vec<&FemSpace> = vec![
+        &g_e, &g_d, &g_w, &g_w, &g_w, &g_w, &g_w, &g_w, &g_w, &g_w,
+    ];
+
+    let row = |grids: &[(&FemSpace, usize)]| -> (usize, u64, usize) {
+        let n_ip: usize = grids.iter().map(|(g, _)| g.n_ip()).sum();
+        let tensors = (n_ip as u64) * (n_ip as u64);
+        let n_eq: usize = grids.iter().map(|(g, s)| g.n_dofs * s).sum();
+        (n_ip, tensors, n_eq)
+    };
+
+    let one = row(&[(&shared, 10)]);
+    let three = row(&[(&g_e, 1), (&g_d, 1), (&g_w, 8)]);
+    let ten = row(&per_species.iter().map(|g| (*g, 1)).collect::<Vec<_>>());
+
+    let fmt = |v: (usize, u64, usize)| {
+        vec![
+            format!("{}", v.0),
+            format!("{:.2}M", v.1 as f64 / 1e6),
+            format!("{}", v.2),
+        ]
+    };
+    println!("single-species 20-cell-class grids: e={} cells, D={} cells, W={} cells; shared grid {} cells",
+        g_e.n_elements(), g_d.n_elements(), g_w.n_elements(), shared.n_elements());
+    print_table(
+        "Table I — cost vs number of grids (paper: 1184/1.4M/8050, 960/0.9M/1930, 3200/10.2M/1930)",
+        "# grids",
+        &["N ip".into(), "tensors".into(), "n".into()],
+        &[
+            ("1".into(), fmt(one)),
+            ("3".into(), fmt(three)),
+            ("10".into(), fmt(ten)),
+        ],
+    );
+}

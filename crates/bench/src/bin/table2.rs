@@ -1,0 +1,33 @@
+//! Table II: CUDA back-end throughput on one Summit node (V100), Newton
+//! iterations/second vs cores/GPU × processes/core.
+
+use landau_bench::{measured_profile, perf_operator, print_table};
+use landau_core::operator::Backend;
+use landau_hwsim::{simulate_node, MachineConfig};
+
+fn main() {
+    let mut op = perf_operator(80, Backend::CudaModel);
+    let profile = measured_profile(&mut op);
+    let m = MachineConfig::summit_cuda();
+    let cores = [1usize, 2, 3, 5, 7];
+    let ppc = [1usize, 2, 3];
+    let rows: Vec<(String, Vec<String>)> = ppc
+        .iter()
+        .map(|&p| {
+            let vals = cores
+                .iter()
+                .map(|&c| {
+                    let r = simulate_node(&m, &profile, c, p, 60);
+                    format!("{:.0}", r.newton_per_sec)
+                })
+                .collect();
+            (format!("{p} proc/core"), vals)
+        })
+        .collect();
+    print_table(
+        "Table II — CUDA, V100 Newton iterations/sec (paper row 1: 849..5504; row 3: 1096..7005)",
+        "cores/GPU →",
+        &cores.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+        &rows,
+    );
+}

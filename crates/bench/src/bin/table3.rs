@@ -1,0 +1,32 @@
+//! Table III: Kokkos-CUDA back-end throughput on one Summit node.
+
+use landau_bench::{measured_profile, perf_operator, print_table};
+use landau_core::operator::Backend;
+use landau_hwsim::{simulate_node, MachineConfig};
+
+fn main() {
+    let mut op = perf_operator(80, Backend::KokkosModel);
+    let profile = measured_profile(&mut op);
+    let m = MachineConfig::summit_kokkos();
+    let cores = [1usize, 2, 3, 5, 7];
+    let ppc = [1usize, 2, 3];
+    let rows: Vec<(String, Vec<String>)> = ppc
+        .iter()
+        .map(|&p| {
+            let vals = cores
+                .iter()
+                .map(|&c| {
+                    let r = simulate_node(&m, &profile, c, p, 60);
+                    format!("{:.0}", r.newton_per_sec)
+                })
+                .collect();
+            (format!("{p} proc/core"), vals)
+        })
+        .collect();
+    print_table(
+        "Table III — Kokkos-CUDA, V100 iterations/sec (paper row 1: 792..4849; row 3: 1010..6193)",
+        "cores/GPU →",
+        &cores.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+        &rows,
+    );
+}

@@ -1,0 +1,62 @@
+//! Table IV: roofline data for the Jacobian and mass kernels (§V-A1).
+//!
+//! Runs the real kernels (CUDA model) on the utilization problem, reads the
+//! operation counters, and reports AI / % roofline / bottleneck under the
+//! V100 execution model. Paper: Jacobian AI 15.8, 53%, FP64 pipe (66.4%);
+//! mass AI 1.8, 17%, L1 (27%).
+
+use landau_bench::{perf_operator, print_table};
+use landau_core::operator::Backend;
+use landau_hwsim::roofline::{roofline_report, KernelModel};
+use landau_vgpu::DeviceSpec;
+
+fn main() {
+    // The paper uses a 320-cell version for utilization so the device is
+    // fully occupied; scale down with --quick.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut op = perf_operator(if quick { 80 } else { 320 }, Backend::CudaModel);
+    println!(
+        "utilization problem: {} Q3 elements, {} species, {} ip",
+        op.space.n_elements(),
+        op.species.len(),
+        op.space.n_ip()
+    );
+    let state = op.initial_state();
+    let _ = op.assemble(&state, 0.0);
+    let _ = op.assemble_shifted_mass(1.0);
+    let jac = op.device.kernel_stats("landau_jacobian");
+    let mass = op.device.kernel_stats("mass");
+    let dev = DeviceSpec::v100();
+    let rj = roofline_report(&jac, &KernelModel::jacobian(), &dev);
+    let rm = roofline_report(&mass, &KernelModel::mass(), &dev);
+    let row = |r: &landau_hwsim::RooflineReport| {
+        vec![
+            format!("{:.1}", r.ai),
+            format!("{:.0}%", 100.0 * r.roofline_fraction),
+            if r.compute_bound {
+                format!("FP64 pipe ({:.1}%)", 100.0 * r.bottleneck_utilization)
+            } else {
+                format!("memory ({:.0}%)", 100.0 * r.bottleneck_utilization)
+            },
+            format!("{:.2} TF/s", r.achieved_flops / 1e12),
+        ]
+    };
+    print_table(
+        "Table IV — roofline (paper: Jacobian 15.8 / 53% / FP64 pipe 66.4%; mass 1.8 / 17% / L1 27%)",
+        "kernel",
+        &["AI".into(), "% roofline".into(), "bottleneck".into(), "achieved".into()],
+        &[
+            ("Jacobian".into(), row(&rj)),
+            ("Mass".into(), row(&rm)),
+        ],
+    );
+    println!(
+        "counters: jacobian {} GF / {} MB dram; mass {} MF / {} MB dram; shuffles {}; atomics {}",
+        jac.flops / 1_000_000_000,
+        (jac.dram_read + jac.dram_write) / 1_000_000,
+        mass.flops / 1_000_000,
+        (mass.dram_read + mass.dram_write) / 1_000_000,
+        jac.shuffles,
+        jac.atomics + mass.atomics,
+    );
+}

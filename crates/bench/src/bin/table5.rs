@@ -1,0 +1,33 @@
+//! Table V: Kokkos-HIP throughput on one Spock node (4× MI100), including
+//! the rollover at 16 processes/GPU (§V-D1).
+
+use landau_bench::{measured_profile, perf_operator, print_table};
+use landau_core::operator::Backend;
+use landau_hwsim::{simulate_node, MachineConfig};
+
+fn main() {
+    let mut op = perf_operator(80, Backend::KokkosModel);
+    let profile = measured_profile(&mut op);
+    let m = MachineConfig::spock_kokkos_hip();
+    let cores = [1usize, 2, 4, 8];
+    let ppc = [1usize, 2];
+    let rows: Vec<(String, Vec<String>)> = ppc
+        .iter()
+        .map(|&p| {
+            let vals = cores
+                .iter()
+                .map(|&c| {
+                    let r = simulate_node(&m, &profile, c, p, 60);
+                    format!("{:.0}", r.newton_per_sec)
+                })
+                .collect();
+            (format!("{p} proc/core"), vals)
+        })
+        .collect();
+    print_table(
+        "Table V — Kokkos-HIP, MI100 iterations/sec (paper: 88..353 @1ppc; 154..241 @2ppc, rollover)",
+        "cores/GPU →",
+        &cores.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+        &rows,
+    );
+}

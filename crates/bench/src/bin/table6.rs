@@ -1,0 +1,47 @@
+//! Table VI: Jacobian construction and total time on one Fugaku node
+//! (A64FX, Kokkos-OpenMP) for the 10-step run, vs MPI processes × OpenMP
+//! threads, plus the total solve time on the 32-core diagonal.
+
+use landau_bench::{measured_profile, perf_operator, print_table};
+use landau_core::operator::Backend;
+use landau_hwsim::{des::simulate_cpu_node, MachineConfig};
+
+fn main() {
+    let mut op = perf_operator(80, Backend::KokkosModel);
+    let profile = measured_profile(&mut op);
+    let m = MachineConfig::fugaku_kokkos_omp();
+    // 10-step run ≈ 208 Newton iterations per process.
+    let iters = 208u64;
+    let procs = [4usize, 8, 16, 32];
+    let threads = [8usize, 4, 2, 1];
+    let mut rows = Vec::new();
+    for &p in &procs {
+        let mut vals = Vec::new();
+        for &t in &threads {
+            if p * t <= 32 {
+                let r = simulate_cpu_node(&m, &profile, p, t, iters);
+                // Per-process Jacobian construction time (Landau kernel).
+                vals.push(format!("{:.1}", r.t_kernel));
+            } else {
+                vals.push("-".into());
+            }
+        }
+        // Total time of the p × (32/p) configuration (the diagonal).
+        let t_diag = 32 / p;
+        let r = simulate_cpu_node(&m, &profile, p, t_diag, iters);
+        vals.push(format!("{:.1}", r.t_total));
+        rows.push((format!("{p} proc"), vals));
+    }
+    print_table(
+        "Table VI — Fugaku Jacobian construction (s) and total (s), 10-step run \
+         (paper diag: 19.3/38.1/75.5/150; totals 25.1/45.9/87.0/169.4)",
+        "threads →",
+        &["8".into(), "4".into(), "2".into(), "1".into(), "Total".into()],
+        &rows,
+    );
+    let r = simulate_cpu_node(&m, &profile, 4, 8, iters);
+    println!(
+        "throughput at 4 proc × 8 thr: {:.0} Newton it/s (paper: 39)",
+        r.newton_per_sec
+    );
+}

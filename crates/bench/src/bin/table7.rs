@@ -1,0 +1,53 @@
+//! Table VII: component times (Total / Landau / Kernel / factor / solve)
+//! for the single-process-per-GPU cases, per machine/back-end, for the
+//! 100-step (~2,080 Newton iteration) run.
+
+use landau_bench::{measured_profile, perf_operator, print_table};
+use landau_core::operator::Backend;
+use landau_hwsim::des::{simulate_cpu_node, simulate_node, PAPER_RUN_ITERS};
+use landau_hwsim::MachineConfig;
+
+fn main() {
+    let mut op = perf_operator(80, Backend::CudaModel);
+    let profile = measured_profile(&mut op);
+    let iters = PAPER_RUN_ITERS;
+    let configs = [
+        ("CUDA", MachineConfig::summit_cuda()),
+        ("Kokkos-CUDA", MachineConfig::summit_kokkos()),
+        ("Kokkos-HIP", MachineConfig::spock_kokkos_hip()),
+    ];
+    let mut rows = Vec::new();
+    for (name, m) in configs {
+        let r = simulate_node(&m, &profile, 1, 1, iters);
+        rows.push((
+            name.to_string(),
+            vec![
+                format!("{:.1}", r.t_total),
+                format!("{:.1}", r.t_landau),
+                format!("{:.1}", r.t_kernel),
+                format!("{:.1}", r.t_factor),
+                format!("{:.1}", r.t_solve),
+            ],
+        ));
+    }
+    // Fugaku normalized: 4 processes × 8 threads, scaled to the 100-step run.
+    let mf = MachineConfig::fugaku_kokkos_omp();
+    let rf = simulate_cpu_node(&mf, &profile, 4, 8, iters);
+    rows.push((
+        "Fugaku (norm.)".to_string(),
+        vec![
+            format!("{:.1}", rf.t_total),
+            format!("{:.1}", rf.t_landau),
+            format!("{:.1}", rf.t_kernel),
+            format!("{:.1}", rf.t_factor),
+            format!("{:.1}", rf.t_solve),
+        ],
+    ));
+    print_table(
+        "Table VII — component times (s) (paper: CUDA 14.3/3.3/2.9/8.4/0.8; \
+         K-CUDA 15.4/4.1/3.2/8.7/0.8; K-HIP 23.1/10.9/10.2/5.9/0.5; Fugaku 250.7/215.1/209.5/16.1/1.5)",
+        "device",
+        &["Total".into(), "Landau".into(), "(Kernel)".into(), "factor".into(), "solve".into()],
+        &rows,
+    );
+}

@@ -1,0 +1,69 @@
+//! Real measured throughput of the batched collision advance on *this*
+//! machine — the honest companion to the modeled Tables II–VIII: same
+//! figure of merit (Newton iterations/second), real wall clock, scaling
+//! over the batch size (the paper's conclusion proposes exactly this
+//! batching to replace the MPI harness).
+
+use landau_bench::print_table;
+use landau_core::batch::BatchedAdvance;
+use landau_core::operator::Backend;
+use landau_core::species::SpeciesList;
+use landau_fem::FemSpace;
+use landau_mesh::presets::{MeshSpec, RefineShell};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // A small vertex problem (applications run thousands of these).
+    let space = FemSpace::new(
+        MeshSpec {
+            domain_radius: 4.0,
+            base_level: 1,
+            shells: vec![RefineShell {
+                radius: 1.5,
+                max_cell_size: 1.0,
+            }],
+            tail_box: None,
+        }
+        .build(),
+        3,
+    );
+    let species = SpeciesList::new(vec![
+        landau_core::species::Species::electron(),
+        landau_core::species::Species {
+            name: "i+".into(),
+            mass: 2.0,
+            charge: 1.0,
+            density: 1.0,
+            temperature: 0.7,
+        },
+    ]);
+    println!(
+        "vertex problem: {} Q3 cells, {} dofs/species, {} threads available",
+        space.n_elements(),
+        space.n_dofs,
+        rayon::current_num_threads()
+    );
+    let sizes: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16] };
+    let steps = if quick { 1 } else { 2 };
+    let mut rows = Vec::new();
+    for &nv in sizes {
+        for backend in [Backend::Cpu, Backend::CudaModel] {
+            let mut b = BatchedAdvance::new(&space, &species, backend, nv);
+            let st = b.advance(0.5, steps, 0.0);
+            rows.push((
+                format!("{nv} vtx {backend:?}"),
+                vec![
+                    format!("{}", st.newton_iters),
+                    format!("{:.2}", st.seconds),
+                    format!("{:.1}", st.newton_per_sec),
+                ],
+            ));
+        }
+    }
+    print_table(
+        "Real batched-advance throughput on this machine (Newton it/s)",
+        "batch",
+        &["iters".into(), "seconds".into(), "it/s".into()],
+        &rows,
+    );
+}

@@ -1,0 +1,213 @@
+//! Velocity-space moments: the conserved quantities and the plasma
+//! diagnostics (`J_z`, `T_e`) of §IV.
+//!
+//! Every physical moment is `2π ∫ r g(r, z) f_h dr dz`, a linear functional
+//! of the coefficient vector; the functionals are precomputed once per
+//! space. Temperature follows Appendix A:
+//! `T̃_α = (8/3π) m̃_α (⟨x²⟩ − u_z²)` with the drift `u_z = ⟨x_z⟩`.
+
+use crate::species::SpeciesList;
+use landau_fem::{weighted_functional, FemSpace};
+
+const TWO_PI: f64 = 2.0 * core::f64::consts::PI;
+
+/// Precomputed moment functionals over one FE space.
+#[derive(Clone, Debug)]
+pub struct Moments {
+    /// Number of dofs per species.
+    pub n: usize,
+    /// Density functional (`g = 1`), includes the 2π.
+    pub m0: Vec<f64>,
+    /// z-velocity functional (`g = z`).
+    pub mz: Vec<f64>,
+    /// Speed-squared functional (`g = r² + z²`).
+    pub m2: Vec<f64>,
+    species: SpeciesList,
+}
+
+impl Moments {
+    /// Build the functionals for a space/species pair.
+    pub fn new(space: &FemSpace, species: &SpeciesList) -> Self {
+        let scale = |mut v: Vec<f64>| {
+            for x in &mut v {
+                *x *= TWO_PI;
+            }
+            v
+        };
+        Moments {
+            n: space.n_dofs,
+            m0: scale(weighted_functional(space, |_, _| 1.0)),
+            mz: scale(weighted_functional(space, |_, z| z)),
+            m2: scale(weighted_functional(space, |r, z| r * r + z * z)),
+            species: species.clone(),
+        }
+    }
+
+    fn species_slice<'a>(&self, state: &'a [f64], s: usize) -> &'a [f64] {
+        &state[s * self.n..(s + 1) * self.n]
+    }
+
+    /// Density `ñ_s` of species `s`.
+    pub fn density(&self, state: &[f64], s: usize) -> f64 {
+        dot(&self.m0, self.species_slice(state, s))
+    }
+
+    /// Mean z velocity moment `∫ x_z f` (unnormalized) of species `s`.
+    pub fn z_flux(&self, state: &[f64], s: usize) -> f64 {
+        dot(&self.mz, self.species_slice(state, s))
+    }
+
+    /// Speed-squared moment `∫ x² f` of species `s`.
+    pub fn x2_moment(&self, state: &[f64], s: usize) -> f64 {
+        dot(&self.m2, self.species_slice(state, s))
+    }
+
+    /// Kinetic z-momentum `m̃_s ∫ x_z f` of species `s`.
+    pub fn z_momentum(&self, state: &[f64], s: usize) -> f64 {
+        self.species.list[s].mass * self.z_flux(state, s)
+    }
+
+    /// Kinetic energy `½ m̃_s ∫ x² f`.
+    pub fn energy(&self, state: &[f64], s: usize) -> f64 {
+        0.5 * self.species.list[s].mass * self.x2_moment(state, s)
+    }
+
+    /// Total z-momentum over all species.
+    pub fn total_z_momentum(&self, state: &[f64]) -> f64 {
+        (0..self.species.len())
+            .map(|s| self.z_momentum(state, s))
+            .sum()
+    }
+
+    /// Total kinetic energy over all species.
+    pub fn total_energy(&self, state: &[f64]) -> f64 {
+        (0..self.species.len()).map(|s| self.energy(state, s)).sum()
+    }
+
+    /// Current density `J̃_z = Σ_α ẽ_α ∫ x_z f_α` (§IV-B).
+    pub fn current_jz(&self, state: &[f64]) -> f64 {
+        self.species
+            .list
+            .iter()
+            .enumerate()
+            .map(|(s, sp)| sp.charge * self.z_flux(state, s))
+            .sum()
+    }
+
+    /// Temperature of species `s` in `T_e0` units, drift-corrected:
+    /// `T̃ = (8/3π) m̃ (⟨x²⟩ − ⟨x_z⟩²)`.
+    pub fn temperature(&self, state: &[f64], s: usize) -> f64 {
+        let n = self.density(state, s);
+        if n.abs() < 1e-30 {
+            return 0.0;
+        }
+        let x2 = self.x2_moment(state, s) / n;
+        let uz = self.z_flux(state, s) / n;
+        (8.0 / (3.0 * core::f64::consts::PI)) * self.species.list[s].mass * (x2 - uz * uz)
+    }
+
+    /// Electron temperature (species 0 by convention).
+    pub fn electron_temperature(&self, state: &[f64]) -> f64 {
+        self.temperature(state, 0)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::{Species, SpeciesList};
+    use landau_fem::FemSpace;
+    use landau_mesh::presets::maxwellian_mesh;
+
+    fn setup() -> (FemSpace, SpeciesList, Moments, Vec<f64>) {
+        let sl = SpeciesList::new(vec![
+            Species::electron(),
+            Species {
+                temperature: 0.5,
+                ..Species::deuterium(0.8)
+            },
+        ]);
+        let vts: Vec<f64> = sl.list.iter().map(|s| s.thermal_speed()).collect();
+        let space = FemSpace::new(maxwellian_mesh(5.0, &vts, 1.5), 3);
+        let m = Moments::new(&space, &sl);
+        let nd = space.n_dofs;
+        let mut state = vec![0.0; 2 * nd];
+        for (s, sp) in sl.list.iter().enumerate() {
+            state[s * nd..(s + 1) * nd]
+                .copy_from_slice(&space.interpolate(|r, z| sp.maxwellian(r, z, 0.0)));
+        }
+        (space, sl, m, state)
+    }
+
+    #[test]
+    fn maxwellian_moments() {
+        let (_space, sl, m, state) = setup();
+        // Densities.
+        assert!((m.density(&state, 0) - 1.0).abs() < 1e-4);
+        assert!((m.density(&state, 1) - 0.8).abs() < 1e-4);
+        // No drift.
+        assert!(m.z_flux(&state, 0).abs() < 1e-8);
+        assert!(m.current_jz(&state).abs() < 1e-8);
+        // Temperatures recovered.
+        assert!(
+            (m.temperature(&state, 0) - 1.0).abs() < 1e-3,
+            "{}",
+            m.temperature(&state, 0)
+        );
+        assert!(
+            (m.temperature(&state, 1) - 0.5).abs() < 1e-3,
+            "{}",
+            m.temperature(&state, 1)
+        );
+        let _ = sl;
+    }
+
+    #[test]
+    fn shifted_maxwellian_carries_current() {
+        let (space, sl, m, _state) = setup();
+        let nd = space.n_dofs;
+        let shift = 0.2;
+        let mut state = vec![0.0; 2 * nd];
+        state[..nd].copy_from_slice(
+            &space.interpolate(|r, z| sl.list[0].maxwellian(r, z, shift)),
+        );
+        state[nd..].copy_from_slice(&space.interpolate(|r, z| sl.list[1].maxwellian(r, z, 0.0)));
+        // Electron drift +z with charge −1 ⇒ negative J.
+        let j = m.current_jz(&state);
+        assert!((j - (-1.0) * shift * 1.0).abs() < 1e-3, "J = {j}");
+        // Drift-corrected temperature unchanged.
+        assert!((m.temperature(&state, 0) - 1.0).abs() < 2e-3);
+        // Momentum reflects the electron drift.
+        assert!((m.total_z_momentum(&state) - shift).abs() < 1e-3);
+    }
+
+    #[test]
+    fn energy_of_maxwellian() {
+        let (_space, sl, m, state) = setup();
+        // ½ m ⟨x²⟩ n = ½ m (3/2 θ) n per species.
+        for s in 0..2 {
+            let sp = &sl.list[s];
+            let want = 0.5 * sp.mass * 1.5 * sp.theta() * sp.density;
+            let got = m.energy(&state, s);
+            assert!(
+                (got - want).abs() < 1e-3 * want.max(1e-3),
+                "s={s}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn functionals_are_linear() {
+        let (_space, _sl, m, state) = setup();
+        let mut s2 = state.clone();
+        for v in &mut s2 {
+            *v *= 3.0;
+        }
+        assert!((m.density(&s2, 0) - 3.0 * m.density(&state, 0)).abs() < 1e-12);
+        assert!((m.total_energy(&s2) - 3.0 * m.total_energy(&state)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,500 @@
+//! Grid-per-species-group support (§III-H).
+//!
+//! Species whose thermal velocities are well separated cannot share a
+//! velocity grid efficiently; the paper analyzes (Table I) assigning each
+//! *cluster* of thermal velocities its own grid. This module implements
+//! that configuration: every group has its own `FemSpace` scaled to its
+//! species, while the collision integral still couples everything — the
+//! inner integral runs over the union of all grids' quadrature points, so
+//! inter-group collisions (and their conservation pairing) are retained.
+//!
+//! The state layout is group-major then species-major within the group:
+//! `[g0 s0 | g0 s1 | … | g1 s0 | …]`, each block `groups[g].space.n_dofs`
+//! long.
+
+use crate::kernels::pair_flops;
+use crate::species::{Species, SpeciesList};
+use crate::tensor::landau_tensor_2d;
+use landau_fem::{assemble_mass_matrix, csr_pattern, scatter_element_matrix, FemSpace};
+use landau_sparse::band::BlockBandSolver;
+use landau_sparse::csr::{Csr, InsertMode};
+use landau_sparse::rcm::{bandwidth, rcm_order};
+use landau_vgpu::Tally;
+use rayon::prelude::*;
+
+/// One velocity grid and the species living on it.
+pub struct GridGroup {
+    /// The finite-element space of this grid.
+    pub space: FemSpace,
+    /// The species (by index into the global list) on this grid.
+    pub species_idx: Vec<usize>,
+    /// Mass matrix of this grid (no 2π).
+    pub mass: Csr,
+    pattern: Csr,
+}
+
+/// The multi-grid Landau operator.
+pub struct MultiGridLandau {
+    /// All species across all groups.
+    pub species: SpeciesList,
+    /// The grid groups.
+    pub groups: Vec<GridGroup>,
+}
+
+/// Concatenated quadrature data across grids: geometry for every point,
+/// field data per species on its own grid's range.
+struct CrossIp {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    w: Vec<f64>,
+    /// `offsets[g]` = first global quadrature index of group `g`.
+    offsets: Vec<usize>,
+    /// Per global species: `(group, f, dfr, dfz)` on that group's points.
+    fields: Vec<(usize, Vec<f64>, Vec<f64>, Vec<f64>)>,
+}
+
+impl MultiGridLandau {
+    /// Build from `(space, species indices)` pairs covering every species
+    /// exactly once.
+    pub fn new(species: SpeciesList, groups: Vec<(FemSpace, Vec<usize>)>) -> Self {
+        let mut seen = vec![false; species.len()];
+        for (_, idx) in &groups {
+            for &s in idx {
+                assert!(!seen[s], "species {s} assigned to two grids");
+                seen[s] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every species needs a grid");
+        let groups = groups
+            .into_iter()
+            .map(|(space, species_idx)| {
+                let mass = assemble_mass_matrix(&space);
+                let pattern = csr_pattern(&space);
+                GridGroup {
+                    space,
+                    species_idx,
+                    mass,
+                    pattern,
+                }
+            })
+            .collect();
+        MultiGridLandau { species, groups }
+    }
+
+    /// State vector length (Σ over groups of dofs × species-on-grid).
+    pub fn n_total(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.space.n_dofs * g.species_idx.len())
+            .sum()
+    }
+
+    /// Offset of `(group, local species index)` in the state vector.
+    pub fn block_offset(&self, group: usize, local: usize) -> usize {
+        let mut off = 0;
+        for g in &self.groups[..group] {
+            off += g.space.n_dofs * g.species_idx.len();
+        }
+        off + local * self.groups[group].space.n_dofs
+    }
+
+    /// Maxwellian initial state on every grid.
+    pub fn initial_state(&self) -> Vec<f64> {
+        let mut state = vec![0.0; self.n_total()];
+        for (gi, g) in self.groups.iter().enumerate() {
+            for (li, &si) in g.species_idx.iter().enumerate() {
+                let sp: &Species = &self.species.list[si];
+                let off = self.block_offset(gi, li);
+                state[off..off + g.space.n_dofs]
+                    .copy_from_slice(&g.space.interpolate(|r, z| sp.maxwellian(r, z, 0.0)));
+            }
+        }
+        state
+    }
+
+    /// Total quadrature points across grids (Table I's `N`).
+    pub fn n_ip_total(&self) -> usize {
+        self.groups.iter().map(|g| g.space.n_ip()).sum()
+    }
+
+    /// Landau tensor evaluations per Jacobian build (`N_total²`, Table I).
+    pub fn tensor_count(&self) -> u64 {
+        let n = self.n_ip_total() as u64;
+        n * n
+    }
+
+    /// Number of equations in the implicit solve (Table I's `n`).
+    pub fn n_equations(&self) -> usize {
+        self.n_total()
+    }
+
+    fn pack(&self, state: &[f64]) -> CrossIp {
+        let mut r = Vec::new();
+        let mut z = Vec::new();
+        let mut w = Vec::new();
+        let mut offsets = Vec::with_capacity(self.groups.len());
+        for g in &self.groups {
+            offsets.push(r.len());
+            let nq = g.space.tab.nq;
+            for el in &g.space.elements {
+                for q in 0..nq {
+                    let (xi, eta) = g.space.tab.quad.points[q];
+                    let (pr, pz) = el.map_point(xi, eta);
+                    r.push(pr);
+                    z.push(pz);
+                    w.push(g.space.tab.quad.weights[q] * el.det_j() * pr);
+                }
+            }
+        }
+        // Field data per species at its grid's points.
+        let mut fields = Vec::with_capacity(self.species.len());
+        for si in 0..self.species.len() {
+            let (gi, li) = self
+                .groups
+                .iter()
+                .enumerate()
+                .find_map(|(gi, g)| {
+                    g.species_idx
+                        .iter()
+                        .position(|&s| s == si)
+                        .map(|li| (gi, li))
+                })
+                .expect("species has a grid");
+            let g = &self.groups[gi];
+            let off = self.block_offset(gi, li);
+            let coeffs = &state[off..off + g.space.n_dofs];
+            let nq = g.space.tab.nq;
+            let nb = g.space.tab.nb;
+            let nip = g.space.n_ip();
+            let mut f = vec![0.0; nip];
+            let mut dfr = vec![0.0; nip];
+            let mut dfz = vec![0.0; nip];
+            let mut local = vec![0.0; nb];
+            for (e, el) in g.space.elements.iter().enumerate() {
+                g.space.element_coeffs(e, coeffs, &mut local);
+                let gs = el.grad_scale();
+                for q in 0..nq {
+                    let b = &g.space.tab.b[q * nb..(q + 1) * nb];
+                    let dx = &g.space.tab.dxi[q * nb..(q + 1) * nb];
+                    let dy = &g.space.tab.deta[q * nb..(q + 1) * nb];
+                    let (mut v, mut gr, mut gz) = (0.0, 0.0, 0.0);
+                    for jb in 0..nb {
+                        v += b[jb] * local[jb];
+                        gr += dx[jb] * local[jb];
+                        gz += dy[jb] * local[jb];
+                    }
+                    f[e * nq + q] = v;
+                    dfr[e * nq + q] = gs * gr;
+                    dfz[e * nq + q] = gs * gz;
+                }
+            }
+            fields.push((gi, f, dfr, dfz));
+        }
+        CrossIp {
+            r,
+            z,
+            w,
+            offsets,
+            fields,
+        }
+    }
+
+    /// Assemble the per-(group, species) Landau matrices at the given
+    /// state. Returns matrices in state-block order, plus the kernel tally.
+    pub fn assemble(&self, state: &[f64]) -> (Vec<Csr>, Tally) {
+        let ip = self.pack(state);
+        let n_all = ip.r.len();
+        // Species-summed field terms at every global point.
+        let mut tkr = vec![0.0; n_all];
+        let mut tkz = vec![0.0; n_all];
+        let mut td = vec![0.0; n_all];
+        for (si, (gi, f, dfr, dfz)) in ip.fields.iter().enumerate() {
+            let sp = &self.species.list[si];
+            let fk = sp.charge * sp.charge / sp.mass;
+            let fd = sp.charge * sp.charge;
+            let off = ip.offsets[*gi];
+            for j in 0..f.len() {
+                tkr[off + j] += fk * dfr[j];
+                tkz[off + j] += fk * dfz[j];
+                td[off + j] += fd * f[j];
+            }
+        }
+        // Inner integral: every grid's test points against all points.
+        let mut gk = vec![[0.0f64; 2]; n_all];
+        let mut gd = vec![[0.0f64; 3]; n_all];
+        let tally: Tally = gk
+            .par_iter_mut()
+            .zip(gd.par_iter_mut())
+            .enumerate()
+            .map(|(i, (gki, gdi))| {
+                let (ri, zi) = (ip.r[i], ip.z[i]);
+                let mut acc = [0.0f64; 5];
+                for j in 0..n_all {
+                    if j == i {
+                        continue;
+                    }
+                    let t = landau_tensor_2d(ri, zi, ip.r[j], ip.z[j]);
+                    let w = ip.w[j];
+                    acc[0] += w * (t.k[0][0] * tkr[j] + t.k[0][1] * tkz[j]);
+                    acc[1] += w * (t.k[1][0] * tkr[j] + t.k[1][1] * tkz[j]);
+                    let wtd = w * td[j];
+                    acc[2] += wtd * t.d[0];
+                    acc[3] += wtd * t.d[1];
+                    acc[4] += wtd * t.d[2];
+                }
+                *gki = [acc[0], acc[1]];
+                *gdi = [acc[2], acc[3], acc[4]];
+                Tally {
+                    flops: (n_all as u64 - 1) * pair_flops(self.species.len()),
+                    ..Default::default()
+                }
+            })
+            .reduce(Tally::new, |a, b| a + b);
+        // Transform & assemble per (group, species).
+        let mut mats = Vec::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            let nb = g.space.tab.nb;
+            let nq = g.space.tab.nq;
+            let off = ip.offsets[gi];
+            for &si in &g.species_idx {
+                let sp = &self.species.list[si];
+                let ks = sp.charge * sp.charge / sp.mass;
+                let ds = -sp.charge * sp.charge / (sp.mass * sp.mass);
+                let mut mat = g.pattern.clone();
+                let mut ce = vec![0.0; nb * nb];
+                for (e, el) in g.space.elements.iter().enumerate() {
+                    ce.fill(0.0);
+                    let gs = el.grad_scale();
+                    for q in 0..nq {
+                        let gip = off + e * nq + q;
+                        let w = ip.w[gip];
+                        let kvec = [w * ks * gk[gip][0], w * ks * gk[gip][1]];
+                        let dmat = [
+                            w * ds * gd[gip][0],
+                            w * ds * gd[gip][1],
+                            w * ds * gd[gip][2],
+                        ];
+                        let b = &g.space.tab.b[q * nb..(q + 1) * nb];
+                        let dx = &g.space.tab.dxi[q * nb..(q + 1) * nb];
+                        let dy = &g.space.tab.deta[q * nb..(q + 1) * nb];
+                        for bt in 0..nb {
+                            let gtr = gs * dx[bt];
+                            let gtz = gs * dy[bt];
+                            let kdot = gtr * kvec[0] + gtz * kvec[1];
+                            let dr = gtr * dmat[0] + gtz * dmat[1];
+                            let dz = gtr * dmat[1] + gtz * dmat[2];
+                            for bj in 0..nb {
+                                ce[bt * nb + bj] +=
+                                    kdot * b[bj] + gs * (dr * dx[bj] + dz * dy[bj]);
+                            }
+                        }
+                    }
+                    scatter_element_matrix(el, &ce, &mut mat, InsertMode::Add);
+                }
+                mats.push(mat);
+            }
+        }
+        (mats, tally)
+    }
+
+    /// One backward-Euler step with the quasi-Newton iteration (a compact
+    /// version of `solver::TimeIntegrator` generalized to many grids).
+    pub fn step_backward_euler(
+        &self,
+        state: &mut [f64],
+        dt: f64,
+        rtol: f64,
+        max_newton: usize,
+    ) -> (usize, bool) {
+        let fn_old = state.to_vec();
+        // Per-block permutations (best of RCM/geometric, computed per call
+        // for simplicity — cache in production use).
+        let mut r0 = None;
+        for it in 0..max_newton {
+            let (mats, _t) = self.assemble(state);
+            // Residual: M(f - f^n) - dt L f per block.
+            let mut resid = vec![0.0; state.len()];
+            let mut bi = 0usize;
+            for (gi, g) in self.groups.iter().enumerate() {
+                let nd = g.space.n_dofs;
+                for li in 0..g.species_idx.len() {
+                    let off = self.block_offset(gi, li);
+                    let f = &state[off..off + nd];
+                    let fo = &fn_old[off..off + nd];
+                    let df: Vec<f64> = f.iter().zip(fo).map(|(a, b)| a - b).collect();
+                    let mdf = g.mass.matvec(&df);
+                    let lf = mats[bi].matvec(f);
+                    for i in 0..nd {
+                        resid[off + i] = mdf[i] - dt * lf[i];
+                    }
+                    bi += 1;
+                }
+            }
+            let rnorm = resid.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let r0v = *r0.get_or_insert(rnorm);
+            if rnorm <= 1e-14 + rtol * r0v {
+                return (it, true);
+            }
+            // Solve block by block.
+            let mut bi = 0usize;
+            for (gi, g) in self.groups.iter().enumerate() {
+                let nd = g.space.n_dofs;
+                let perm = rcm_order(&g.mass);
+                let _ = bandwidth(&g.mass);
+                for li in 0..g.species_idx.len() {
+                    let off = self.block_offset(gi, li);
+                    let mut j = g.mass.clone();
+                    j.axpy_same_pattern(-dt, &mats[bi]);
+                    let pj = j.permute_symmetric(&perm);
+                    let mut solver = BlockBandSolver::from_block_csr(&pj, &[nd]);
+                    solver.factor().expect("nonsingular Jacobian");
+                    let mut pr: Vec<f64> = perm.iter().map(|&o| resid[off + o]).collect();
+                    solver.solve_into(&mut pr);
+                    for (new, &old) in perm.iter().enumerate() {
+                        state[off + old] -= pr[new];
+                    }
+                    bi += 1;
+                }
+            }
+        }
+        (max_newton, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landau_fem::weighted_functional;
+    use landau_mesh::presets::{MeshSpec, RefineShell};
+
+    fn two_grid_setup() -> (MultiGridLandau, SpeciesList) {
+        let sl = SpeciesList::new(vec![
+            Species::electron(),
+            Species {
+                name: "i+".into(),
+                mass: 9.0,
+                charge: 1.0,
+                density: 1.0,
+                temperature: 0.5,
+            },
+        ]);
+        // Electron grid: broad; ion grid: 3x smaller domain (v_ti ≈ v_te/4).
+        let ge = FemSpace::new(
+            MeshSpec {
+                domain_radius: 4.0,
+                base_level: 2,
+                shells: vec![],
+                tail_box: None,
+            }
+            .build(),
+            3,
+        );
+        let gi = FemSpace::new(
+            MeshSpec {
+                domain_radius: 1.2,
+                base_level: 2,
+                shells: vec![RefineShell {
+                    radius: 0.6,
+                    max_cell_size: 0.2,
+                }],
+                tail_box: None,
+            }
+            .build(),
+            3,
+        );
+        let mg = MultiGridLandau::new(sl.clone(), vec![(ge, vec![0]), (gi, vec![1])]);
+        (mg, sl)
+    }
+
+    #[test]
+    fn layout_and_counts() {
+        let (mg, _sl) = two_grid_setup();
+        assert_eq!(mg.groups.len(), 2);
+        assert_eq!(
+            mg.n_total(),
+            mg.groups[0].space.n_dofs + mg.groups[1].space.n_dofs
+        );
+        assert!(mg.n_ip_total() > 0);
+        assert_eq!(
+            mg.tensor_count(),
+            (mg.n_ip_total() as u64).pow(2)
+        );
+    }
+
+    #[test]
+    fn cross_grid_conservation() {
+        // Density per species exactly; z-momentum and energy across the two
+        // grids (the §III-H configuration must not break the conservation
+        // structure).
+        let (mg, sl) = two_grid_setup();
+        let mut state = mg.initial_state();
+        // A drifting, denser electron population: real momentum and energy
+        // exchange with the ions on the other grid.
+        let nd0 = mg.groups[0].space.n_dofs;
+        let hot = Species {
+            density: 1.1,
+            ..Species::electron()
+        };
+        state[..nd0].copy_from_slice(
+            &mg.groups[0]
+                .space
+                .interpolate(|r, z| hot.maxwellian(r, z, 0.3)),
+        );
+        let (mats, _t) = mg.assemble(&state);
+        // Rates per block.
+        let lf0 = mats[0].matvec(&state[..nd0]);
+        let lf1 = mats[1].matvec(&state[nd0..]);
+        let ones0 = vec![1.0; nd0];
+        let ones1 = vec![1.0; mg.groups[1].space.n_dofs];
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        let scale0: f64 = lf0.iter().map(|v| v.abs()).sum();
+        let scale1: f64 = lf1.iter().map(|v| v.abs()).sum();
+        assert!(dot(&ones0, &lf0).abs() < 1e-10 * scale0, "e density");
+        assert!(dot(&ones1, &lf1).abs() < 1e-10 * scale1, "ion density");
+        // Momentum/energy: coefficient vectors of z and x² on each grid.
+        let z0 = mg.groups[0].space.interpolate(|_r, z| z);
+        let z1 = mg.groups[1].space.interpolate(|_r, z| z);
+        let e0 = mg.groups[0].space.interpolate(|r, z| r * r + z * z);
+        let e1 = mg.groups[1].space.interpolate(|r, z| r * r + z * z);
+        let me = sl.list[0].mass;
+        let mi = sl.list[1].mass;
+        let dp = me * dot(&z0, &lf0) + mi * dot(&z1, &lf1);
+        let de = 0.5 * me * dot(&e0, &lf0) + 0.5 * mi * dot(&e1, &lf1);
+        let pscale = (me * dot(&z0, &lf0)).abs() + (mi * dot(&z1, &lf1)).abs();
+        let escale = (0.5 * me * dot(&e0, &lf0)).abs() + (0.5 * mi * dot(&e1, &lf1)).abs();
+        assert!(dp.abs() < 1e-8 * pscale.max(1e-14), "momentum {dp} vs {pscale}");
+        assert!(de.abs() < 1e-8 * escale.max(1e-14), "energy {de} vs {escale}");
+    }
+
+    #[test]
+    fn temperatures_equilibrate_across_grids() {
+        let (mg, sl) = two_grid_setup();
+        let mut state = mg.initial_state();
+        let temp = |mg: &MultiGridLandau, state: &[f64], g: usize| -> f64 {
+            let grp = &mg.groups[g];
+            let nd = grp.space.n_dofs;
+            let off = mg.block_offset(g, 0);
+            let f = &state[off..off + nd];
+            let two_pi = 2.0 * std::f64::consts::PI;
+            let m0 = weighted_functional(&grp.space, |_, _| 1.0);
+            let m2 = weighted_functional(&grp.space, |r, z| r * r + z * z);
+            let n: f64 = m0.iter().zip(f).map(|(a, b)| a * b).sum::<f64>() * two_pi;
+            let x2: f64 = m2.iter().zip(f).map(|(a, b)| a * b).sum::<f64>() * two_pi;
+            (8.0 / (3.0 * std::f64::consts::PI))
+                * mg.species.list[mg.groups[g].species_idx[0]].mass
+                * (x2 / n)
+        };
+        let te0 = temp(&mg, &state, 0);
+        let ti0 = temp(&mg, &state, 1);
+        assert!(te0 > ti0, "setup: electrons hotter");
+        for _ in 0..4 {
+            let (_its, ok) = mg.step_backward_euler(&mut state, 0.4, 1e-7, 100);
+            assert!(ok, "Newton convergence");
+        }
+        let te1 = temp(&mg, &state, 0);
+        let ti1 = temp(&mg, &state, 1);
+        assert!(te1 < te0, "electrons cool: {te0} → {te1}");
+        assert!(ti1 > ti0, "ions heat: {ti0} → {ti1}");
+        let _ = sl;
+    }
+}

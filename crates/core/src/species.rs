@@ -1,0 +1,258 @@
+//! Plasma species in the nondimensional units of Appendix A.
+//!
+//! Reference quantities: electron temperature `T_e0`, reference velocity
+//! `v0 = sqrt(8 kT_e0 / π m_e)`, reference mass `m0 = m_e`, charge unit `e`,
+//! density unit `n0`. In these units the electron–electron collision
+//! frequency is `ν̃_ee = 1` and `ν̃_αβ = ẽ_α² ẽ_β²` (fixed `lnΛ = 10`).
+
+use landau_math::constants;
+
+/// One plasma species (nondimensional).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Species {
+    /// Display name.
+    pub name: String,
+    /// Mass in electron masses (`m̃ = m/m_e`).
+    pub mass: f64,
+    /// Charge in elementary charges (signed; electrons are −1).
+    pub charge: f64,
+    /// Initial density in `n0` units.
+    pub density: f64,
+    /// Initial temperature in `T_e0` units.
+    pub temperature: f64,
+}
+
+impl Species {
+    /// Squared thermal-speed parameter `θ = 2kT/(m v0²)` such that the
+    /// Maxwellian is `ñ (πθ)^{-3/2} exp(-x²/θ)`. For electrons at the
+    /// reference temperature `θ = π/4`.
+    pub fn theta(&self) -> f64 {
+        constants::THETA_E_REF * self.temperature / self.mass
+    }
+
+    /// Thermal speed `sqrt(θ)` in `v0` units.
+    pub fn thermal_speed(&self) -> f64 {
+        self.theta().sqrt()
+    }
+
+    /// The nondimensional Maxwellian for this species at its initial
+    /// density and temperature, optionally shifted along z.
+    pub fn maxwellian(&self, r: f64, z: f64, z_shift: f64) -> f64 {
+        maxwellian(self.density, self.theta(), r, z - z_shift)
+    }
+
+    /// Electron species at reference conditions.
+    pub fn electron() -> Self {
+        Species {
+            name: "e".into(),
+            mass: 1.0,
+            charge: -1.0,
+            density: 1.0,
+            temperature: 1.0,
+        }
+    }
+
+    /// Deuterium at reference temperature, singly charged, density `n`.
+    pub fn deuterium(n: f64) -> Self {
+        Species {
+            name: "D+".into(),
+            mass: constants::M_DEUTERIUM,
+            charge: 1.0,
+            density: n,
+            temperature: 1.0,
+        }
+    }
+
+    /// A tungsten ionization state `W^{q+}` with density `n`.
+    pub fn tungsten(q: u32, n: f64) -> Self {
+        Species {
+            name: format!("W{q}+"),
+            mass: constants::M_TUNGSTEN,
+            charge: q as f64,
+            density: n,
+            temperature: 1.0,
+        }
+    }
+
+    /// A hydrogenic ion of effective charge `Z` (mass = Z × deuterium
+    /// nucleon pair, a simple stand-in used in the Fig-4 Z sweep).
+    pub fn ion_z(z: f64, n: f64) -> Self {
+        Species {
+            name: format!("Z{z}"),
+            mass: constants::M_DEUTERIUM * z.max(1.0),
+            charge: z,
+            density: n,
+            temperature: 1.0,
+        }
+    }
+}
+
+/// The nondimensional Maxwellian `ñ (πθ)^{-3/2} exp(-(r²+z²)/θ)`.
+pub fn maxwellian(n: f64, theta: f64, r: f64, z: f64) -> f64 {
+    let norm = (core::f64::consts::PI * theta).powf(1.5);
+    n / norm * (-(r * r + z * z) / theta).exp()
+}
+
+/// An ordered list of species sharing one velocity grid.
+#[derive(Clone, Debug)]
+pub struct SpeciesList {
+    /// The species, electrons first by convention.
+    pub list: Vec<Species>,
+}
+
+impl SpeciesList {
+    /// Wrap a list (must be non-empty).
+    pub fn new(list: Vec<Species>) -> Self {
+        assert!(!list.is_empty());
+        SpeciesList { list }
+    }
+
+    /// Number of species `S`.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True if empty (never).
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Quasineutral electron + deuterium plasma (the §IV-B verification
+    /// plasma).
+    pub fn electron_deuterium() -> Self {
+        SpeciesList::new(vec![Species::electron(), Species::deuterium(1.0)])
+    }
+
+    /// Electron + single hydrogenic impurity of charge `Z` with
+    /// quasineutral densities (`n_i = 1/Z`), for the Fig-4 sweep.
+    pub fn electron_ion_z(z: f64) -> Self {
+        SpeciesList::new(vec![Species::electron(), Species::ion_z(z, 1.0 / z)])
+    }
+
+    /// The paper's §V performance plasma: electrons, deuterium and eight
+    /// tungsten ionization states (quasineutral, impurity fraction `fw`).
+    pub fn thermal_quench_10(fw: f64) -> Self {
+        let mut v = vec![Species::electron()];
+        // Tungsten states W1+..W8+, equal densities nw each.
+        let nw = fw / 8.0;
+        let zw: f64 = (1..=8).map(|q| q as f64 * nw).sum();
+        // Quasineutrality: n_D · 1 + Σ q·n_W = n_e = 1.
+        let nd = 1.0 - zw;
+        assert!(nd > 0.0, "impurity fraction too large");
+        v.push(Species::deuterium(nd));
+        for q in 1..=8 {
+            v.push(Species::tungsten(q, nw));
+        }
+        SpeciesList::new(v)
+    }
+
+    /// Net charge density Σ ẽ_α ñ_α (0 for quasineutral plasmas).
+    pub fn net_charge(&self) -> f64 {
+        self.list.iter().map(|s| s.charge * s.density).sum()
+    }
+
+    /// Distinct thermal speeds, descending (for mesh presets).
+    pub fn thermal_speeds(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.list.iter().map(|s| s.thermal_speed()).collect();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        v
+    }
+
+    /// ν̃ scale factors `ẽ_β² m0/m_β` (K-term) per species.
+    pub fn k_field_factors(&self) -> Vec<f64> {
+        self.list
+            .iter()
+            .map(|s| s.charge * s.charge / s.mass)
+            .collect()
+    }
+
+    /// `ẽ_β²` factors (D-term) per species.
+    pub fn d_field_factors(&self) -> Vec<f64> {
+        self.list.iter().map(|s| s.charge * s.charge).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn electron_theta_is_quarter_pi() {
+        let e = Species::electron();
+        assert!((e.theta() - core::f64::consts::PI / 4.0).abs() < 1e-15);
+        assert!((e.thermal_speed() - 0.886226925452758).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxwellian_density_integrates_to_n() {
+        // 2π ∫ r f dr dz = n (numerical check on a fine grid).
+        let s = Species::electron();
+        let mut total = 0.0;
+        let nn = 400;
+        let l = 6.0;
+        let h = l / nn as f64;
+        for i in 0..nn {
+            let r = (i as f64 + 0.5) * h;
+            for j in 0..(2 * nn) {
+                let z = -l + (j as f64 + 0.5) * h;
+                total += 2.0 * core::f64::consts::PI * r * s.maxwellian(r, z, 0.0) * h * h;
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-4, "{total}");
+    }
+
+    #[test]
+    fn maxwellian_energy_moment() {
+        // 2π ∫ r x² f = (3/2) θ n.
+        let s = Species::deuterium(0.7);
+        let th = s.theta();
+        let mut total = 0.0;
+        let nn = 300;
+        let l = 8.0 * s.thermal_speed();
+        let h = l / nn as f64;
+        for i in 0..nn {
+            let r = (i as f64 + 0.5) * h;
+            for j in 0..(2 * nn) {
+                let z = -l + (j as f64 + 0.5) * h;
+                total += 2.0
+                    * core::f64::consts::PI
+                    * r
+                    * (r * r + z * z)
+                    * s.maxwellian(r, z, 0.0)
+                    * h
+                    * h;
+            }
+        }
+        assert!((total - 1.5 * th * 0.7).abs() < 1e-5, "{total}");
+    }
+
+    #[test]
+    fn quench_plasma_is_quasineutral() {
+        let sl = SpeciesList::thermal_quench_10(0.02);
+        assert_eq!(sl.len(), 10);
+        assert!(sl.net_charge().abs() < 1e-12);
+        // Electrons fastest, tungsten slowest.
+        let vts = sl.thermal_speeds();
+        assert!(vts[0] > 0.8);
+        assert!(*vts.last().unwrap() < 0.002);
+    }
+
+    #[test]
+    fn z_sweep_plasma_quasineutral() {
+        for z in [1.0, 2.0, 8.0, 128.0] {
+            let sl = SpeciesList::electron_ion_z(z);
+            assert!(sl.net_charge().abs() < 1e-12, "Z={z}");
+        }
+    }
+
+    #[test]
+    fn field_factors() {
+        let sl = SpeciesList::electron_deuterium();
+        let k = sl.k_field_factors();
+        assert_eq!(k[0], 1.0);
+        assert!((k[1] - 1.0 / landau_math::constants::M_DEUTERIUM).abs() < 1e-18);
+        let d = sl.d_field_factors();
+        assert_eq!(d, vec![1.0, 1.0]);
+    }
+}

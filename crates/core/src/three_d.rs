@@ -1,0 +1,590 @@
+//! The full 3D (Cartesian velocity) Landau operator.
+//!
+//! The paper's experiments use the axisymmetric `(r, z)` formulation, but
+//! notes "a full 3D model is supported in the library and is required for
+//! extension to relativistic regimes". This module provides that path: a
+//! uniform tensor-product `Qp` grid over `[-L, L]³`, the raw Landau tensor
+//! of eq. (3) in the inner integral (no azimuthal reduction), and an
+//! implicit backward-Euler advance whose linear solves use the
+//! Jacobi-preconditioned GMRES from `landau-sparse` (the paper's
+//! "custom iterative solver" direction — 3D bandwidths make banded LU
+//! unattractive).
+//!
+//! Conservation works exactly as in 2D: density from `ψ = 1`, all three
+//! momentum components from `ψ = v_i` and energy from `ψ = |v|²`
+//! (which needs `p ≥ 2`), via the symmetry and null space of `U`.
+
+use crate::species::SpeciesList;
+use crate::tensor::landau_tensor_3d;
+use landau_math::lagrange::LagrangeBasis1D;
+use landau_math::quadrature::QuadratureRule;
+use landau_sparse::csr::Csr;
+use landau_sparse::iterative::gmres;
+use rayon::prelude::*;
+
+/// A uniform `Qp` finite-element grid over the cube `[-L, L]³`.
+pub struct Grid3D {
+    /// Half-extent of the cube.
+    pub half_extent: f64,
+    /// Cells per direction.
+    pub cells: usize,
+    /// Element order.
+    pub order: usize,
+    /// Dofs per direction (`p·cells + 1`).
+    pub nd1: usize,
+    /// Quadrature nodes/weights per direction.
+    quad: QuadratureRule,
+    /// The 1D nodal basis (kept for point evaluation by downstream users).
+    pub basis: LagrangeBasis1D,
+    /// Basis values at 1D quad points: `b1[q][node]`.
+    b1: Vec<Vec<f64>>,
+    /// Basis derivatives at 1D quad points.
+    d1: Vec<Vec<f64>>,
+}
+
+impl Grid3D {
+    /// Build the grid (`p ∈ {1, 2, 3}` supported; `p ≥ 2` for exact energy
+    /// conservation).
+    pub fn new(half_extent: f64, cells: usize, order: usize) -> Self {
+        assert!(cells >= 1 && (1..=3).contains(&order));
+        let quad = QuadratureRule::gauss_legendre(order + 1);
+        let basis = LagrangeBasis1D::equispaced(order);
+        let b1: Vec<Vec<f64>> = quad.points.iter().map(|&x| basis.eval(x)).collect();
+        let d1: Vec<Vec<f64>> = quad.points.iter().map(|&x| basis.eval_deriv(x)).collect();
+        Grid3D {
+            half_extent,
+            cells,
+            order,
+            nd1: order * cells + 1,
+            quad,
+            basis,
+            b1,
+            d1,
+        }
+    }
+
+    /// Total dofs (`nd1³`).
+    pub fn n_dofs(&self) -> usize {
+        self.nd1 * self.nd1 * self.nd1
+    }
+
+    /// Quadrature points per element (`(p+1)³`).
+    pub fn nq(&self) -> usize {
+        (self.order + 1).pow(3)
+    }
+
+    /// Total quadrature points.
+    pub fn n_ip(&self) -> usize {
+        self.cells.pow(3) * self.nq()
+    }
+
+    /// Cell edge length.
+    pub fn h(&self) -> f64 {
+        2.0 * self.half_extent / self.cells as f64
+    }
+
+    #[inline]
+    fn dof(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.nd1 + j) * self.nd1 + k
+    }
+
+    /// Physical coordinate of a dof node along one axis.
+    fn node_coord(&self, i: usize) -> f64 {
+        -self.half_extent + i as f64 * self.h() / self.order as f64
+    }
+
+    /// Nodal interpolation of an analytic function.
+    pub fn interpolate(&self, f: impl Fn(f64, f64, f64) -> f64) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_dofs()];
+        for i in 0..self.nd1 {
+            for j in 0..self.nd1 {
+                for k in 0..self.nd1 {
+                    out[self.dof(i, j, k)] =
+                        f(self.node_coord(i), self.node_coord(j), self.node_coord(k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Element dof list for cell `(cx, cy, cz)`, z-fastest local ordering.
+    fn element_dofs(&self, cx: usize, cy: usize, cz: usize) -> Vec<usize> {
+        let p = self.order;
+        let mut out = Vec::with_capacity((p + 1).pow(3));
+        for a in 0..=p {
+            for b in 0..=p {
+                for c in 0..=p {
+                    out.push(self.dof(cx * p + a, cy * p + b, cz * p + c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate cells.
+    fn cells_iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let n = self.cells;
+        (0..n).flat_map(move |x| (0..n).flat_map(move |y| (0..n).map(move |z| (x, y, z))))
+    }
+}
+
+/// Packed 3D integration-point data.
+pub struct IpData3 {
+    n: usize,
+    /// Coordinates.
+    pub x: Vec<[f64; 3]>,
+    /// Weights (`w_q |J|`, Cartesian measure — no r factor in 3D).
+    pub w: Vec<f64>,
+    /// Values per species (`[s][ip]` flattened).
+    pub f: Vec<f64>,
+    /// Gradients per species.
+    pub df: Vec<[f64; 3]>,
+    ns: usize,
+}
+
+/// Pack state (species-major) to quadrature points.
+pub fn pack3(grid: &Grid3D, species: &SpeciesList, state: &[f64]) -> IpData3 {
+    let n = grid.n_ip();
+    let ns = species.len();
+    let nd = grid.n_dofs();
+    let p1 = grid.order + 1;
+    let h = grid.h();
+    let detj = (h / 2.0).powi(3);
+    let gs = 2.0 / h;
+    let mut ip = IpData3 {
+        n,
+        x: vec![[0.0; 3]; n],
+        w: vec![0.0; n],
+        f: vec![0.0; ns * n],
+        df: vec![[0.0; 3]; ns * n],
+        ns,
+    };
+    let mut gi = 0usize;
+    for (cx, cy, cz) in grid.cells_iter() {
+        let x0 = -grid.half_extent + cx as f64 * h;
+        let y0 = -grid.half_extent + cy as f64 * h;
+        let z0 = -grid.half_extent + cz as f64 * h;
+        let dofs = grid.element_dofs(cx, cy, cz);
+        for qa in 0..p1 {
+            for qb in 0..p1 {
+                for qc in 0..p1 {
+                    let (xa, xb, xc) = (
+                        grid.quad.points[qa],
+                        grid.quad.points[qb],
+                        grid.quad.points[qc],
+                    );
+                    ip.x[gi] = [
+                        x0 + 0.5 * (xa + 1.0) * h,
+                        y0 + 0.5 * (xb + 1.0) * h,
+                        z0 + 0.5 * (xc + 1.0) * h,
+                    ];
+                    ip.w[gi] =
+                        grid.quad.weights[qa] * grid.quad.weights[qb] * grid.quad.weights[qc]
+                            * detj;
+                    for s in 0..ns {
+                        let coeffs = &state[s * nd..(s + 1) * nd];
+                        let mut v = 0.0;
+                        let mut g = [0.0f64; 3];
+                        let mut li = 0usize;
+                        for a in 0..p1 {
+                            for b in 0..p1 {
+                                for c in 0..p1 {
+                                    let cv = coeffs[dofs[li]];
+                                    let (ba, bb, bc) =
+                                        (grid.b1[qa][a], grid.b1[qb][b], grid.b1[qc][c]);
+                                    let (da, db, dc) =
+                                        (grid.d1[qa][a], grid.d1[qb][b], grid.d1[qc][c]);
+                                    v += ba * bb * bc * cv;
+                                    g[0] += da * bb * bc * cv;
+                                    g[1] += ba * db * bc * cv;
+                                    g[2] += ba * bb * dc * cv;
+                                    li += 1;
+                                }
+                            }
+                        }
+                        ip.f[s * n + gi] = v;
+                        ip.df[s * n + gi] = [gs * g[0], gs * g[1], gs * g[2]];
+                    }
+                    gi += 1;
+                }
+            }
+        }
+    }
+    ip
+}
+
+/// The 3D Landau operator.
+pub struct Landau3D {
+    /// The grid.
+    pub grid: Grid3D,
+    /// The species.
+    pub species: SpeciesList,
+    /// Mass matrix (Cartesian measure).
+    pub mass: Csr,
+    pattern: Csr,
+}
+
+impl Landau3D {
+    /// Build operator and mass matrix.
+    pub fn new(grid: Grid3D, species: SpeciesList) -> Self {
+        let nd = grid.n_dofs();
+        let mut cols: Vec<Vec<usize>> = vec![Vec::new(); nd];
+        for (cx, cy, cz) in grid.cells_iter() {
+            let dofs = grid.element_dofs(cx, cy, cz);
+            for &i in &dofs {
+                cols[i].extend_from_slice(&dofs);
+            }
+        }
+        let pattern = Csr::from_pattern(nd, nd, &cols);
+        // Mass matrix.
+        let mut mass = pattern.clone();
+        let p1 = grid.order + 1;
+        let nb = p1 * p1 * p1;
+        let detj = (grid.h() / 2.0).powi(3);
+        let mut me = vec![0.0; nb * nb];
+        // Reference element mass (same for all cells — uniform grid).
+        for qa in 0..p1 {
+            for qb in 0..p1 {
+                for qc in 0..p1 {
+                    let w = grid.quad.weights[qa] * grid.quad.weights[qb] * grid.quad.weights[qc]
+                        * detj;
+                    let mut bv = Vec::with_capacity(nb);
+                    for a in 0..p1 {
+                        for b in 0..p1 {
+                            for c in 0..p1 {
+                                bv.push(grid.b1[qa][a] * grid.b1[qb][b] * grid.b1[qc][c]);
+                            }
+                        }
+                    }
+                    for i in 0..nb {
+                        for j in 0..nb {
+                            me[i * nb + j] += w * bv[i] * bv[j];
+                        }
+                    }
+                }
+            }
+        }
+        for (cx, cy, cz) in grid.cells_iter() {
+            let dofs = grid.element_dofs(cx, cy, cz);
+            for i in 0..nb {
+                for j in 0..nb {
+                    mass.add_value(dofs[i], dofs[j], me[i * nb + j]);
+                }
+            }
+        }
+        Landau3D {
+            grid,
+            species,
+            mass,
+            pattern,
+        }
+    }
+
+    /// Maxwellian initial state.
+    pub fn initial_state(&self) -> Vec<f64> {
+        let nd = self.grid.n_dofs();
+        let mut state = vec![0.0; self.species.len() * nd];
+        for (s, sp) in self.species.list.iter().enumerate() {
+            let th = sp.theta();
+            let norm = sp.density / (core::f64::consts::PI * th).powf(1.5);
+            let v = self
+                .grid
+                .interpolate(|x, y, z| norm * (-(x * x + y * y + z * z) / th).exp());
+            state[s * nd..(s + 1) * nd].copy_from_slice(&v);
+        }
+        state
+    }
+
+    /// Assemble per-species Landau matrices at `state`.
+    pub fn assemble(&self, state: &[f64]) -> Vec<Csr> {
+        let grid = &self.grid;
+        let ip = pack3(grid, &self.species, state);
+        let n = ip.n;
+        // Species-summed field terms.
+        let fk = self.species.k_field_factors();
+        let fd = self.species.d_field_factors();
+        let mut tk = vec![[0.0f64; 3]; n];
+        let mut td = vec![0.0f64; n];
+        for s in 0..ip.ns {
+            for j in 0..n {
+                let g = ip.df[s * n + j];
+                tk[j][0] += fk[s] * g[0];
+                tk[j][1] += fk[s] * g[1];
+                tk[j][2] += fk[s] * g[2];
+                td[j] += fd[s] * ip.f[s * n + j];
+            }
+        }
+        // Inner integral with the raw 3D tensor.
+        let mut gk = vec![[0.0f64; 3]; n];
+        let mut gd = vec![[0.0f64; 6]; n]; // xx,xy,xz,yy,yz,zz
+        gk.par_iter_mut()
+            .zip(gd.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (gki, gdi))| {
+                let xi = ip.x[i];
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let u = landau_tensor_3d(xi, ip.x[j]);
+                    let w = ip.w[j];
+                    for a in 0..3 {
+                        gki[a] += w
+                            * (u[a][0] * tk[j][0] + u[a][1] * tk[j][1] + u[a][2] * tk[j][2]);
+                    }
+                    let wtd = w * td[j];
+                    gdi[0] += wtd * u[0][0];
+                    gdi[1] += wtd * u[0][1];
+                    gdi[2] += wtd * u[0][2];
+                    gdi[3] += wtd * u[1][1];
+                    gdi[4] += wtd * u[1][2];
+                    gdi[5] += wtd * u[2][2];
+                }
+            });
+        // Transform & assemble.
+        let p1 = grid.order + 1;
+        let nb = p1 * p1 * p1;
+        let gs = 2.0 / grid.h();
+        let mut mats = vec![self.pattern.clone(); self.species.len()];
+        for (si, sp) in self.species.list.iter().enumerate() {
+            let ks = sp.charge * sp.charge / sp.mass;
+            let ds = -sp.charge * sp.charge / (sp.mass * sp.mass);
+            let mat = &mut mats[si];
+            let mut ce = vec![0.0; nb * nb];
+            let mut gi = 0usize;
+            for (cx, cy, cz) in grid.cells_iter() {
+                ce.fill(0.0);
+                let dofs = grid.element_dofs(cx, cy, cz);
+                for qa in 0..p1 {
+                    for qb in 0..p1 {
+                        for qc in 0..p1 {
+                            let w = ip.w[gi];
+                            let kv = [
+                                w * ks * gk[gi][0],
+                                w * ks * gk[gi][1],
+                                w * ks * gk[gi][2],
+                            ];
+                            let dm = [
+                                w * ds * gd[gi][0],
+                                w * ds * gd[gi][1],
+                                w * ds * gd[gi][2],
+                                w * ds * gd[gi][3],
+                                w * ds * gd[gi][4],
+                                w * ds * gd[gi][5],
+                            ];
+                            // Basis values and gradients at this point.
+                            let mut bv = Vec::with_capacity(nb);
+                            let mut gv: Vec<[f64; 3]> = Vec::with_capacity(nb);
+                            for a in 0..p1 {
+                                for b in 0..p1 {
+                                    for c in 0..p1 {
+                                        let (ba, bb, bc) =
+                                            (grid.b1[qa][a], grid.b1[qb][b], grid.b1[qc][c]);
+                                        let (da, db, dc) =
+                                            (grid.d1[qa][a], grid.d1[qb][b], grid.d1[qc][c]);
+                                        bv.push(ba * bb * bc);
+                                        gv.push([
+                                            gs * da * bb * bc,
+                                            gs * ba * db * bc,
+                                            gs * ba * bb * dc,
+                                        ]);
+                                    }
+                                }
+                            }
+                            for bt in 0..nb {
+                                let g = gv[bt];
+                                let kdot = g[0] * kv[0] + g[1] * kv[1] + g[2] * kv[2];
+                                let dx = g[0] * dm[0] + g[1] * dm[1] + g[2] * dm[2];
+                                let dy = g[0] * dm[1] + g[1] * dm[3] + g[2] * dm[4];
+                                let dz = g[0] * dm[2] + g[1] * dm[4] + g[2] * dm[5];
+                                for bj in 0..nb {
+                                    let gj = gv[bj];
+                                    ce[bt * nb + bj] += kdot * bv[bj]
+                                        + dx * gj[0]
+                                        + dy * gj[1]
+                                        + dz * gj[2];
+                                }
+                            }
+                            gi += 1;
+                        }
+                    }
+                }
+                for i in 0..nb {
+                    for j in 0..nb {
+                        let v = ce[i * nb + j];
+                        if v != 0.0 {
+                            mat.add_value(dofs[i], dofs[j], v);
+                        }
+                    }
+                }
+            }
+        }
+        mats
+    }
+
+    /// One backward-Euler step with GMRES linear solves; returns
+    /// `(newton iterations, converged)`.
+    pub fn step_backward_euler(
+        &self,
+        state: &mut [f64],
+        dt: f64,
+        rtol: f64,
+        max_newton: usize,
+    ) -> (usize, bool) {
+        let nd = self.grid.n_dofs();
+        let ns = self.species.len();
+        let fn_old = state.to_vec();
+        let mut r0 = None;
+        for it in 0..max_newton {
+            let mats = self.assemble(state);
+            let mut resid = vec![0.0; state.len()];
+            for s in 0..ns {
+                let f = &state[s * nd..(s + 1) * nd];
+                let fo = &fn_old[s * nd..(s + 1) * nd];
+                let df: Vec<f64> = f.iter().zip(fo).map(|(a, b)| a - b).collect();
+                let mdf = self.mass.matvec(&df);
+                let lf = mats[s].matvec(f);
+                for i in 0..nd {
+                    resid[s * nd + i] = mdf[i] - dt * lf[i];
+                }
+            }
+            let rnorm = resid.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let r0v = *r0.get_or_insert(rnorm);
+            if rnorm <= 1e-14 + rtol * r0v {
+                return (it, true);
+            }
+            for s in 0..ns {
+                let mut j = self.mass.clone();
+                j.axpy_same_pattern(-dt, &mats[s]);
+                let mut delta = vec![0.0; nd];
+                let st = gmres(&j, &resid[s * nd..(s + 1) * nd], &mut delta, 40, 1e-10, 4000);
+                assert!(st.converged, "GMRES stalled: {st:?}");
+                for i in 0..nd {
+                    state[s * nd + i] -= delta[i];
+                }
+            }
+        }
+        (max_newton, false)
+    }
+
+    /// Moment of the state against an analytic weight (Cartesian measure).
+    pub fn moment(&self, state: &[f64], s: usize, g: impl Fn(f64, f64, f64) -> f64) -> f64 {
+        // Quadrature of g × f_h.
+        let ip = pack3(&self.grid, &self.species, state);
+        let n = ip.n;
+        (0..n)
+            .map(|i| {
+                let [x, y, z] = ip.x[i];
+                ip.w[i] * g(x, y, z) * ip.f[s * n + i]
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::Species;
+
+    fn setup() -> Landau3D {
+        let sl = SpeciesList::new(vec![
+            Species::electron(),
+            Species {
+                name: "i+".into(),
+                mass: 2.0,
+                charge: 1.0,
+                density: 1.0,
+                temperature: 0.5,
+            },
+        ]);
+        // Small Q2 grid (64 cells), energy-conserving order; coarse but
+        // enough to interpolate the Maxwellians to a few percent.
+        Landau3D::new(Grid3D::new(2.5, 4, 2), sl)
+    }
+
+    #[test]
+    fn grid_and_mass_are_consistent() {
+        let op = setup();
+        assert_eq!(op.grid.n_dofs(), 729);
+        // Σ M = volume of the cube.
+        let total: f64 = op.mass.vals.iter().sum();
+        assert!((total - 125.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn maxwellian_moments_3d() {
+        let op = setup();
+        let state = op.initial_state();
+        let n0 = op.moment(&state, 0, |_, _, _| 1.0);
+        assert!((n0 - 1.0).abs() < 0.1, "density {n0}");
+        let e = op.moment(&state, 0, |x, y, z| x * x + y * y + z * z);
+        let th = Species::electron().theta();
+        assert!((e - 1.5 * th).abs() < 0.15 * 1.5 * th, "energy {e} vs {}", 1.5 * th);
+    }
+
+    #[test]
+    fn conservation_in_3d() {
+        let op = setup();
+        let nd = op.grid.n_dofs();
+        let mut state = op.initial_state();
+        // Drifting electrons: momentum/energy exchange in all components.
+        let hot = Species {
+            density: 1.1,
+            ..Species::electron()
+        };
+        let th = hot.theta();
+        let norm = hot.density / (core::f64::consts::PI * th).powf(1.5);
+        state[..nd].copy_from_slice(&op.grid.interpolate(|x, y, z| {
+            norm * (-((x - 0.2) * (x - 0.2) + (y + 0.15) * (y + 0.15) + (z - 0.3) * (z - 0.3))
+                / th)
+                .exp()
+        }));
+        let mats = op.assemble(&state);
+        let ones = vec![1.0; nd];
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        let masses: Vec<f64> = op.species.list.iter().map(|s| s.mass).collect();
+        // Density per species.
+        for s in 0..2 {
+            let lf = mats[s].matvec(&state[s * nd..(s + 1) * nd]);
+            let scale: f64 = lf.iter().map(|v| v.abs()).sum();
+            assert!(dot(&ones, &lf).abs() < 1e-10 * scale, "density s={s}");
+        }
+        // Momentum (all 3 components) and energy across species.
+        let vx = op.grid.interpolate(|x, _, _| x);
+        let vy = op.grid.interpolate(|_, y, _| y);
+        let vz = op.grid.interpolate(|_, _, z| z);
+        let e2 = op.grid.interpolate(|x, y, z| x * x + y * y + z * z);
+        for (name, w) in [("px", &vx), ("py", &vy), ("pz", &vz), ("E", &e2)] {
+            let mut tot = 0.0;
+            let mut scale = 0.0;
+            for s in 0..2 {
+                let lf = mats[s].matvec(&state[s * nd..(s + 1) * nd]);
+                let c = masses[s] * dot(w, &lf);
+                tot += c;
+                scale += c.abs();
+            }
+            assert!(
+                tot.abs() < 1e-8 * scale.max(1e-14),
+                "{name} drift {tot} vs {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn relaxation_step_3d() {
+        let op = setup();
+        let mut state = op.initial_state();
+        let te0 = {
+            let n = op.moment(&state, 0, |_, _, _| 1.0);
+            op.moment(&state, 0, |x, y, z| x * x + y * y + z * z) / n
+        };
+        let (its, ok) = op.step_backward_euler(&mut state, 0.4, 1e-6, 120);
+        assert!(ok, "Newton failed after {its} its");
+        let te1 = {
+            let n = op.moment(&state, 0, |_, _, _| 1.0);
+            op.moment(&state, 0, |x, y, z| x * x + y * y + z * z) / n
+        };
+        // Electrons (hotter) must cool toward the T=0.5 ions.
+        assert!(te1 < te0, "{te0} -> {te1}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the Landau tensors — the solver's hot function
+//! and the source of its conservation structure.
+
+use landau_core::tensor::{landau_tensor_2d, landau_tensor_2d_numeric, landau_tensor_3d};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    prop_oneof![0.02f64..4.0, 0.02f64..0.3] // bias toward the near-axis regime
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Closed form vs direct azimuthal integration, over random geometry
+    /// (excluding near-coincident points where both are near-singular).
+    #[test]
+    fn closed_form_matches_numeric(r in coord(), z in -3.0f64..3.0, rb in coord(), zb in -3.0f64..3.0) {
+        prop_assume!(((r - rb).powi(2) + (z - zb).powi(2)).sqrt() > 0.05);
+        let cf = landau_tensor_2d(r, z, rb, zb);
+        let nm = landau_tensor_2d_numeric(r, z, rb, zb, 3000);
+        let scale = cf.d.iter().chain(cf.k.iter().flatten()).fold(1e-12f64, |m, v| m.max(v.abs()));
+        for i in 0..3 {
+            prop_assert!((cf.d[i] - nm.d[i]).abs() < 2e-6 * scale, "D[{}]: {} vs {}", i, cf.d[i], nm.d[i]);
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((cf.k[i][j] - nm.k[i][j]).abs() < 2e-6 * scale);
+            }
+        }
+    }
+
+    /// The momentum-pairing identity `row_z U^K(v, v̄) = row_z U^D(v̄, v)`
+    /// (the discrete source of exact z-momentum conservation) holds
+    /// everywhere.
+    #[test]
+    fn momentum_pairing(r in coord(), z in -3.0f64..3.0, rb in coord(), zb in -3.0f64..3.0) {
+        prop_assume!(((r - rb).powi(2) + (z - zb).powi(2)).sqrt() > 0.02);
+        let t = landau_tensor_2d(r, z, rb, zb);
+        let sw = landau_tensor_2d(rb, zb, r, z);
+        let scale = t.d.iter().fold(1e-12f64, |m, v| m.max(v.abs()));
+        prop_assert!((t.k[1][0] - sw.d[1]).abs() < 1e-9 * scale);
+        prop_assert!((t.k[1][1] - sw.d[2]).abs() < 1e-9 * scale);
+    }
+
+    /// The energy-pairing identity `v·U^K(v,v̄) = v̄·U^D(v̄,v)` column-wise.
+    #[test]
+    fn energy_pairing(r in coord(), z in -3.0f64..3.0, rb in coord(), zb in -3.0f64..3.0) {
+        prop_assume!(((r - rb).powi(2) + (z - zb).powi(2)).sqrt() > 0.05);
+        let t = landau_tensor_2d(r, z, rb, zb);
+        let sw = landau_tensor_2d(rb, zb, r, z);
+        let scale = (r + z.abs() + rb + zb.abs()) * t.d.iter().fold(1e-12f64, |m, v| m.max(v.abs()));
+        for col in 0..2 {
+            let lhs = r * t.k[0][col] + z * t.k[1][col];
+            let rhs = match col {
+                0 => rb * sw.d[0] + zb * sw.d[1],
+                _ => rb * sw.d[1] + zb * sw.d[2],
+            };
+            prop_assert!((lhs - rhs).abs() < 1e-8 * scale.max(1e-9), "col {}: {} vs {}", col, lhs, rhs);
+        }
+    }
+
+    /// U^D stays positive semidefinite (2×2) over random geometry — the
+    /// diffusion part never destabilizes.
+    #[test]
+    fn diffusion_psd(r in coord(), z in -3.0f64..3.0, rb in coord(), zb in -3.0f64..3.0) {
+        prop_assume!(((r - rb).powi(2) + (z - zb).powi(2)).sqrt() > 0.02);
+        let t = landau_tensor_2d(r, z, rb, zb);
+        let scale = t.d.iter().fold(1e-12f64, |m, v| m.max(v.abs()));
+        prop_assert!(t.d[0] >= -1e-10 * scale);
+        prop_assert!(t.d[2] >= -1e-10 * scale);
+        prop_assert!(t.d[0] * t.d[2] - t.d[1] * t.d[1] >= -1e-8 * scale * scale);
+    }
+
+    /// The 3D tensor annihilates the relative velocity for random vectors.
+    #[test]
+    fn null_space_3d(vx in -2.0f64..2.0, vy in -2.0f64..2.0, vz in -2.0f64..2.0,
+                     wx in -2.0f64..2.0, wy in -2.0f64..2.0, wz in -2.0f64..2.0) {
+        let v = [vx, vy, vz];
+        let w = [wx, wy, wz];
+        let d = [v[0] - w[0], v[1] - w[1], v[2] - w[2]];
+        let norm = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        prop_assume!(norm > 0.05);
+        let u = landau_tensor_3d(v, w);
+        for row in u {
+            let s: f64 = row.iter().zip(&d).map(|(a, b)| a * b).sum();
+            prop_assert!(s.abs() < 1e-10 / norm.min(1.0));
+        }
+    }
+}

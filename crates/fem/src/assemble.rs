@@ -1,0 +1,276 @@
+//! Assembly helpers: sparsity pattern, element-matrix scatter with
+//! constraint expansion, weighted mass matrices and moment functionals.
+
+use crate::space::{Element, FemSpace};
+use landau_sparse::csr::{Csr, InsertMode};
+
+/// Build the CSR sparsity pattern of a single-field operator on the space
+/// (the "first assembly on the CPU" that fixes the structure).
+pub fn csr_pattern(space: &FemSpace) -> Csr {
+    let n = space.n_dofs;
+    let mut cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for el in &space.elements {
+        for &i in &el.dofs {
+            cols[i].extend_from_slice(&el.dofs);
+        }
+    }
+    Csr::from_pattern(n, n, &cols)
+}
+
+/// Scatter a dense `nb × nb` element matrix into the global CSR, expanding
+/// hanging-node constraints on both rows and columns
+/// (`C[dof_r, dof_c] += w_r w_c Ce[b, b']`).
+pub fn scatter_element_matrix(el: &Element, ce: &[f64], a: &mut Csr, mode: InsertMode) {
+    let nb = el.nodes.len();
+    debug_assert_eq!(ce.len(), nb * nb);
+    debug_assert_eq!(mode, InsertMode::Add, "element scatter always accumulates");
+    for (bi, ni) in el.nodes.iter().enumerate() {
+        for (bj, nj) in el.nodes.iter().enumerate() {
+            let v = ce[bi * nb + bj];
+            if v == 0.0 {
+                continue;
+            }
+            for &(di, wi) in &ni.terms {
+                for &(dj, wj) in &nj.terms {
+                    a.add_value(di, dj, wi * wj * v);
+                }
+            }
+        }
+    }
+}
+
+/// Scatter a dense element vector (load vector / functional contribution).
+pub fn scatter_element_vector(el: &Element, fe: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(fe.len(), el.nodes.len());
+    for (bi, ni) in el.nodes.iter().enumerate() {
+        let v = fe[bi];
+        if v == 0.0 {
+            continue;
+        }
+        for &(di, wi) in &ni.terms {
+            out[di] += wi * v;
+        }
+    }
+}
+
+/// Assemble the cylindrically weighted mass matrix
+/// `M[i,j] = ∫ r ψ_i ψ_j dr dz` (no 2π factor — callers fold constants).
+pub fn assemble_mass_matrix(space: &FemSpace) -> Csr {
+    let mut m = csr_pattern(space);
+    let nb = space.tab.nb;
+    let mut ce = vec![0.0; nb * nb];
+    for el in &space.elements {
+        ce.fill(0.0);
+        for q in 0..space.tab.nq {
+            let (xi, eta) = space.tab.quad.points[q];
+            let (r, _z) = el.map_point(xi, eta);
+            let w = space.tab.quad.weights[q] * el.det_j() * r;
+            let bq = &space.tab.b[q * nb..(q + 1) * nb];
+            for bi in 0..nb {
+                let wi = w * bq[bi];
+                if wi == 0.0 {
+                    continue;
+                }
+                for bj in 0..nb {
+                    ce[bi * nb + bj] += wi * bq[bj];
+                }
+            }
+        }
+        scatter_element_matrix(el, &ce, &mut m, InsertMode::Add);
+    }
+    m
+}
+
+/// Assemble the z-advection template `T[i,j] = ∫ r ψ_i ∂ψ_j/∂z dr dz`
+/// (scaled per species by `-(e/m)E_z` when added to the operator).
+pub fn assemble_dz_matrix(space: &FemSpace) -> Csr {
+    let mut m = csr_pattern(space);
+    let nb = space.tab.nb;
+    let mut ce = vec![0.0; nb * nb];
+    for el in &space.elements {
+        ce.fill(0.0);
+        let gs = el.grad_scale();
+        for q in 0..space.tab.nq {
+            let (xi, eta) = space.tab.quad.points[q];
+            let (r, _z) = el.map_point(xi, eta);
+            let w = space.tab.quad.weights[q] * el.det_j() * r;
+            let bq = &space.tab.b[q * nb..(q + 1) * nb];
+            let dq = &space.tab.deta[q * nb..(q + 1) * nb];
+            for bi in 0..nb {
+                let wi = w * bq[bi];
+                if wi == 0.0 {
+                    continue;
+                }
+                for bj in 0..nb {
+                    ce[bi * nb + bj] += wi * gs * dq[bj];
+                }
+            }
+        }
+        scatter_element_matrix(el, &ce, &mut m, InsertMode::Add);
+    }
+    m
+}
+
+/// Moment functional: the vector `m` with
+/// `mᵀ f = ∫ r g(r, z) f_h(r, z) dr dz` for any FE coefficient vector `f`
+/// (again without the 2π).
+pub fn weighted_functional(space: &FemSpace, g: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+    let mut out = vec![0.0; space.n_dofs];
+    let nb = space.tab.nb;
+    let mut fe = vec![0.0; nb];
+    for el in &space.elements {
+        fe.fill(0.0);
+        for q in 0..space.tab.nq {
+            let (xi, eta) = space.tab.quad.points[q];
+            let (r, z) = el.map_point(xi, eta);
+            let w = space.tab.quad.weights[q] * el.det_j() * r * g(r, z);
+            let bq = &space.tab.b[q * nb..(q + 1) * nb];
+            for bi in 0..nb {
+                fe[bi] += w * bq[bi];
+            }
+        }
+        scatter_element_vector(el, &fe, &mut out);
+    }
+    out
+}
+
+/// L2-projection (with the r weight) of an analytic function onto the space:
+/// solves `M c = b` with `b_i = ∫ r ψ_i g`.
+pub fn l2_project(space: &FemSpace, g: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+    use landau_sparse::band::BandMatrix;
+    use landau_sparse::rcm::rcm_order;
+    let m = assemble_mass_matrix(space);
+    let b = weighted_functional(space, g);
+    let perm = rcm_order(&m);
+    let pm = m.permute_symmetric(&perm);
+    let pb: Vec<f64> = perm.iter().map(|&o| b[o]).collect();
+    let px = BandMatrix::from_csr(&pm)
+        .factor_solve(&pb)
+        .expect("mass matrix is SPD");
+    let mut x = vec![0.0; b.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        x[old] = px[new];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::FemSpace;
+    use landau_mesh::presets::uniform_mesh;
+    use landau_mesh::Forest;
+
+    fn hanging_space(p: usize) -> FemSpace {
+        let mut f = Forest::new(1, 1, 2.0, -1.0);
+        f.refine_uniform(1);
+        f.refine_once(|f, k| {
+            let (r0, z0, _h) = f.cell_geometry(k);
+            r0 == 0.0 && z0 == -1.0
+        });
+        f.balance();
+        FemSpace::new(f, p)
+    }
+
+    #[test]
+    fn mass_total_is_domain_r_integral() {
+        // Σ_ij M_ij = ∫ r dr dz = R²/2 · (z extent) for domain [0,2]x[-1,1].
+        for p in 1..=3 {
+            let s = hanging_space(p);
+            let m = assemble_mass_matrix(&s);
+            let total: f64 = m.vals.iter().sum();
+            assert!((total - 4.0).abs() < 1e-10, "p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn functional_matches_mass_row_sums() {
+        // weighted_functional with g = 1 equals M · 1.
+        let s = hanging_space(2);
+        let m = assemble_mass_matrix(&s);
+        let ones = vec![1.0; s.n_dofs];
+        let m1 = m.matvec(&ones);
+        let f = weighted_functional(&s, |_, _| 1.0);
+        for i in 0..s.n_dofs {
+            assert!((m1[i] - f[i]).abs() < 1e-11, "i={i}");
+        }
+    }
+
+    #[test]
+    fn moments_of_interpolated_polynomials_are_exact() {
+        // ∫ r · z · (r z) over [0,2]x[-1,1] = ∫ r² dr ∫ z² dz = (8/3)(2/3).
+        let s = FemSpace::new(uniform_mesh(2.0, 2), 3);
+        let coeffs = s.interpolate(|r, z| r * z);
+        let f = weighted_functional(&s, |_, z| z);
+        let got: f64 = f.iter().zip(&coeffs).map(|(a, b)| a * b).sum();
+        // Our uniform_mesh(2.0, 2) is [0,2]x[-2,2]: recompute:
+        // ∫_0^2 r² dr ∫_{-2}^2 z² dz = (8/3)(16/3).
+        assert!((got - 128.0 / 9.0).abs() < 1e-10, "{got}");
+    }
+
+    #[test]
+    fn l2_projection_reproduces_polynomials() {
+        let s = hanging_space(2);
+        let x = l2_project(&s, |r, z| 1.0 + r * r - z);
+        for k in 0..15 {
+            let r = 0.05 + 1.9 * k as f64 / 15.0;
+            let z = -0.95 + 1.9 * ((k * 7 % 15) as f64) / 15.0;
+            let got = s.eval(&x, r, z).unwrap();
+            let want = 1.0 + r * r - z;
+            assert!((got - want).abs() < 1e-8, "({r},{z}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn l2_projection_of_gaussian_converges() {
+        // Projection error decreases under refinement.
+        let g = |r: f64, z: f64| (-(r * r + z * z)).exp();
+        let mut errs = Vec::new();
+        for lev in [1usize, 2, 3] {
+            let s = FemSpace::new(uniform_mesh(2.0, lev), 2);
+            let x = l2_project(&s, g);
+            let mut emax = 0.0f64;
+            for k in 0..20 {
+                let r = 1.9 * (k as f64 + 0.5) / 20.0;
+                let z = -1.9 + 3.8 * (((k * 3) % 20) as f64 + 0.5) / 20.0;
+                emax = emax.max((s.eval(&x, r, z).unwrap() - g(r, z)).abs());
+            }
+            errs.push(emax);
+        }
+        assert!(errs[1] < errs[0] * 0.5 && errs[2] < errs[1] * 0.5, "{errs:?}");
+    }
+
+    #[test]
+    fn dz_matrix_differentiates() {
+        // ∫ r ψ_i ∂z(f) with f = z²: (Dz f)ᵀ·1-functional ≈ ∫ r · 2z.
+        let s = FemSpace::new(uniform_mesh(2.0, 2), 3);
+        let dz = assemble_dz_matrix(&s);
+        let f = s.interpolate(|_r, z| z * z);
+        let df = dz.matvec(&f);
+        // Test against ψ = r (in space for p≥1): ∫ r · r · 2z over
+        // [0,2]x[-2,2] = 0 by z-antisymmetry.
+        let rvec = s.interpolate(|r, _z| r);
+        let got: f64 = rvec.iter().zip(&df).map(|(a, b)| a * b).sum();
+        assert!(got.abs() < 1e-10, "{got}");
+        // And against ψ = z: ∫ r z 2z = 2 ∫r ∫z² = 2·2·(16/3).
+        let zvec = s.interpolate(|_r, z| z);
+        let got2: f64 = zvec.iter().zip(&df).map(|(a, b)| a * b).sum();
+        assert!((got2 - 64.0 / 3.0).abs() < 1e-9, "{got2}");
+    }
+
+    #[test]
+    fn scatter_is_linear_in_element_matrix() {
+        let s = hanging_space(2);
+        let mut a1 = csr_pattern(&s);
+        let mut a2 = csr_pattern(&s);
+        let nb = s.tab.nb;
+        let ce: Vec<f64> = (0..nb * nb).map(|k| (k as f64 * 0.7).sin()).collect();
+        let ce2: Vec<f64> = ce.iter().map(|v| 2.0 * v).collect();
+        scatter_element_matrix(&s.elements[0], &ce, &mut a1, InsertMode::Add);
+        scatter_element_matrix(&s.elements[0], &ce, &mut a1, InsertMode::Add);
+        scatter_element_matrix(&s.elements[0], &ce2, &mut a2, InsertMode::Add);
+        for (v1, v2) in a1.vals.iter().zip(&a2.vals) {
+            assert!((v1 - v2).abs() < 1e-13);
+        }
+    }
+}

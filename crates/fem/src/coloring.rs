@@ -1,0 +1,104 @@
+//! Element graph coloring — the second of the paper's three GPU-assembly
+//! contention strategies (§III-F): elements of one color share no degrees
+//! of freedom, so each color assembles in parallel without atomics.
+
+use crate::space::FemSpace;
+
+/// Greedy element coloring: returns `colors[e]` and the color count.
+/// Elements with any common (expanded) dof conflict.
+pub fn color_elements(space: &FemSpace) -> (Vec<usize>, usize) {
+    let ne = space.n_elements();
+    // dof → elements touching it.
+    let mut touch: Vec<Vec<usize>> = vec![Vec::new(); space.n_dofs];
+    for (e, el) in space.elements.iter().enumerate() {
+        for &d in &el.dofs {
+            touch[d].push(e);
+        }
+    }
+    let mut colors = vec![usize::MAX; ne];
+    let mut ncolors = 0usize;
+    let mut forbidden: Vec<usize> = Vec::new();
+    for e in 0..ne {
+        forbidden.clear();
+        for &d in &space.elements[e].dofs {
+            for &o in &touch[d] {
+                if o != e && colors[o] != usize::MAX {
+                    forbidden.push(colors[o]);
+                }
+            }
+        }
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        let mut c = 0usize;
+        for &f in &forbidden {
+            if f == c {
+                c += 1;
+            } else if f > c {
+                break;
+            }
+        }
+        colors[e] = c;
+        ncolors = ncolors.max(c + 1);
+    }
+    (colors, ncolors)
+}
+
+/// Group element ids by color (parallel-assembly batches).
+pub fn color_batches(colors: &[usize], ncolors: usize) -> Vec<Vec<usize>> {
+    let mut batches = vec![Vec::new(); ncolors];
+    for (e, &c) in colors.iter().enumerate() {
+        batches[c].push(e);
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landau_mesh::presets::uniform_mesh;
+    use landau_mesh::Forest;
+
+    #[test]
+    fn coloring_is_conflict_free() {
+        let mut f = Forest::new(1, 1, 2.0, -1.0);
+        f.refine_uniform(1);
+        f.refine_once(|f, k| {
+            let (r0, z0, _h) = f.cell_geometry(k);
+            r0 == 0.0 && z0 == -1.0
+        });
+        f.balance();
+        let s = FemSpace::new(f, 3);
+        let (colors, nc) = color_elements(&s);
+        assert!(nc >= 2);
+        for e1 in 0..s.n_elements() {
+            for e2 in (e1 + 1)..s.n_elements() {
+                if colors[e1] != colors[e2] {
+                    continue;
+                }
+                // Same color ⇒ disjoint dof sets.
+                let d1 = &s.elements[e1].dofs;
+                let d2 = &s.elements[e2].dofs;
+                for d in d1 {
+                    assert!(!d2.contains(d), "elements {e1},{e2} share dof {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_q1_grid_needs_four_colors() {
+        let s = FemSpace::new(uniform_mesh(2.0, 2), 1);
+        let (_c, nc) = color_elements(&s);
+        // A quad grid with vertex-sharing elements 2-colors per direction.
+        assert!((4..=6).contains(&nc), "{nc}");
+    }
+
+    #[test]
+    fn batches_partition_elements() {
+        let s = FemSpace::new(uniform_mesh(2.0, 2), 2);
+        let (colors, nc) = color_elements(&s);
+        let batches = color_batches(&colors, nc);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, s.n_elements());
+    }
+}

@@ -1,0 +1,163 @@
+//! Basis tabulation at quadrature points (the paper's "finite element
+//! tablatures for the order of the element, B and E").
+
+use landau_math::lagrange::LagrangeBasis1D;
+use landau_math::quadrature::TensorRule2D;
+
+/// Precomputed values and reference-gradients of all `(p+1)²` element basis
+/// functions at all `(p+1)²` tensor Gauss points.
+///
+/// Local node ordering is x-fastest: node `(a, b)` ↦ `b (p+1) + a`;
+/// quadrature ordering likewise `(qx, qy) ↦ qy (p+1) + qx`.
+#[derive(Clone, Debug)]
+pub struct Tabulation {
+    /// Element order `p`.
+    pub order: usize,
+    /// Basis count per element, `(p+1)²`.
+    pub nb: usize,
+    /// Quadrature points per element, `(p+1)²` (Gauss rule of order `p+1`).
+    pub nq: usize,
+    /// `b[q * nb + j]` = basis `j` at quad point `q`.
+    pub b: Vec<f64>,
+    /// `∂basis/∂ξ` at quad points, same layout.
+    pub dxi: Vec<f64>,
+    /// `∂basis/∂η` at quad points, same layout.
+    pub deta: Vec<f64>,
+    /// The tensor quadrature rule on `[-1,1]²`.
+    pub quad: TensorRule2D,
+    /// The 1D nodal basis (for constraint interpolation on faces).
+    pub basis1d: LagrangeBasis1D,
+}
+
+impl Tabulation {
+    /// Tabulate the `Qp` element with a `(p+1)²`-point Gauss rule
+    /// (Q3 → 16 points, the paper's configuration).
+    pub fn new(order: usize) -> Self {
+        assert!((1..=6).contains(&order), "supported orders are 1..=6");
+        let n1 = order + 1;
+        let basis1d = LagrangeBasis1D::equispaced(order);
+        let quad = TensorRule2D::gauss_legendre(n1);
+        let nb = n1 * n1;
+        let nq = n1 * n1;
+        let mut b = vec![0.0; nq * nb];
+        let mut dxi = vec![0.0; nq * nb];
+        let mut deta = vec![0.0; nq * nb];
+        let mut vx = vec![0.0; n1];
+        let mut vy = vec![0.0; n1];
+        let mut dx = vec![0.0; n1];
+        let mut dy = vec![0.0; n1];
+        for (q, &(xi, eta)) in quad.points.iter().enumerate() {
+            basis1d.eval_into(xi, &mut vx);
+            basis1d.eval_into(eta, &mut vy);
+            basis1d.eval_deriv_into(xi, &mut dx);
+            basis1d.eval_deriv_into(eta, &mut dy);
+            for by in 0..n1 {
+                for bx in 0..n1 {
+                    let j = by * n1 + bx;
+                    b[q * nb + j] = vx[bx] * vy[by];
+                    dxi[q * nb + j] = dx[bx] * vy[by];
+                    deta[q * nb + j] = vx[bx] * dy[by];
+                }
+            }
+        }
+        Tabulation {
+            order,
+            nb,
+            nq,
+            b,
+            dxi,
+            deta,
+            quad,
+            basis1d,
+        }
+    }
+
+    /// Evaluate all basis functions at an arbitrary reference point.
+    pub fn eval_basis_at(&self, xi: f64, eta: f64) -> Vec<f64> {
+        let n1 = self.order + 1;
+        let vx = self.basis1d.eval(xi);
+        let vy = self.basis1d.eval(eta);
+        let mut out = vec![0.0; self.nb];
+        for by in 0..n1 {
+            for bx in 0..n1 {
+                out[by * n1 + bx] = vx[bx] * vy[by];
+            }
+        }
+        out
+    }
+
+    /// Evaluate all reference gradients `(∂ξ, ∂η)` at an arbitrary point.
+    pub fn eval_grad_at(&self, xi: f64, eta: f64) -> Vec<(f64, f64)> {
+        let n1 = self.order + 1;
+        let vx = self.basis1d.eval(xi);
+        let vy = self.basis1d.eval(eta);
+        let dx = self.basis1d.eval_deriv(xi);
+        let dy = self.basis1d.eval_deriv(eta);
+        let mut out = vec![(0.0, 0.0); self.nb];
+        for by in 0..n1 {
+            for bx in 0..n1 {
+                out[by * n1 + bx] = (dx[bx] * vy[by], vx[bx] * dy[by]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q3_has_sixteen_points() {
+        let t = Tabulation::new(3);
+        assert_eq!(t.nq, 16);
+        assert_eq!(t.nb, 16);
+    }
+
+    #[test]
+    fn partition_of_unity_at_quad_points() {
+        for p in 1..=4 {
+            let t = Tabulation::new(p);
+            for q in 0..t.nq {
+                let s: f64 = (0..t.nb).map(|j| t.b[q * t.nb + j]).sum();
+                assert!((s - 1.0).abs() < 1e-12);
+                let sx: f64 = (0..t.nb).map(|j| t.dxi[q * t.nb + j]).sum();
+                let sy: f64 = (0..t.nb).map(|j| t.deta[q * t.nb + j]).sum();
+                assert!(sx.abs() < 1e-10 && sy.abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mass_of_reference_element() {
+        // Σ_q w_q Σ_b B = ∫∫ 1 = 4.
+        let t = Tabulation::new(3);
+        let mut total = 0.0;
+        for q in 0..t.nq {
+            let s: f64 = (0..t.nb).map(|j| t.b[q * t.nb + j]).sum();
+            total += t.quad.weights[q] * s;
+        }
+        assert!((total - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_interpolate_bilinear_exactly() {
+        let t = Tabulation::new(2);
+        // f(ξ,η) = 2ξ - 3η + ξη at the Q2 nodes.
+        let n1 = 3;
+        let mut coef = vec![0.0; t.nb];
+        for by in 0..n1 {
+            for bx in 0..n1 {
+                let (x, y) = (t.basis1d.nodes[bx], t.basis1d.nodes[by]);
+                coef[by * n1 + bx] = 2.0 * x - 3.0 * y + x * y;
+            }
+        }
+        for q in 0..t.nq {
+            let (xi, eta) = t.quad.points[q];
+            let gx: f64 = (0..t.nb).map(|j| t.dxi[q * t.nb + j] * coef[j]).sum();
+            let gy: f64 = (0..t.nb).map(|j| t.deta[q * t.nb + j] * coef[j]).sum();
+            assert!((gx - (2.0 + eta)).abs() < 1e-11);
+            assert!((gy - (-3.0 + xi)).abs() < 1e-11);
+        }
+    }
+}

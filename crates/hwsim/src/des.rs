@@ -1,0 +1,413 @@
+//! Discrete-event, processor-sharing node simulation.
+//!
+//! Models one node running many MPI ranks, each independently advancing the
+//! same velocity-space problem (the paper's §V harness: "many MPI processes
+//! asynchronously launching jobs on the GPUs"). Each Newton iteration is a
+//! pipeline of phases:
+//!
+//! `host metadata → Jacobian kernel (GPU) → mass kernel (GPU) →
+//!  factor (host) → solve (host)`
+//!
+//! Host phases run at a fixed per-process rate (its share of a core,
+//! including the SMT gain when hardware threads are oversubscribed). GPU
+//! phases enter a processor-sharing server per GPU: under good MPS up to
+//! `mps_capacity` latency-bound kernels co-run at full rate (which is why
+//! piling more ranks onto each GPU keeps paying off in Tables II/III);
+//! with a poor multi-process service kernels serialize and each extra
+//! resident process adds scheduling overhead, reproducing Spock's
+//! throughput rollover (§V-D1).
+
+use crate::machine::{MachineConfig, MpsQuality};
+use crate::profile::IterationProfile;
+
+/// Result of a node simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeThroughput {
+    /// Newton iterations per second across the node (the paper's figure of
+    /// merit).
+    pub newton_per_sec: f64,
+    /// Makespan (seconds).
+    pub t_total: f64,
+    /// Per-process mean seconds in Landau matrix construction
+    /// (kernel + metadata).
+    pub t_landau: f64,
+    /// Per-process mean seconds inside the GPU kernels (subset of Landau).
+    pub t_kernel: f64,
+    /// Per-process mean seconds in factorization.
+    pub t_factor: f64,
+    /// Per-process mean seconds in triangular solves.
+    pub t_solve: f64,
+    /// Total Newton iterations executed.
+    pub iterations: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    HostPre,
+    Jacobian,
+    Mass,
+    Factor,
+    Solve,
+}
+
+struct ProcState {
+    phase: Phase,
+    iters_left: u64,
+    remaining: f64,
+    gpu: usize,
+    t_kernel: f64,
+    t_host_pre: f64,
+    t_factor: f64,
+    t_solve: f64,
+}
+
+/// Phase durations (standalone seconds) for one rank on a machine.
+#[derive(Clone, Copy, Debug)]
+struct PhaseTimes {
+    host_pre: f64,
+    jac: f64,
+    mass: f64,
+    factor: f64,
+    solve: f64,
+}
+
+fn phase_times(
+    m: &MachineConfig,
+    p: &IterationProfile,
+    host_rate: f64,
+    kernel_threads: usize,
+) -> PhaseTimes {
+    let (jac, mass) = if m.gpus > 0 {
+        let jac = p.kernel_flops as f64 / (m.gpu_kernel_gflops * 1e9 * m.lang_efficiency)
+            + m.gpu.launch_overhead_us * 1e-6
+            + if m.gpu.has_hw_f64_atomics {
+                0.0
+            } else {
+                p.atomics as f64 * m.atomic_penalty_s
+            };
+        let mass = p.mass_bytes as f64 / (m.mass_gbps * 1e9 * m.lang_efficiency)
+            + m.gpu.launch_overhead_us * 1e-6;
+        (jac, mass)
+    } else {
+        // CPU machine: the kernel runs on this rank's OpenMP threads.
+        let rate =
+            m.cpu_kernel_gflops_per_core * 1e9 * m.lang_efficiency * kernel_threads as f64;
+        (
+            p.kernel_flops as f64 / rate,
+            p.mass_flops as f64 / rate,
+        )
+    };
+    let h = m.host_overhead;
+    PhaseTimes {
+        host_pre: h * p.host_flops as f64 / host_rate,
+        jac,
+        mass,
+        factor: h * p.factor_flops as f64 / host_rate,
+        solve: h * p.solve_flops as f64 / host_rate,
+    }
+}
+
+/// GPU processor-sharing rate for `k` resident kernels.
+fn gpu_rate(mps: MpsQuality, capacity: usize, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    match mps {
+        // Latency-bound kernels co-run at full rate up to `capacity`.
+        MpsQuality::Good => (capacity as f64 / kf).min(1.0),
+        // Serialized with per-resident scheduling overhead.
+        MpsQuality::Poor => 1.0 / (kf * (1.0 + 0.10 * (kf - 1.0))),
+        MpsQuality::None => 1.0 / (kf * 3.0_f64.min(kf)),
+    }
+}
+
+/// Core of the simulation: run `procs` identical ranks for `iters` Newton
+/// iterations each. `host_rate` is each rank's host FLOP rate;
+/// `kernel_threads` only matters on CPU-only machines.
+fn simulate(
+    m: &MachineConfig,
+    profile: &IterationProfile,
+    procs: usize,
+    host_rate: f64,
+    kernel_threads: usize,
+    iters: u64,
+) -> NodeThroughput {
+    assert!(procs > 0 && iters > 0);
+    let pt = phase_times(m, profile, host_rate, kernel_threads);
+    let ngpu = m.gpus.max(1) as usize;
+    let mut ps: Vec<ProcState> = (0..procs)
+        .map(|i| ProcState {
+            phase: Phase::HostPre,
+            iters_left: iters,
+            remaining: pt.host_pre,
+            gpu: i % ngpu,
+            t_kernel: 0.0,
+            t_host_pre: 0.0,
+            t_factor: 0.0,
+            t_solve: 0.0,
+        })
+        .collect();
+    let gpu_phase = |ph: Phase| m.gpus > 0 && (ph == Phase::Jacobian || ph == Phase::Mass);
+    let mut t = 0.0f64;
+    let mut active = procs;
+    while active > 0 {
+        // Count resident kernels per GPU.
+        let mut kcount = vec![0usize; ngpu];
+        for p in &ps {
+            if p.iters_left > 0 && gpu_phase(p.phase) {
+                kcount[p.gpu] += 1;
+            }
+        }
+        // Next completion under current rates.
+        let mut dt = f64::INFINITY;
+        for p in &ps {
+            if p.iters_left == 0 {
+                continue;
+            }
+            let r = if gpu_phase(p.phase) {
+                gpu_rate(m.mps, m.mps_capacity, kcount[p.gpu])
+            } else {
+                1.0
+            };
+            if r > 0.0 {
+                dt = dt.min(p.remaining / r);
+            }
+        }
+        assert!(dt.is_finite(), "deadlock in DES");
+        t += dt;
+        // Advance everyone; transition finishers.
+        for p in &mut ps {
+            if p.iters_left == 0 {
+                continue;
+            }
+            let on_gpu = gpu_phase(p.phase);
+            let r = if on_gpu {
+                gpu_rate(m.mps, m.mps_capacity, kcount[p.gpu])
+            } else {
+                1.0
+            };
+            match p.phase {
+                Phase::HostPre => p.t_host_pre += dt,
+                Phase::Jacobian | Phase::Mass => p.t_kernel += dt,
+                Phase::Factor => p.t_factor += dt,
+                Phase::Solve => p.t_solve += dt,
+            }
+            p.remaining -= r * dt;
+            if p.remaining <= 1e-15 {
+                let (next, rem) = match p.phase {
+                    Phase::HostPre => (Phase::Jacobian, pt.jac),
+                    Phase::Jacobian => (Phase::Mass, pt.mass),
+                    Phase::Mass => (Phase::Factor, pt.factor),
+                    Phase::Factor => (Phase::Solve, pt.solve),
+                    Phase::Solve => {
+                        p.iters_left -= 1;
+                        if p.iters_left == 0 {
+                            active -= 1;
+                            (Phase::Solve, f64::INFINITY)
+                        } else {
+                            (Phase::HostPre, pt.host_pre)
+                        }
+                    }
+                };
+                p.phase = next;
+                p.remaining = rem;
+            }
+        }
+    }
+    let total_iters = procs as u64 * iters;
+    let inv_p = 1.0 / procs as f64;
+    NodeThroughput {
+        newton_per_sec: total_iters as f64 / t,
+        t_total: t,
+        t_kernel: ps.iter().map(|p| p.t_kernel).sum::<f64>() * inv_p,
+        // The paper's "Landau" row is kernel time plus the CPU metadata
+        // share of matrix construction (~15% of the host-pre work).
+        t_landau: ps
+            .iter()
+            .map(|p| p.t_kernel + 0.15 * p.t_host_pre)
+            .sum::<f64>()
+            * inv_p,
+        t_factor: ps.iter().map(|p| p.t_factor).sum::<f64>() * inv_p,
+        t_solve: ps.iter().map(|p| p.t_solve).sum::<f64>() * inv_p,
+        iterations: total_iters,
+    }
+}
+
+/// Simulate a GPU node indexed the way Tables II/III/V are: `cores_per_gpu`
+/// host cores driving each GPU and `procs_per_core` MPI ranks per core.
+pub fn simulate_node(
+    m: &MachineConfig,
+    profile: &IterationProfile,
+    cores_per_gpu: usize,
+    procs_per_core: usize,
+    iters: u64,
+) -> NodeThroughput {
+    assert!(m.gpus > 0, "use simulate_cpu_node for CPU-only machines");
+    let procs = m.gpus as usize * cores_per_gpu * procs_per_core;
+    // Each core's throughput rises sub-linearly with hardware threads and
+    // is shared among its resident ranks.
+    let host_rate = m.cpu_core_flops * m.smt(procs_per_core) / procs_per_core as f64;
+    simulate(m, profile, procs, host_rate, 1, iters)
+}
+
+/// Simulate a CPU-only node (Fugaku, Table VI): `procs` MPI ranks, each
+/// with `threads` OpenMP threads for the kernel.
+pub fn simulate_cpu_node(
+    m: &MachineConfig,
+    profile: &IterationProfile,
+    procs: usize,
+    threads: usize,
+    iters: u64,
+) -> NodeThroughput {
+    assert_eq!(m.gpus, 0);
+    assert!(procs * threads <= m.cpu.sms as usize, "over-subscribed node");
+    let host_rate = m.cpu_core_flops;
+    simulate(m, profile, procs, host_rate, threads, iters)
+}
+
+/// The Newton-iteration count of the paper's 100-step §V run (≈ 20.8 per
+/// step; this count makes Tables II, VI and VII mutually consistent).
+pub const PAPER_RUN_ITERS: u64 = 2080;
+
+/// Standalone (unshared) Jacobian-kernel time per iteration on a machine —
+/// the quantity Table VIII normalizes across machines.
+pub fn standalone_kernel_time(
+    m: &MachineConfig,
+    profile: &IterationProfile,
+    kernel_threads: usize,
+) -> f64 {
+    phase_times(m, profile, m.cpu_core_flops, kernel_threads).jac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> IterationProfile {
+        IterationProfile::paper_test_problem()
+    }
+
+    #[test]
+    fn single_rank_throughput_near_table_ii() {
+        // Paper Table II (1 core/GPU, 1 proc/core): 849 it/s on 6 GPUs.
+        let m = MachineConfig::summit_cuda();
+        let r = simulate_node(&m, &profile(), 1, 1, 100);
+        assert!(
+            r.newton_per_sec > 600.0 && r.newton_per_sec < 2600.0,
+            "{}",
+            r.newton_per_sec
+        );
+    }
+
+    #[test]
+    fn full_node_throughput_near_table_ii() {
+        // Paper: 7,005 it/s at 7 cores/GPU × 3 procs/core.
+        let m = MachineConfig::summit_cuda();
+        let r = simulate_node(&m, &profile(), 7, 3, 50);
+        assert!(
+            r.newton_per_sec > 4500.0 && r.newton_per_sec < 20000.0,
+            "{}",
+            r.newton_per_sec
+        );
+    }
+
+    #[test]
+    fn throughput_scales_with_cores_per_gpu() {
+        let m = MachineConfig::summit_cuda();
+        let p = profile();
+        let t1 = simulate_node(&m, &p, 1, 1, 30).newton_per_sec;
+        let t3 = simulate_node(&m, &p, 3, 1, 30).newton_per_sec;
+        let t7 = simulate_node(&m, &p, 7, 1, 30).newton_per_sec;
+        // Near-linear growth while the GPU has headroom (Table II rows).
+        assert!(t3 > 2.4 * t1, "t1={t1} t3={t3}");
+        assert!(t7 > 5.0 * t1, "t1={t1} t7={t7}");
+    }
+
+    #[test]
+    fn second_hardware_thread_helps_modestly() {
+        let m = MachineConfig::summit_cuda();
+        let p = profile();
+        let a = simulate_node(&m, &p, 7, 1, 30).newton_per_sec;
+        let b = simulate_node(&m, &p, 7, 2, 30).newton_per_sec;
+        let c = simulate_node(&m, &p, 7, 3, 30).newton_per_sec;
+        let g2 = b / a;
+        let g3 = c / b;
+        assert!(g2 > 1.05 && g2 < 1.45, "2nd thread gain {g2}");
+        assert!(g3 > 0.95 && g3 < 1.15, "3rd thread gain {g3}");
+    }
+
+    #[test]
+    fn kokkos_is_slightly_slower_than_cuda() {
+        let p = profile();
+        let cuda = simulate_node(&MachineConfig::summit_cuda(), &p, 7, 3, 30).newton_per_sec;
+        let kk = simulate_node(&MachineConfig::summit_kokkos(), &p, 7, 3, 30).newton_per_sec;
+        let ratio = cuda / kk;
+        assert!(ratio > 1.03 && ratio < 1.30, "CUDA/Kokkos = {ratio}");
+    }
+
+    #[test]
+    fn spock_rolls_over_with_oversubscription() {
+        let m = MachineConfig::spock_kokkos_hip();
+        let p = profile();
+        // Table V shape: 2 procs/core improves small counts…
+        let a11 = simulate_node(&m, &p, 1, 1, 30).newton_per_sec;
+        let a12 = simulate_node(&m, &p, 1, 2, 30).newton_per_sec;
+        assert!(a12 > a11);
+        // …but at 8 cores/GPU the second rank per core hurts (rollover).
+        let a81 = simulate_node(&m, &p, 8, 1, 30).newton_per_sec;
+        let a82 = simulate_node(&m, &p, 8, 2, 30).newton_per_sec;
+        assert!(a82 < a81, "expected rollover: {a81} vs {a82}");
+        // Magnitudes in Table V's decade.
+        assert!(a81 > 120.0 && a81 < 900.0, "{a81}");
+    }
+
+    #[test]
+    fn summit_beats_spock_beats_fugaku() {
+        let p = profile();
+        let summit = simulate_node(&MachineConfig::summit_cuda(), &p, 7, 3, 20).newton_per_sec;
+        let spock = simulate_node(&MachineConfig::spock_kokkos_hip(), &p, 8, 1, 20).newton_per_sec;
+        let fugaku =
+            simulate_cpu_node(&MachineConfig::fugaku_kokkos_omp(), &p, 4, 8, 20).newton_per_sec;
+        assert!(summit > 5.0 * spock, "summit {summit} spock {spock}");
+        assert!(spock > 2.0 * fugaku, "spock {spock} fugaku {fugaku}");
+        // Fugaku lands near the paper's 39 it/s.
+        assert!(fugaku > 15.0 && fugaku < 120.0, "{fugaku}");
+    }
+
+    #[test]
+    fn fugaku_thread_scaling_is_good_for_jacobian() {
+        let m = MachineConfig::fugaku_kokkos_omp();
+        let p = profile();
+        // 4 processes × {1, 8} threads: kernel time inversely ∝ threads.
+        let t1 = simulate_cpu_node(&m, &p, 4, 1, 5);
+        let t8 = simulate_cpu_node(&m, &p, 4, 8, 5);
+        let ratio = t1.t_kernel / t8.t_kernel;
+        assert!(ratio > 6.0 && ratio < 9.5, "thread scaling ratio {ratio}");
+        // Total time scales worse than the kernel (host parts don't thread).
+        let tot_ratio = t1.t_total / t8.t_total;
+        assert!(tot_ratio < ratio, "total {tot_ratio} vs kernel {ratio}");
+    }
+
+    #[test]
+    fn component_times_follow_table_vii() {
+        // Table VII single-rank Summit/CUDA: factor > Landau > solve and the
+        // kernel is ~80–90% of the Landau construction.
+        let m = MachineConfig::summit_cuda();
+        let p = profile();
+        let r = simulate_node(&m, &p, 1, 1, 30);
+        assert!(r.t_factor > r.t_landau, "factor {} landau {}", r.t_factor, r.t_landau);
+        assert!(r.t_kernel <= r.t_landau);
+        assert!(r.t_kernel / r.t_landau > 0.6, "{}", r.t_kernel / r.t_landau);
+        assert!(r.t_solve < 0.3 * r.t_factor);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = MachineConfig::summit_cuda();
+        let p = profile();
+        let a = simulate_node(&m, &p, 5, 2, 10).newton_per_sec;
+        let b = simulate_node(&m, &p, 5, 2, 10).newton_per_sec;
+        assert_eq!(a, b);
+    }
+}

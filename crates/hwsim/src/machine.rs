@@ -1,0 +1,204 @@
+//! Node configurations for the paper's four experiment platforms.
+//!
+//! Calibration: the per-iteration phase times implied by Table VII
+//! (assuming the ~2,080 Newton iterations a 100-step, ~20.8-iteration/step
+//! run performs — the count that simultaneously reproduces Table II's 849
+//! it/s single-rank throughput, Table VI's 19.3 s Fugaku Jacobian time and
+//! Table VI's 39 it/s) fix each machine's sustained kernel rate and host
+//! FLOP rate. Everything else (scaling with ranks, saturation, rollover)
+//! emerges from the DES mechanisms.
+
+use landau_vgpu::DeviceSpec;
+
+/// Quality of the GPU's multi-process scheduling (§V-A: NVIDIA MPS helps
+/// Summit; §V-D1: "the AMD equivalent to MPS is not functioning well").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpsQuality {
+    /// Streams from several processes co-occupy the GPU at full rate (the
+    /// Landau kernel is occupancy/latency-bound, not throughput-bound, so
+    /// ~4 kernels overlap cleanly under MPS).
+    Good,
+    /// Kernels effectively serialize and each extra resident process adds
+    /// scheduling overhead — Spock's rollover.
+    Poor,
+    /// Time-sliced contexts with a heavy switch penalty (the ~3× MPS gain
+    /// the paper observed, inverted).
+    None,
+}
+
+/// One node of an experiment machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Label used in the tables.
+    pub name: &'static str,
+    /// Programming language / back-end label.
+    pub language: &'static str,
+    /// GPUs per node (0 for CPU-only Fugaku).
+    pub gpus: u32,
+    /// GPU spec (ignored when `gpus == 0`).
+    pub gpu: DeviceSpec,
+    /// Host CPU spec (one node's worth; `sms` = usable cores).
+    pub cpu: DeviceSpec,
+    /// Kernel-side execution-model efficiency (CUDA = 1.0, Kokkos-CUDA
+    /// ≈ 0.88 per §V-A).
+    pub lang_efficiency: f64,
+    /// Host-side overhead multiplier of the back-end (Kokkos vector/matrix
+    /// interfaces cost a little extra on the CPU paths too — Table VII's
+    /// Landau/factor deltas).
+    pub host_overhead: f64,
+    /// Multi-process GPU scheduling quality.
+    pub mps: MpsQuality,
+    /// Max kernels co-resident at full rate under Good MPS.
+    pub mps_capacity: usize,
+    /// SMT throughput multipliers for 1, 2, 3… hardware threads per core.
+    pub smt_gain: Vec<f64>,
+    /// *Effective* host FLOP rate per core on the factor/solve/meta code.
+    /// Calibrated so the single-rank component times reproduce Table VII
+    /// given *our* measured operation counts — i.e. this constant absorbs
+    /// the banded-solver accounting difference between this implementation
+    /// (half-bandwidth ≈ 123 on the perf mesh) and the paper's (effective
+    /// ≈ 30). See EXPERIMENTS.md.
+    pub cpu_core_flops: f64,
+    /// Sustained Jacobian-kernel FLOP rate of one GPU on this problem size
+    /// (latency-bound, far below peak; calibrated to Table VII).
+    pub gpu_kernel_gflops: f64,
+    /// Sustained mass-kernel bandwidth (GB/s; L1-latency bound, §V-A1).
+    pub mass_gbps: f64,
+    /// Sustained per-core kernel FLOP rate for CPU-only machines (before
+    /// `lang_efficiency`, which carries the poor-vectorization penalty).
+    pub cpu_kernel_gflops_per_core: f64,
+    /// Extra per-atomic cost in seconds when the GPU lacks native f64
+    /// atomics (CAS loop, §V-D1); 0 on native hardware.
+    pub atomic_penalty_s: f64,
+}
+
+impl MachineConfig {
+    /// One Summit node with the CUDA back-end: 6 V100 + 2×21 P9 cores.
+    pub fn summit_cuda() -> Self {
+        MachineConfig {
+            name: "Summit",
+            language: "CUDA",
+            gpus: 6,
+            gpu: DeviceSpec::v100(),
+            cpu: DeviceSpec::power9(),
+            lang_efficiency: 1.0,
+            host_overhead: 1.0,
+            mps: MpsQuality::Good,
+            mps_capacity: 4,
+            smt_gain: vec![1.0, 1.25, 1.28, 1.28],
+            cpu_core_flops: 60.0e9,
+            gpu_kernel_gflops: 260.0,
+            mass_gbps: 30.0,
+            cpu_kernel_gflops_per_core: 2.0,
+            atomic_penalty_s: 0.0,
+        }
+    }
+
+    /// Summit with the Kokkos-CUDA back-end (≈ 12% kernel penalty plus a
+    /// little host overhead, §V-A & Table VII).
+    pub fn summit_kokkos() -> Self {
+        MachineConfig {
+            language: "Kokkos-CUDA",
+            lang_efficiency: 0.88,
+            host_overhead: 1.06,
+            ..Self::summit_cuda()
+        }
+    }
+
+    /// One Spock node: 4 MI100 + 64-core EPYC, Kokkos-HIP. The kernel
+    /// under-performs (immature ROCm + software f64 atomics, §V-D1) and
+    /// the multi-process path rolls over.
+    pub fn spock_kokkos_hip() -> Self {
+        MachineConfig {
+            name: "Spock",
+            language: "Kokkos-HIP",
+            gpus: 4,
+            gpu: DeviceSpec::mi100(),
+            cpu: DeviceSpec::epyc_rome(),
+            lang_efficiency: 0.22,
+            host_overhead: 1.0,
+            mps: MpsQuality::Poor,
+            mps_capacity: 1,
+            smt_gain: vec![1.0, 1.22, 1.24, 1.24],
+            // Table V implies the Spock runs were host-bound at small rank
+            // counts (88 it/s at 4 ranks while the kernel alone would allow
+            // ~780): a much lower effective host rate than the EPYC's
+            // nominal "2× P9" in the factor row of Table VII. We follow
+            // Table V (the shape result) and note the Table VII tension in
+            // EXPERIMENTS.md.
+            cpu_core_flops: 7.0e9,
+            // Peak-proportional healthy rate (×1.47 of the V100's), cut by
+            // lang_efficiency to the observed Kokkos-HIP performance.
+            gpu_kernel_gflops: 380.0,
+            mass_gbps: 25.0,
+            cpu_kernel_gflops_per_core: 4.0,
+            atomic_penalty_s: 4e-9,
+        }
+    }
+
+    /// One Fugaku node: a single A64FX, Kokkos-OpenMP, no GPU. The paper
+    /// measures poor auto-vectorization from the GNU/Kokkos-3.4 path.
+    pub fn fugaku_kokkos_omp() -> Self {
+        MachineConfig {
+            name: "Fugaku",
+            language: "Kokkos-OMP",
+            gpus: 0,
+            gpu: DeviceSpec::a64fx(),
+            cpu: DeviceSpec::a64fx(),
+            lang_efficiency: 0.12,
+            host_overhead: 1.0,
+            mps: MpsQuality::Good, // irrelevant without a GPU
+            mps_capacity: 1,
+            smt_gain: vec![1.0],
+            cpu_core_flops: 28.0e9,
+            gpu_kernel_gflops: 0.0,
+            mass_gbps: 0.0,
+            // 4 GF/s/core potential with SVE; ×0.12 observed.
+            cpu_kernel_gflops_per_core: 4.0,
+            atomic_penalty_s: 0.0,
+        }
+    }
+
+    /// SMT throughput multiplier for `t` hardware threads per core.
+    pub fn smt(&self, t: usize) -> f64 {
+        let idx = t.saturating_sub(1).min(self.smt_gain.len() - 1);
+        self.smt_gain[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let s = MachineConfig::summit_cuda();
+        assert_eq!(s.gpus, 6);
+        assert!(s.gpu.has_hw_f64_atomics);
+        let k = MachineConfig::summit_kokkos();
+        assert!(k.lang_efficiency < s.lang_efficiency);
+        assert!(k.host_overhead > 1.0);
+        let sp = MachineConfig::spock_kokkos_hip();
+        assert!(!sp.gpu.has_hw_f64_atomics);
+        assert!(sp.atomic_penalty_s > 0.0);
+        let f = MachineConfig::fugaku_kokkos_omp();
+        assert_eq!(f.gpus, 0);
+    }
+
+    #[test]
+    fn smt_gains_saturate() {
+        let s = MachineConfig::summit_cuda();
+        assert_eq!(s.smt(1), 1.0);
+        assert!(s.smt(2) > s.smt(1));
+        assert!(s.smt(3) >= s.smt(2));
+        assert_eq!(s.smt(4), s.smt(9)); // clamped
+    }
+
+    #[test]
+    fn kernel_rates_are_far_below_peak() {
+        // The Landau kernel on this problem size is latency-bound: the
+        // calibrated sustained rate is a small fraction of the 7.8 TF peak.
+        let s = MachineConfig::summit_cuda();
+        assert!(s.gpu_kernel_gflops * 1e9 < 0.1 * s.gpu.peak_fp64_gflops * 1e9);
+    }
+}

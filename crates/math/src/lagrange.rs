@@ -1,0 +1,185 @@
+//! 1D Lagrange interpolation bases on `[-1, 1]`.
+//!
+//! `Qp` tensor elements use the order-`p` Lagrange basis on `p+1` equispaced
+//! nodes (vertices at the interval ends so neighbouring elements share
+//! degrees of freedom, including across hanging faces where the same basis
+//! provides the constraint interpolation weights).
+
+/// An order-`p` nodal Lagrange basis with `p+1` nodes on `[-1, 1]`.
+#[derive(Clone, Debug)]
+pub struct LagrangeBasis1D {
+    /// Interpolation nodes, ascending, with `nodes[0] = -1`, `nodes[p] = 1`.
+    pub nodes: Vec<f64>,
+    /// Barycentric weights for stable evaluation.
+    bary: Vec<f64>,
+}
+
+impl LagrangeBasis1D {
+    /// Equispaced nodal basis of order `p ≥ 1`.
+    pub fn equispaced(p: usize) -> Self {
+        assert!(p >= 1, "order must be at least 1");
+        let nodes: Vec<f64> = (0..=p).map(|i| -1.0 + 2.0 * i as f64 / p as f64).collect();
+        Self::from_nodes(nodes)
+    }
+
+    /// Build from arbitrary distinct nodes.
+    pub fn from_nodes(nodes: Vec<f64>) -> Self {
+        let n = nodes.len();
+        let mut bary = vec![1.0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    bary[i] *= nodes[i] - nodes[j];
+                }
+            }
+            bary[i] = 1.0 / bary[i];
+        }
+        LagrangeBasis1D { nodes, bary }
+    }
+
+    /// Polynomial order `p`.
+    pub fn order(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of basis functions (`p + 1`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if empty (never).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Evaluate all basis functions at `x`, writing into `out`
+    /// (`out.len() == p+1`).
+    pub fn eval_into(&self, x: f64, out: &mut [f64]) {
+        let n = self.nodes.len();
+        debug_assert_eq!(out.len(), n);
+        // Exact hit on a node → Kronecker delta (avoids 0/0).
+        for i in 0..n {
+            if (x - self.nodes[i]).abs() < 1e-14 {
+                out.fill(0.0);
+                out[i] = 1.0;
+                return;
+            }
+        }
+        // Barycentric form: ℓ_i(x) = (w_i/(x - x_i)) / Σ_j (w_j/(x - x_j)).
+        let mut denom = 0.0;
+        for i in 0..n {
+            out[i] = self.bary[i] / (x - self.nodes[i]);
+            denom += out[i];
+        }
+        for v in out.iter_mut() {
+            *v /= denom;
+        }
+    }
+
+    /// Evaluate all basis functions at `x`.
+    pub fn eval(&self, x: f64) -> Vec<f64> {
+        let mut out = vec![0.0; self.len()];
+        self.eval_into(x, &mut out);
+        out
+    }
+
+    /// Evaluate all basis derivatives at `x`, writing into `out`.
+    ///
+    /// Uses the direct product-rule formula (O(n²) per point, fine for
+    /// tabulation done once).
+    pub fn eval_deriv_into(&self, x: f64, out: &mut [f64]) {
+        let n = self.nodes.len();
+        debug_assert_eq!(out.len(), n);
+        for i in 0..n {
+            // ℓ_i'(x) = Σ_{k≠i} [ Π_{j≠i,k} (x-x_j) ] * bary_i
+            let mut acc = 0.0;
+            for k in 0..n {
+                if k == i {
+                    continue;
+                }
+                let mut prod = 1.0;
+                for j in 0..n {
+                    if j != i && j != k {
+                        prod *= x - self.nodes[j];
+                    }
+                }
+                acc += prod;
+            }
+            out[i] = acc * self.bary[i];
+        }
+    }
+
+    /// Evaluate all basis derivatives at `x`.
+    pub fn eval_deriv(&self, x: f64) -> Vec<f64> {
+        let mut out = vec![0.0; self.len()];
+        self.eval_deriv_into(x, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kronecker_at_nodes() {
+        for p in 1..=4 {
+            let b = LagrangeBasis1D::equispaced(p);
+            for (i, &xi) in b.nodes.iter().enumerate() {
+                let v = b.eval(xi);
+                for (j, &vj) in v.iter().enumerate() {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!((vj - expect).abs() < 1e-12, "p={p} node {i} fn {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_unity() {
+        for p in 1..=4 {
+            let b = LagrangeBasis1D::equispaced(p);
+            for k in 0..50 {
+                let x = -1.0 + 2.0 * k as f64 / 49.0;
+                let s: f64 = b.eval(x).iter().sum();
+                assert!((s - 1.0).abs() < 1e-11, "p={p} x={x} sum={s}");
+                let ds: f64 = b.eval_deriv(x).iter().sum();
+                assert!(ds.abs() < 1e-9, "p={p} x={x} derivative sum={ds}");
+            }
+        }
+    }
+
+    #[test]
+    fn reproduces_polynomials() {
+        for p in 1..=4 {
+            let b = LagrangeBasis1D::equispaced(p);
+            // Interpolate x^p exactly.
+            let coeffs: Vec<f64> = b.nodes.iter().map(|&x| x.powi(p as i32)).collect();
+            for k in 0..23 {
+                let x = -1.0 + 2.0 * k as f64 / 22.0;
+                let v = b.eval(x);
+                let dv = b.eval_deriv(x);
+                let interp: f64 = v.iter().zip(&coeffs).map(|(a, c)| a * c).sum();
+                let dinterp: f64 = dv.iter().zip(&coeffs).map(|(a, c)| a * c).sum();
+                assert!((interp - x.powi(p as i32)).abs() < 1e-10);
+                assert!((dinterp - p as f64 * x.powi(p as i32 - 1)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let b = LagrangeBasis1D::equispaced(3);
+        let h = 1e-6;
+        for k in 0..11 {
+            let x = -0.95 + 1.9 * k as f64 / 10.0;
+            let d = b.eval_deriv(x);
+            let vp = b.eval(x + h);
+            let vm = b.eval(x - h);
+            for i in 0..b.len() {
+                let fd = (vp[i] - vm[i]) / (2.0 * h);
+                assert!((d[i] - fd).abs() < 1e-6, "i={i} x={x}: {} vs {}", d[i], fd);
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Numerical substrates shared across the Landau operator workspace.
+//!
+//! This crate provides the low-level mathematics the finite-element Landau
+//! solver is built on: complete elliptic integrals (the closed forms of the
+//! azimuthally integrated Landau tensors need `K(k)` and `E(k)`),
+//! Gauss–Legendre quadrature, 1D Lagrange bases for tensor-product `Qp`
+//! elements, and a small dense linear-algebra kit used for reference solves
+//! and element-local operations.
+
+pub mod dense;
+pub mod elliptic;
+pub mod lagrange;
+pub mod quadrature;
+
+/// Physical and model constants in the nondimensional units of the paper's
+/// Appendix A (see `DESIGN.md` §4).
+pub mod constants {
+    /// Coulomb logarithm used throughout the paper (`lnΛ = 10`).
+    pub const COULOMB_LOG: f64 = 10.0;
+    /// Electron mass in reference-mass units (`m0 = m_e`).
+    pub const M_ELECTRON: f64 = 1.0;
+    /// Proton/electron mass ratio.
+    pub const M_PROTON: f64 = 1836.152_673_43;
+    /// Deuteron/electron mass ratio.
+    pub const M_DEUTERIUM: f64 = 3670.482_967_85;
+    /// Atomic mass unit / electron mass.
+    pub const M_AMU: f64 = 1822.888_486_209;
+    /// Tungsten atomic mass (u).
+    pub const A_TUNGSTEN: f64 = 183.84;
+    /// Tungsten mass in electron masses.
+    pub const M_TUNGSTEN: f64 = A_TUNGSTEN * M_AMU;
+    /// Speed of light [m/s] (used only to locate the Connor–Hastie field).
+    pub const C_LIGHT: f64 = 2.997_924_58e8;
+    /// `θ_e` for electrons at the reference temperature: `2kT_e/(m_e v0²)`
+    /// with `v0 = sqrt(8kT_e/(π m_e))`, i.e. exactly `π/4`.
+    pub const THETA_E_REF: f64 = core::f64::consts::PI / 4.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::constants::*;
+
+    #[test]
+    fn theta_e_ref_is_quarter_pi() {
+        // v0² = 8kT/(π m) so 2kT/(m v0²) = 2kT π m /(m 8kT) = π/4.
+        assert!((THETA_E_REF - 0.7853981633974483).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tungsten_mass_ratio_magnitude() {
+        assert!(M_TUNGSTEN > 3.3e5 && M_TUNGSTEN < 3.4e5);
+    }
+}

@@ -1,0 +1,205 @@
+//! Gauss–Legendre quadrature on `[-1, 1]`.
+//!
+//! Tensor-product `Qp` elements integrate with `(p+1)` points per direction;
+//! Q3 elements therefore carry the paper's 16 integration points per cell.
+//! Nodes and weights are computed by Newton iteration on the Legendre
+//! polynomial from the Chebyshev initial guess — accurate to machine
+//! precision for the modest orders (≤ 32) used here.
+
+/// A 1D quadrature rule: `∫_{-1}^{1} f ≈ Σ w_i f(x_i)`.
+#[derive(Clone, Debug)]
+pub struct QuadratureRule {
+    /// Node abscissae in `(-1, 1)`, ascending.
+    pub points: Vec<f64>,
+    /// Positive weights summing to 2.
+    pub weights: Vec<f64>,
+}
+
+impl QuadratureRule {
+    /// `n`-point Gauss–Legendre rule (exact for polynomials of degree
+    /// `2n - 1`).
+    ///
+    /// # Panics
+    /// Panics for `n == 0` or `n > 64`.
+    pub fn gauss_legendre(n: usize) -> Self {
+        assert!(n >= 1 && n <= 64, "unsupported rule size {n}");
+        let mut points = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Chebyshev-like initial guess for the i-th root (descending).
+            let mut x = (core::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut dp = 0.0;
+            for _ in 0..100 {
+                // Evaluate P_n(x) and P_n'(x) by upward recurrence.
+                let mut p0 = 1.0f64;
+                let mut p1 = x;
+                for k in 2..=n {
+                    let kf = k as f64;
+                    let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+                    p0 = p1;
+                    p1 = p2;
+                }
+                let p = if n == 1 { p1 } else { p1 };
+                dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+                let dx = p / dp;
+                x -= dx;
+                if dx.abs() < 1e-16 {
+                    break;
+                }
+            }
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            points[i] = -x;
+            points[n - 1 - i] = x;
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        if n % 2 == 1 {
+            // Middle node of odd rules is exactly 0 by symmetry.
+            points[n / 2] = 0.0;
+        }
+        QuadratureRule { points, weights }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the rule is empty (never, for constructed rules).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Integrate a callable over `[-1, 1]`.
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.points
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// Integrate over an arbitrary interval `[a, b]`.
+    pub fn integrate_on(&self, a: f64, b: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        half * self.integrate(|x| f(mid + half * x))
+    }
+}
+
+/// Tensor-product 2D rule on `[-1,1]²` built from a 1D rule; node ordering is
+/// x-fastest (`q = qy * n + qx`), matching the element tabulations.
+#[derive(Clone, Debug)]
+pub struct TensorRule2D {
+    /// Nodes `(x, y)`.
+    pub points: Vec<(f64, f64)>,
+    /// Weights (products of 1D weights).
+    pub weights: Vec<f64>,
+    /// Nodes per direction.
+    pub n1d: usize,
+}
+
+impl TensorRule2D {
+    /// Build the `n × n` Gauss–Legendre tensor rule.
+    pub fn gauss_legendre(n: usize) -> Self {
+        let r = QuadratureRule::gauss_legendre(n);
+        let mut points = Vec::with_capacity(n * n);
+        let mut weights = Vec::with_capacity(n * n);
+        for qy in 0..n {
+            for qx in 0..n {
+                points.push((r.points[qx], r.points[qy]));
+                weights.push(r.weights[qx] * r.weights[qy]);
+            }
+        }
+        TensorRule2D {
+            points,
+            weights,
+            n1d: n,
+        }
+    }
+
+    /// Total number of nodes (`n1d²`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if empty (never for constructed rules).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_two() {
+        for n in 1..=20 {
+            let r = QuadratureRule::gauss_legendre(n);
+            let s: f64 = r.weights.iter().sum();
+            assert!((s - 2.0).abs() < 1e-13, "n={n} sum={s}");
+            assert!(r.weights.iter().all(|&w| w > 0.0));
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials() {
+        for n in 1..=12 {
+            let r = QuadratureRule::gauss_legendre(n);
+            for deg in 0..=(2 * n - 1) {
+                let got = r.integrate(|x| x.powi(deg as i32));
+                let exact = if deg % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (deg as f64 + 1.0)
+                };
+                assert!(
+                    (got - exact).abs() < 1e-12,
+                    "n={n} deg={deg}: {got} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_sorted_and_symmetric() {
+        let r = QuadratureRule::gauss_legendre(7);
+        for w in r.points.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for i in 0..r.len() {
+            assert!((r.points[i] + r.points[r.len() - 1 - i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn integrate_on_interval() {
+        let r = QuadratureRule::gauss_legendre(8);
+        // ∫_1^3 x² dx = 26/3
+        let got = r.integrate_on(1.0, 3.0, |x| x * x);
+        assert!((got - 26.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_rule_integrates_2d_poly() {
+        let r = TensorRule2D::gauss_legendre(4);
+        assert_eq!(r.len(), 16); // the paper's Q3 element: 16 points
+        let mut s = 0.0;
+        for (i, &(x, y)) in r.points.iter().enumerate() {
+            s += r.weights[i] * x * x * y.powi(4);
+        }
+        // ∫∫ x² y⁴ = (2/3)(2/5)
+        assert!((s - 4.0 / 15.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn transcendental_convergence() {
+        // sin integrates to ~0; e^x to e - 1/e.
+        let r = QuadratureRule::gauss_legendre(12);
+        let got = r.integrate(f64::exp);
+        let exact = 1.0f64.exp() - (-1.0f64).exp();
+        assert!((got - exact).abs() < 1e-13);
+    }
+}

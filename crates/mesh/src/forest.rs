@@ -1,0 +1,577 @@
+//! The quadtree forest: cells, refinement, 2:1 balance, neighbor queries.
+
+use std::collections::{HashMap, HashSet};
+
+/// Deepest refinement level supported. Integer cell coordinates at level `l`
+/// live on a grid of `(nroots * 2^l)` cells per direction; `MAX_LEVEL = 24`
+/// leaves ample headroom in `u32`/`i64` arithmetic, including the `×p`
+/// scaling used for `Qp` node coordinates.
+pub const MAX_LEVEL: u8 = 24;
+
+/// Identifies a quadtree cell: refinement level plus level-local integer
+/// coordinates that are *global across the root grid* (at level `l` the
+/// domain is `(nr·2^l) × (nz·2^l)` cells).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey {
+    /// Refinement level (0 = root cells).
+    pub level: u8,
+    /// Column index at this level (r direction).
+    pub ix: u32,
+    /// Row index at this level (z direction).
+    pub iy: u32,
+}
+
+impl CellKey {
+    /// The four children of this cell.
+    pub fn children(self) -> [CellKey; 4] {
+        let l = self.level + 1;
+        let (x, y) = (self.ix * 2, self.iy * 2);
+        [
+            CellKey { level: l, ix: x, iy: y },
+            CellKey { level: l, ix: x + 1, iy: y },
+            CellKey { level: l, ix: x, iy: y + 1 },
+            CellKey { level: l, ix: x + 1, iy: y + 1 },
+        ]
+    }
+
+    /// The parent cell (None at level 0).
+    pub fn parent(self) -> Option<CellKey> {
+        (self.level > 0).then(|| CellKey {
+            level: self.level - 1,
+            ix: self.ix / 2,
+            iy: self.iy / 2,
+        })
+    }
+
+    /// Anchor (lower-left corner) in finest-grid integer units.
+    pub fn anchor_units(self) -> (i64, i64) {
+        let shift = (MAX_LEVEL - self.level) as i64;
+        ((self.ix as i64) << shift, (self.iy as i64) << shift)
+    }
+
+    /// Cell edge length in finest-grid integer units.
+    pub fn size_units(self) -> i64 {
+        1i64 << (MAX_LEVEL - self.level)
+    }
+}
+
+/// Dense per-forest cell index (stable order: sorted by key).
+pub type CellId = usize;
+
+/// Classification of the neighbor across one face of a leaf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaceNbr {
+    /// Face lies on the domain boundary.
+    Boundary,
+    /// A single neighbor leaf at the same level.
+    Same(CellId),
+    /// The neighbor leaf is one level coarser — *this* cell's face is the
+    /// fine side of a hanging interface.
+    Coarser(CellId),
+    /// Two neighbor leaves one level finer — this cell owns the coarse side
+    /// of a hanging interface. Ordered along the face (increasing r or z).
+    Finer([CellId; 2]),
+}
+
+/// Faces are numbered: 0 = -r (left), 1 = +r (right), 2 = -z (bottom),
+/// 3 = +z (top).
+pub const FACE_LEFT: usize = 0;
+/// +r face.
+pub const FACE_RIGHT: usize = 1;
+/// -z face.
+pub const FACE_BOTTOM: usize = 2;
+/// +z face.
+pub const FACE_TOP: usize = 3;
+
+/// A forest of quadtrees over `[0, R] × [z_min, z_max]`.
+///
+/// The root grid is `nr × nz` *square* cells of side `root_size`, so every
+/// descendant is square and the element geometry map stays diagonal.
+#[derive(Clone, Debug)]
+pub struct Forest {
+    /// Root cells along r.
+    pub nr: u32,
+    /// Root cells along z.
+    pub nz: u32,
+    /// Physical edge length of a root cell.
+    pub root_size: f64,
+    /// Physical origin: `r = 0` always; z of the bottom edge.
+    pub z_min: f64,
+    leaves: HashSet<CellKey>,
+    /// Sorted leaf list, rebuilt lazily; `None` when dirty.
+    sorted: Option<Vec<CellKey>>,
+    index: HashMap<CellKey, CellId>,
+    max_level_present: u8,
+}
+
+impl Forest {
+    /// Create a forest of `nr × nz` root leaves.
+    pub fn new(nr: u32, nz: u32, root_size: f64, z_min: f64) -> Self {
+        assert!(nr >= 1 && nz >= 1 && root_size > 0.0);
+        let mut leaves = HashSet::new();
+        for iy in 0..nz {
+            for ix in 0..nr {
+                leaves.insert(CellKey { level: 0, ix, iy });
+            }
+        }
+        let mut f = Forest {
+            nr,
+            nz,
+            root_size,
+            z_min,
+            leaves,
+            sorted: None,
+            index: HashMap::new(),
+            max_level_present: 0,
+        };
+        f.rebuild_index();
+        f
+    }
+
+    /// Domain extents `(r_max, z_min, z_max)`.
+    pub fn domain(&self) -> (f64, f64, f64) {
+        (
+            self.nr as f64 * self.root_size,
+            self.z_min,
+            self.z_min + self.nz as f64 * self.root_size,
+        )
+    }
+
+    /// Number of leaf cells.
+    pub fn num_cells(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Deepest level present.
+    pub fn max_level(&self) -> u8 {
+        self.max_level_present
+    }
+
+    fn rebuild_index(&mut self) {
+        let mut v: Vec<CellKey> = self.leaves.iter().copied().collect();
+        v.sort();
+        self.index = v.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        self.max_level_present = v.iter().map(|k| k.level).max().unwrap_or(0);
+        self.sorted = Some(v);
+    }
+
+    /// Leaves in deterministic (sorted) order; index in this slice is the
+    /// [`CellId`].
+    pub fn cells(&self) -> &[CellKey] {
+        self.sorted
+            .as_ref()
+            .expect("forest index is always rebuilt after mutation")
+    }
+
+    /// Look up the dense id of a leaf.
+    pub fn cell_id(&self, key: CellKey) -> Option<CellId> {
+        self.index.get(&key).copied()
+    }
+
+    /// Physical lower-left corner and edge length of a cell.
+    pub fn cell_geometry(&self, key: CellKey) -> (f64, f64, f64) {
+        let h = self.root_size / (1u64 << key.level) as f64;
+        (key.ix as f64 * h, self.z_min + key.iy as f64 * h, h)
+    }
+
+    /// Split one leaf into its four children. Panics if `key` is not a leaf
+    /// or at `MAX_LEVEL`.
+    fn split(&mut self, key: CellKey) {
+        assert!(key.level < MAX_LEVEL, "refinement beyond MAX_LEVEL");
+        let removed = self.leaves.remove(&key);
+        assert!(removed, "split of non-leaf {key:?}");
+        for c in key.children() {
+            self.leaves.insert(c);
+        }
+    }
+
+    /// Refine every leaf for which `pred` returns true, once. Returns the
+    /// number of cells split. Call repeatedly (or use
+    /// [`Forest::refine_until`]) for multi-level refinement.
+    pub fn refine_once(&mut self, pred: impl Fn(&Forest, CellKey) -> bool) -> usize {
+        let marks: Vec<CellKey> = self
+            .cells()
+            .iter()
+            .copied()
+            .filter(|&k| k.level < MAX_LEVEL && pred(self, k))
+            .collect();
+        for k in &marks {
+            self.split(*k);
+        }
+        if !marks.is_empty() {
+            self.rebuild_index();
+        }
+        marks.len()
+    }
+
+    /// Refine until the predicate marks nothing (or `max_rounds` reached).
+    pub fn refine_until(&mut self, max_rounds: usize, pred: impl Fn(&Forest, CellKey) -> bool) {
+        for _ in 0..max_rounds {
+            if self.refine_once(&pred) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Uniformly refine the whole forest `n` times.
+    pub fn refine_uniform(&mut self, n: usize) {
+        for _ in 0..n {
+            self.refine_once(|_, _| true);
+        }
+    }
+
+    /// Does the integer point (finest-grid units) lie inside the domain?
+    fn in_domain_units(&self, x: i64, y: i64) -> bool {
+        let w = (self.nr as i64) << MAX_LEVEL;
+        let h = (self.nz as i64) << MAX_LEVEL;
+        (0..w).contains(&x) && (0..h).contains(&y)
+    }
+
+    /// Find the leaf containing the integer point (finest-grid units).
+    /// Points on cell edges resolve to the cell with the larger coordinate
+    /// (standard half-open convention). Returns `None` outside the domain.
+    pub fn locate_units(&self, x: i64, y: i64) -> Option<CellKey> {
+        if !self.in_domain_units(x, y) {
+            return None;
+        }
+        for level in (0..=self.max_level_present).rev() {
+            let shift = (MAX_LEVEL - level) as i64;
+            let key = CellKey {
+                level,
+                ix: (x >> shift) as u32,
+                iy: (y >> shift) as u32,
+            };
+            if self.leaves.contains(&key) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Find the leaf containing a physical point. Points exactly on the
+    /// upper domain boundary resolve to the last cell; points outside the
+    /// domain return `None`.
+    pub fn locate(&self, r: f64, z: f64) -> Option<CellKey> {
+        let (rmax, zmin, zmax) = self.domain();
+        let tol = 1e-12 * self.root_size;
+        if !(-tol..=rmax + tol).contains(&r) || !(zmin - tol..=zmax + tol).contains(&z) {
+            return None;
+        }
+        let scale = (1u64 << MAX_LEVEL) as f64 / self.root_size;
+        let x = (r * scale).floor() as i64;
+        let y = ((z - self.z_min) * scale).floor() as i64;
+        let w = ((self.nr as i64) << MAX_LEVEL) - 1;
+        let h = ((self.nz as i64) << MAX_LEVEL) - 1;
+        self.locate_units(x.clamp(0, w), y.clamp(0, h))
+    }
+
+    /// Enforce 2:1 balance across faces *and* corners (p4est "full" balance),
+    /// which guarantees single-level hanging interfaces and bounded
+    /// constraint chains in the FEM layer.
+    pub fn balance(&mut self) {
+        // Worklist ripple: every leaf checks the 8 surrounding same-size
+        // cells; if any is covered by a leaf 2+ levels coarser, split that
+        // coarse leaf and re-queue affected cells.
+        let mut work: Vec<CellKey> = self.leaves.iter().copied().collect();
+        let mut splits = 0usize;
+        while let Some(q) = work.pop() {
+            if !self.leaves.contains(&q) {
+                continue; // already split
+            }
+            if q.level <= 1 {
+                continue; // nothing can be 2 levels coarser
+            }
+            let (ax, ay) = q.anchor_units();
+            let s = q.size_units();
+            // Centers of the 8 neighbor cells of the same size.
+            let half = s / 2;
+            let mut to_split: Vec<CellKey> = Vec::new();
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let cx = ax + dx * s + half;
+                    let cy = ay + dy * s + half;
+                    if let Some(nb) = self.locate_units(cx, cy) {
+                        if (nb.level as i16) < q.level as i16 - 1 {
+                            to_split.push(nb);
+                        }
+                    }
+                }
+            }
+            to_split.sort();
+            to_split.dedup();
+            for nb in to_split {
+                if self.leaves.contains(&nb) {
+                    self.split(nb);
+                    splits += 1;
+                    self.max_level_present = self.max_level_present.max(nb.level + 1);
+                    for c in nb.children() {
+                        work.push(c);
+                    }
+                    // The split may uncover new violations around `nb`.
+                    work.push(q);
+                }
+            }
+        }
+        if splits > 0 {
+            self.rebuild_index();
+        } else {
+            // locate_units during the ripple needs max_level_present only,
+            // which we kept current; index may still be stale if callers
+            // refined without rebuild (refine_once always rebuilds, so this
+            // is just defensive).
+            self.rebuild_index();
+        }
+    }
+
+    /// Check the 2:1 balance invariant (faces and corners). Returns the first
+    /// violating pair if any.
+    pub fn check_balance(&self) -> Option<(CellKey, CellKey)> {
+        for &q in self.cells() {
+            if q.level <= 1 {
+                continue;
+            }
+            let (ax, ay) = q.anchor_units();
+            let s = q.size_units();
+            let half = s / 2;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    if let Some(nb) = self.locate_units(ax + dx * s + half, ay + dy * s + half) {
+                        if (nb.level as i16) < q.level as i16 - 1 {
+                            return Some((q, nb));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Classify the neighbor across face `face` (0..4) of leaf `key`.
+    ///
+    /// Requires a balanced forest (panics on >1 level jumps).
+    pub fn face_neighbor(&self, key: CellKey, face: usize) -> FaceNbr {
+        let (ax, ay) = key.anchor_units();
+        let s = key.size_units();
+        let half = s / 2;
+        // A sample point just across the face (1 finest-grid unit), at the
+        // face's mid-height: the covering leaf is the one actually touching
+        // the face there, regardless of deeper refinement further away.
+        let (px, py) = match face {
+            FACE_LEFT => (ax - 1, ay + half),
+            FACE_RIGHT => (ax + s, ay + half),
+            FACE_BOTTOM => (ax + half, ay - 1),
+            FACE_TOP => (ax + half, ay + s),
+            _ => panic!("face index {face} out of range"),
+        };
+        let Some(nb) = self.locate_units(px, py) else {
+            return FaceNbr::Boundary;
+        };
+        let id = |k: CellKey| self.index[&k];
+        if nb.level == key.level {
+            return FaceNbr::Same(id(nb));
+        }
+        if nb.level + 1 == key.level {
+            return FaceNbr::Coarser(id(nb));
+        }
+        if nb.level == key.level + 1 {
+            // Two finer leaves share the face; find both by sampling the
+            // quarter points.
+            let q = s / 4;
+            let (p1, p2) = match face {
+                FACE_LEFT => ((ax - 1, ay + q), (ax - 1, ay + 3 * q)),
+                FACE_RIGHT => ((ax + s, ay + q), (ax + s, ay + 3 * q)),
+                FACE_BOTTOM => ((ax + q, ay - 1), (ax + 3 * q, ay - 1)),
+                FACE_TOP => ((ax + q, ay + s), (ax + 3 * q, ay + s)),
+                _ => unreachable!(),
+            };
+            let n1 = self.locate_units(p1.0, p1.1).expect("balanced forest");
+            let n2 = self.locate_units(p2.0, p2.1).expect("balanced forest");
+            assert_eq!(n1.level, key.level + 1, "forest not 2:1 balanced");
+            assert_eq!(n2.level, key.level + 1, "forest not 2:1 balanced");
+            return FaceNbr::Finer([id(n1), id(n2)]);
+        }
+        panic!(
+            "face_neighbor on unbalanced forest: {key:?} vs {nb:?} across face {face}"
+        );
+    }
+
+    /// Histogram of leaf counts per level.
+    pub fn level_histogram(&self) -> Vec<(u8, usize)> {
+        let mut h: HashMap<u8, usize> = HashMap::new();
+        for k in self.cells() {
+            *h.entry(k.level).or_default() += 1;
+        }
+        let mut v: Vec<(u8, usize)> = h.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Total number of leaves that would be produced by an equivalent
+    /// *uniform* grid at the finest present level (the paper's Cartesian
+    /// comparison in §III-H).
+    pub fn equivalent_uniform_cells(&self) -> usize {
+        let l = self.max_level_present as u32;
+        (self.nr as usize) * (self.nz as usize) * (1usize << (2 * l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn center(f: &Forest, k: CellKey) -> (f64, f64) {
+        let (r0, z0, h) = f.cell_geometry(k);
+        (r0 + 0.5 * h, z0 + 0.5 * h)
+    }
+
+    #[test]
+    fn root_forest_basics() {
+        let f = Forest::new(1, 2, 5.0, -5.0);
+        assert_eq!(f.num_cells(), 2);
+        let (rmax, zmin, zmax) = f.domain();
+        assert_eq!((rmax, zmin, zmax), (5.0, -5.0, 5.0));
+        assert_eq!(f.locate(2.0, -3.0), Some(CellKey { level: 0, ix: 0, iy: 0 }));
+        assert_eq!(f.locate(2.0, 3.0), Some(CellKey { level: 0, ix: 0, iy: 1 }));
+        assert_eq!(f.locate(6.0, 0.0), None);
+    }
+
+    #[test]
+    fn uniform_refinement_counts() {
+        let mut f = Forest::new(1, 2, 5.0, -5.0);
+        f.refine_uniform(3);
+        assert_eq!(f.num_cells(), 2 * 64);
+        assert_eq!(f.max_level(), 3);
+        assert!(f.check_balance().is_none());
+    }
+
+    #[test]
+    fn children_tile_parent() {
+        let k = CellKey { level: 2, ix: 1, iy: 3 };
+        let cs = k.children();
+        for c in cs {
+            assert_eq!(c.parent(), Some(k));
+        }
+        let total: i64 = cs.iter().map(|c| c.size_units().pow(2)).sum();
+        assert_eq!(total, k.size_units().pow(2));
+    }
+
+    #[test]
+    fn locate_after_local_refinement() {
+        let mut f = Forest::new(1, 1, 1.0, 0.0);
+        // Refine only cells containing the origin corner, 4 times.
+        for _ in 0..4 {
+            f.refine_once(|f, k| {
+                let (r0, z0, _h) = f.cell_geometry(k);
+                r0 == 0.0 && z0 == 0.0
+            });
+        }
+        let k = f.locate(1e-6, 1e-6).unwrap();
+        assert_eq!(k.level, 4);
+        let k2 = f.locate(0.9, 0.9).unwrap();
+        assert_eq!(k2.level, 1);
+    }
+
+    #[test]
+    fn balance_inserts_gradation() {
+        let mut f = Forest::new(1, 1, 1.0, 0.0);
+        f.refine_uniform(1);
+        // Deep-refine only the cells touching the interior corner (0.5, 0.5)
+        // from above-right; the cells across x = 0.5 stay at level 1, so the
+        // level jump across that edge grows every round.
+        let p = (0.5 + 1e-9, 0.5 + 1e-9);
+        for _ in 0..4 {
+            f.refine_once(|f, k| f.locate(p.0, p.1) == Some(k));
+        }
+        assert_eq!(f.locate(p.0, p.1).unwrap().level, 5);
+        // Before balancing there is a multi-level jump across x = 0.5.
+        assert!(f.check_balance().is_some());
+        f.balance();
+        assert!(f.check_balance().is_none(), "balance failed to converge");
+        // The finest cells must survive balancing.
+        assert_eq!(f.locate(p.0, p.1).unwrap().level, 5);
+    }
+
+    #[test]
+    fn face_neighbors_uniform() {
+        let mut f = Forest::new(1, 1, 1.0, 0.0);
+        f.refine_uniform(2); // 4x4 grid
+        let k = f.locate(0.4, 0.4).unwrap(); // cell (1,1)
+        assert_eq!(k, CellKey { level: 2, ix: 1, iy: 1 });
+        for face in 0..4 {
+            match f.face_neighbor(k, face) {
+                FaceNbr::Same(id) => {
+                    let nb = f.cells()[id];
+                    assert_eq!(nb.level, 2);
+                }
+                other => panic!("expected Same, got {other:?}"),
+            }
+        }
+        // Boundary cell.
+        let b = f.locate(0.1, 0.1).unwrap();
+        assert_eq!(f.face_neighbor(b, FACE_LEFT), FaceNbr::Boundary);
+        assert_eq!(f.face_neighbor(b, FACE_BOTTOM), FaceNbr::Boundary);
+    }
+
+    #[test]
+    fn face_neighbors_hanging() {
+        let mut f = Forest::new(1, 1, 1.0, 0.0);
+        f.refine_uniform(1); // 2x2
+        // Refine only lower-left cell → hanging faces.
+        f.refine_once(|f, k| {
+            let (r0, z0, _h) = f.cell_geometry(k);
+            r0 == 0.0 && z0 == 0.0
+        });
+        f.balance();
+        // Fine cell at (0.3, 0.1): level 2, right face meets a coarser leaf.
+        let fine = f.locate(0.3, 0.1).unwrap();
+        assert_eq!(fine.level, 2);
+        match f.face_neighbor(fine, FACE_RIGHT) {
+            FaceNbr::Coarser(id) => {
+                assert_eq!(f.cells()[id].level, 1);
+            }
+            other => panic!("expected Coarser, got {other:?}"),
+        }
+        // The coarse right neighbor sees two finer cells on its left face.
+        let coarse = f.locate(0.7, 0.2).unwrap();
+        match f.face_neighbor(coarse, FACE_LEFT) {
+            FaceNbr::Finer([a, b]) => {
+                let (ka, kb) = (f.cells()[a], f.cells()[b]);
+                assert_eq!(ka.level, 2);
+                assert_eq!(kb.level, 2);
+                assert!(center(&f, ka).1 < center(&f, kb).1, "ordered along face");
+            }
+            other => panic!("expected Finer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cells_sorted_and_indexed() {
+        let mut f = Forest::new(2, 2, 1.0, 0.0);
+        f.refine_uniform(2);
+        for (i, &k) in f.cells().iter().enumerate() {
+            assert_eq!(f.cell_id(k), Some(i));
+        }
+        for w in f.cells().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn geometry_is_square_and_nested() {
+        let mut f = Forest::new(1, 2, 5.0, -5.0);
+        f.refine_uniform(2);
+        for &k in f.cells() {
+            let (r0, z0, h) = f.cell_geometry(k);
+            assert!(h > 0.0);
+            assert!(r0 >= 0.0 && r0 + h <= 5.0 + 1e-12);
+            assert!(z0 >= -5.0 - 1e-12 && z0 + h <= 5.0 + 1e-12);
+            assert!((h - 5.0 / 4.0).abs() < 1e-12);
+        }
+    }
+}

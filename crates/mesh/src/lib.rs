@@ -1,0 +1,19 @@
+//! Quadtree adaptive mesh refinement forest for velocity space.
+//!
+//! This crate stands in for the `p4est` library used by the paper: it manages
+//! a forest of quadtrees over the half-plane velocity domain
+//! `(r, z) ∈ [0, R] × [z_min, z_max]`, supports predicate-driven refinement,
+//! enforces the 2:1 balance condition (including corners) that bounds
+//! hanging-node constraint chains, and answers the face-neighbor queries the
+//! finite-element layer needs to build constraint interpolations.
+//!
+//! Cells are addressed with exact integer coordinates (root-grid index plus
+//! level-local index), so node identification in `landau-fem` is exact — no
+//! floating-point coordinate hashing.
+
+pub mod forest;
+pub mod presets;
+pub mod svg;
+
+pub use forest::{CellId, CellKey, FaceNbr, Forest, MAX_LEVEL};
+pub use presets::{maxwellian_mesh, uniform_mesh, MeshSpec, RefineShell};

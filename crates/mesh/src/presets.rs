@@ -1,0 +1,189 @@
+//! High-level mesh parameterization for plasma distributions.
+//!
+//! The Landau solver in PETSc exposes command-line options that build meshes
+//! adapted to Maxwellian (and runaway-tail) distributions; this module is the
+//! equivalent: a small spec language of concentric refinement shells around
+//! the velocity-space origin, one per thermal-velocity scale, plus an
+//! optional refinement box along the +z axis for runaway tails.
+
+use crate::forest::{CellKey, Forest};
+
+/// One refinement shell: every cell intersecting the disc of `radius`
+/// (centered at the origin of velocity space) is refined until its edge is
+/// at most `max_cell_size`.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineShell {
+    /// Disc radius in `v0` units.
+    pub radius: f64,
+    /// Target maximum cell edge inside the disc.
+    pub max_cell_size: f64,
+}
+
+/// Mesh specification: domain plus refinement program.
+#[derive(Clone, Debug)]
+pub struct MeshSpec {
+    /// Domain radius in `v0` units: `r ∈ [0, R]`, `z ∈ [-R, R]`.
+    pub domain_radius: f64,
+    /// Uniform base refinement applied to the two root cells.
+    pub base_level: usize,
+    /// Concentric shells (any order).
+    pub shells: Vec<RefineShell>,
+    /// Optional runaway-tail box `z ∈ [z0, z1]`, `r ∈ [0, r1]`, refined to
+    /// `max_cell_size`.
+    pub tail_box: Option<(f64, f64, f64, f64)>,
+}
+
+impl MeshSpec {
+    /// A spec with no adaptive shells (uniform mesh).
+    pub fn uniform(domain_radius: f64, base_level: usize) -> Self {
+        MeshSpec {
+            domain_radius,
+            base_level,
+            shells: Vec::new(),
+            tail_box: None,
+        }
+    }
+
+    /// Spec adapted to a set of species thermal speeds (in `v0` units):
+    /// for each scale `v_t`, refine inside `k_outer·v_t` down to cells of
+    /// `≈ v_t/cells_per_vt`.
+    pub fn for_thermal_speeds(
+        domain_radius: f64,
+        base_level: usize,
+        thermal_speeds: &[f64],
+        cells_per_vt: f64,
+        k_outer: f64,
+    ) -> Self {
+        let shells = thermal_speeds
+            .iter()
+            .map(|&vt| RefineShell {
+                radius: k_outer * vt,
+                max_cell_size: vt / cells_per_vt,
+            })
+            .collect();
+        MeshSpec {
+            domain_radius,
+            base_level,
+            shells,
+            tail_box: None,
+        }
+    }
+
+    /// Build, balance and return the forest.
+    pub fn build(&self) -> Forest {
+        let mut f = Forest::new(1, 2, self.domain_radius, -self.domain_radius);
+        f.refine_uniform(self.base_level);
+        let shells = self.shells.clone();
+        let tail = self.tail_box;
+        // Refine until every shell/box criterion is met (bounded rounds).
+        f.refine_until(32, move |f, k| {
+            cell_needs_refinement(f, k, &shells, tail)
+        });
+        f.balance();
+        f
+    }
+}
+
+fn cell_needs_refinement(
+    f: &Forest,
+    k: CellKey,
+    shells: &[RefineShell],
+    tail: Option<(f64, f64, f64, f64)>,
+) -> bool {
+    let (r0, z0, h) = f.cell_geometry(k);
+    for s in shells {
+        if h > s.max_cell_size * (1.0 + 1e-12) && cell_intersects_disc(r0, z0, h, s.radius) {
+            return true;
+        }
+    }
+    if let Some((zb0, zb1, rb1, hmax)) = tail {
+        let overlaps = r0 < rb1 && z0 < zb1 && z0 + h > zb0;
+        if overlaps && h > hmax * (1.0 + 1e-12) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does the axis-aligned square `[r0, r0+h] × [z0, z0+h]` intersect the disc
+/// of `radius` centered at the origin?
+fn cell_intersects_disc(r0: f64, z0: f64, h: f64, radius: f64) -> bool {
+    // Closest point of the square to the origin.
+    let cr = 0.0f64.clamp(r0, r0 + h);
+    let cz = 0.0f64.clamp(z0, z0 + h);
+    cr * cr + cz * cz <= radius * radius
+}
+
+/// Convenience: uniform mesh over `[0,R] × [-R,R]` with `2 · 4^level` cells.
+pub fn uniform_mesh(domain_radius: f64, level: usize) -> Forest {
+    MeshSpec::uniform(domain_radius, level).build()
+}
+
+/// Convenience: mesh adapted to Maxwellians with the given thermal speeds
+/// (the Figure 1/3 style meshes). `cells_per_vt ≈ 1–2` reproduces the
+/// paper's ~20-cell single-species mesh on a `5 v_th` domain.
+pub fn maxwellian_mesh(
+    domain_radius: f64,
+    thermal_speeds: &[f64],
+    cells_per_vt: f64,
+) -> Forest {
+    MeshSpec::for_thermal_speeds(domain_radius, 1, thermal_speeds, cells_per_vt, 3.5).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_counts() {
+        let f = uniform_mesh(5.0, 2);
+        assert_eq!(f.num_cells(), 2 * 16);
+    }
+
+    #[test]
+    fn single_species_mesh_is_modest() {
+        // Electron-only mesh on a 5 v_th domain — the paper's Figure 3 mesh
+        // has ~20 cells; ours should land in the same decade.
+        let f = maxwellian_mesh(5.0, &[0.886], 1.0);
+        assert!(f.check_balance().is_none());
+        let n = f.num_cells();
+        assert!((8..=80).contains(&n), "unexpected cell count {n}");
+        // Cells near the origin are smaller than far away.
+        let near = f.locate(0.1, 0.0).unwrap().level;
+        let far = f.locate(4.5, 4.5).unwrap().level;
+        assert!(near > far);
+    }
+
+    #[test]
+    fn multiscale_mesh_resolves_ion_scale() {
+        // Electron (0.886) + deuterium (0.886/60.6) thermal speeds.
+        let vd = 0.886 / 60.6;
+        let f = maxwellian_mesh(5.0, &[0.886, vd], 1.0);
+        assert!(f.check_balance().is_none());
+        let k = f.locate(vd * 0.2, 0.0).unwrap();
+        let (_, _, h) = f.cell_geometry(k);
+        assert!(h <= vd * 1.001, "origin cell {h} vs ion vt {vd}");
+    }
+
+    #[test]
+    fn shells_are_monotone_refinement() {
+        // Adding a shell never coarsens the mesh.
+        let base = maxwellian_mesh(5.0, &[0.886], 1.0);
+        let finer = maxwellian_mesh(5.0, &[0.886, 0.1], 1.0);
+        assert!(finer.num_cells() > base.num_cells());
+    }
+
+    #[test]
+    fn tail_box_refines_positive_z_axis() {
+        let mut spec = MeshSpec::uniform(5.0, 1);
+        spec.tail_box = Some((1.0, 4.0, 1.0, 0.3));
+        let f = spec.build();
+        assert!(f.check_balance().is_none());
+        let k = f.locate(0.2, 2.5).unwrap();
+        let (_, _, h) = f.cell_geometry(k);
+        assert!(h <= 0.3 * 1.001);
+        let k2 = f.locate(4.0, -4.0).unwrap();
+        let (_, _, h2) = f.cell_geometry(k2);
+        assert!(h2 > 1.0);
+    }
+}

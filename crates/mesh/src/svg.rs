@@ -1,0 +1,62 @@
+//! Minimal SVG renderer for mesh figures (paper Figures 1 and 3).
+
+use crate::forest::Forest;
+
+/// Render the forest as an SVG string; optionally shade each cell by a
+/// per-cell scalar in `[0, 1]` (e.g. a distribution-function magnitude).
+pub fn forest_to_svg(f: &Forest, shade: Option<&[f64]>, px: u32) -> String {
+    let (rmax, zmin, zmax) = f.domain();
+    let w = px as f64;
+    let h = w * (zmax - zmin) / rmax;
+    let sx = w / rmax;
+    let sy = h / (zmax - zmin);
+    let mut out = String::with_capacity(256 + 96 * f.num_cells());
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w:.2} {h:.2}\">\n"
+    ));
+    for (i, &k) in f.cells().iter().enumerate() {
+        let (r0, z0, hc) = f.cell_geometry(k);
+        let x = r0 * sx;
+        // SVG y grows downward; flip z.
+        let y = (zmax - (z0 + hc)) * sy;
+        let cw = hc * sx;
+        let ch = hc * sy;
+        let fill = match shade {
+            Some(s) => {
+                let v = (s[i].clamp(0.0, 1.0) * 255.0) as u8;
+                format!("rgb({},{},{})", 255 - v, 255 - v, 255)
+            }
+            None => "none".to_string(),
+        };
+        out.push_str(&format!(
+            "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{cw:.2}\" height=\"{ch:.2}\" \
+             fill=\"{fill}\" stroke=\"black\" stroke-width=\"0.6\"/>\n"
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::uniform_mesh;
+
+    #[test]
+    fn svg_contains_all_cells() {
+        let f = uniform_mesh(5.0, 1);
+        let svg = forest_to_svg(&f, None, 400);
+        assert_eq!(svg.matches("<rect").count(), f.num_cells());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn shaded_svg_uses_colors() {
+        let f = uniform_mesh(5.0, 1);
+        let shade = vec![0.5; f.num_cells()];
+        let svg = forest_to_svg(&f, Some(&shade), 400);
+        assert!(svg.contains("rgb("));
+    }
+}

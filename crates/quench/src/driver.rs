@@ -1,0 +1,349 @@
+//! The thermal-quench driver (§IV-C, Figure 5).
+//!
+//! Phase 1 — *Spitzer phase*: a constant `Ẽ = f_c Ẽ_c` drives the plasma
+//! until the current quasi-equilibrates (detected like §IV-B).
+//!
+//! Phase 2 — *quench*: the field switches to the circuit feedback
+//! `Ẽ ← η_sp(T̃_e, Z_eff) J̃` and a pulse of cold plasma is injected with
+//! the source term of eq. (4): a sinusoidal envelope whose integrated mass
+//! is `mass_factor` times the initial density. The collapse of `T_e`, the
+//! rise of `E`, the slower decay of `J` and the eventual Ohmic re-heating
+//! are the expected dynamics (Figure 5).
+
+use crate::diagnostics::TailDiagnostics;
+use crate::spitzer::{connor_hastie_ec, spitzer_eta};
+use landau_core::operator::{Backend, LandauOperator};
+use landau_core::solver::{StepStats, ThetaMethod, TimeIntegrator};
+use landau_core::species::{maxwellian, Species, SpeciesList};
+use landau_fem::FemSpace;
+use landau_mesh::presets::MeshSpec;
+
+/// Configuration of the quench experiment.
+#[derive(Clone, Debug)]
+pub struct QuenchConfig {
+    /// Reference electron temperature in eV (sets `Ẽ_c`).
+    pub t_e0_ev: f64,
+    /// Initial field as a fraction of the Connor–Hastie field
+    /// (paper: 0.5).
+    pub e0_over_ec: f64,
+    /// Ion charge.
+    pub z: f64,
+    /// Ion mass (electron masses).
+    pub ion_mass: f64,
+    /// Cold-pulse total mass relative to the initial density (paper: 5).
+    pub mass_factor: f64,
+    /// Cold-pulse temperature in `T_e0` units.
+    pub t_cold: f64,
+    /// Pulse duration in collision times.
+    pub pulse_duration: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Steps in the Spitzer (pre-quench) phase cap.
+    pub max_equil_steps: usize,
+    /// Steps in the quench phase.
+    pub quench_steps: usize,
+    /// Quasi-equilibrium detector tolerance (per unit time).
+    pub eta_tol: f64,
+    /// Velocity-domain radius.
+    pub domain: f64,
+    /// Mesh cells per thermal speed.
+    pub cells_per_vt: f64,
+    /// Refinement shell radius in thermal speeds.
+    pub k_outer: f64,
+    /// Kernel back-end.
+    pub backend: Backend,
+}
+
+impl Default for QuenchConfig {
+    fn default() -> Self {
+        QuenchConfig {
+            t_e0_ev: 100.0,
+            e0_over_ec: 0.5,
+            z: 1.0,
+            ion_mass: 900.0,
+            mass_factor: 5.0,
+            t_cold: 0.05,
+            pulse_duration: 4.0,
+            dt: 0.25,
+            max_equil_steps: 40,
+            quench_steps: 60,
+            eta_tol: 2e-3,
+            domain: 5.0,
+            cells_per_vt: 1.2,
+            k_outer: 3.0,
+            backend: Backend::Cpu,
+        }
+    }
+}
+
+/// One recorded time point of the quench profiles (Figure 5's series).
+#[derive(Clone, Copy, Debug)]
+pub struct QuenchSample {
+    /// Time in electron collision times.
+    pub t: f64,
+    /// Electron density `ñ_e`.
+    pub n_e: f64,
+    /// Current `J̃`.
+    pub j: f64,
+    /// Field `Ẽ`.
+    pub e: f64,
+    /// Electron temperature `T̃_e`.
+    pub t_e: f64,
+    /// Fast-electron density above `2 v0`.
+    pub tail_2v: f64,
+    /// True once the driver is in the quench phase.
+    pub quenching: bool,
+}
+
+/// The quench experiment driver.
+pub struct QuenchDriver {
+    /// Configuration used.
+    pub cfg: QuenchConfig,
+    /// The integrator (operator inside).
+    pub ti: TimeIntegrator,
+    /// Current state.
+    pub state: Vec<f64>,
+    /// Recorded profiles.
+    pub samples: Vec<QuenchSample>,
+    /// Tail diagnostics.
+    pub tails: TailDiagnostics,
+    /// Accumulated step statistics.
+    pub stats: StepStats,
+    time: f64,
+}
+
+impl QuenchDriver {
+    /// Build the plasma, mesh and integrator for a configuration.
+    pub fn new(cfg: QuenchConfig) -> Self {
+        let ion = Species {
+            name: format!("Z{}", cfg.z),
+            mass: cfg.ion_mass,
+            charge: cfg.z,
+            density: 1.0 / cfg.z,
+            temperature: 1.0,
+        };
+        let sl = SpeciesList::new(vec![Species::electron(), ion]);
+        let mut vts: Vec<f64> = sl.list.iter().map(|s| s.thermal_speed()).collect();
+        // The cold pulse must be resolvable too.
+        vts.push(Species {
+            temperature: cfg.t_cold,
+            ..Species::electron()
+        }
+        .thermal_speed());
+        let space = FemSpace::new(
+            MeshSpec::for_thermal_speeds(cfg.domain, 1, &vts, cfg.cells_per_vt, cfg.k_outer)
+                .build(),
+            3,
+        );
+        let tails = TailDiagnostics::new(&space, &[2.0, 3.0]);
+        let op = LandauOperator::new(space, sl, cfg.backend);
+        let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
+        ti.rtol = 1e-7;
+        ti.max_newton = 100;
+        let state = ti.op.initial_state();
+        QuenchDriver {
+            cfg,
+            ti,
+            state,
+            samples: Vec::new(),
+            tails,
+            stats: StepStats {
+                converged: true,
+                ..Default::default()
+            },
+            time: 0.0,
+        }
+    }
+
+    fn sample(&mut self, e: f64, quenching: bool) {
+        let m = &self.ti.moments;
+        let s = QuenchSample {
+            t: self.time,
+            n_e: m.density(&self.state, 0),
+            j: m.current_jz(&self.state),
+            e,
+            t_e: m.electron_temperature(&self.state),
+            tail_2v: self.tails.tail_density(&self.state, 0)[0],
+            quenching,
+        };
+        self.samples.push(s);
+    }
+
+    /// Phase 1: drive with the constant field until quasi-equilibrium.
+    /// Returns the equilibrium field used.
+    pub fn run_equilibration(&mut self) -> f64 {
+        let e0 = self.cfg.e0_over_ec * connor_hastie_ec(self.cfg.t_e0_ev);
+        self.sample(e0, false);
+        let mut eta_prev = f64::INFINITY;
+        for k in 0..self.cfg.max_equil_steps {
+            let st = self.ti.step(&mut self.state, self.cfg.dt, e0, None);
+            self.stats.merge(&st);
+            self.time += self.cfg.dt;
+            self.sample(e0, false);
+            let j = self.samples.last().unwrap().j;
+            let eta = e0 / j;
+            if k > 2 && ((eta - eta_prev) / eta).abs() < self.cfg.eta_tol * self.cfg.dt {
+                break;
+            }
+            eta_prev = eta;
+        }
+        e0
+    }
+
+    /// The cold-source rate vector at time `tau` after quench start.
+    fn source_at(&self, tau: f64) -> Option<Vec<f64>> {
+        let cfg = &self.cfg;
+        if tau < 0.0 || tau >= cfg.pulse_duration {
+            return None;
+        }
+        // Sinusoidal envelope integrating to `mass_factor`:
+        // A sin(π τ/τ_p), ∫ = 2 A τ_p/π = mass_factor ⇒ A = π mf/(2 τ_p).
+        let amp = core::f64::consts::PI * cfg.mass_factor / (2.0 * cfg.pulse_duration)
+            * (core::f64::consts::PI * tau / cfg.pulse_duration).sin();
+        let n = self.ti.op.n();
+        let ns = self.ti.op.species.len();
+        let mut src = vec![0.0; n * ns];
+        // Cold electrons (species 0) and quasineutral cold ions (species 1).
+        let th_e = landau_math::constants::THETA_E_REF * cfg.t_cold;
+        let th_i = landau_math::constants::THETA_E_REF * cfg.t_cold / cfg.ion_mass;
+        let e_part = self
+            .ti
+            .op
+            .space
+            .interpolate(|r, z| maxwellian(amp, th_e, r, z));
+        let i_part = self
+            .ti
+            .op
+            .space
+            .interpolate(|r, z| maxwellian(amp / cfg.z, th_i, r, z));
+        src[..n].copy_from_slice(&e_part);
+        src[n..2 * n].copy_from_slice(&i_part);
+        Some(src)
+    }
+
+    /// Effective charge for the Spitzer feedback (single ion species: Z).
+    fn z_eff(&self) -> f64 {
+        self.cfg.z
+    }
+
+    /// Phase 2: switch to `E ← η_sp(T_e) J` and inject the cold pulse.
+    pub fn run_quench(&mut self) {
+        let t_quench_start = self.time;
+        for _ in 0..self.cfg.quench_steps {
+            let m = &self.ti.moments;
+            let t_e = m.electron_temperature(&self.state).max(1e-3);
+            let j = m.current_jz(&self.state);
+            let e = spitzer_eta(self.z_eff(), t_e) * j;
+            let tau = self.time - t_quench_start;
+            let src = self.source_at(tau);
+            let st = self
+                .ti
+                .step(&mut self.state, self.cfg.dt, e, src.as_deref());
+            self.stats.merge(&st);
+            self.time += self.cfg.dt;
+            self.sample(e, true);
+        }
+    }
+
+    /// Run both phases.
+    pub fn run(&mut self) {
+        self.run_equilibration();
+        self.run_quench();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> QuenchConfig {
+        QuenchConfig {
+            cells_per_vt: 0.75,
+            k_outer: 2.2,
+            ion_mass: 16.0,
+            t_cold: 0.15,
+            dt: 0.25,
+            max_equil_steps: 16,
+            quench_steps: 20,
+            pulse_duration: 3.0,
+            mass_factor: 3.0,
+            domain: 4.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn quench_produces_expected_dynamics() {
+        let mut d = QuenchDriver::new(fast_cfg());
+        d.run();
+        assert!(d.stats.converged, "a Newton solve failed");
+        let pre = d
+            .samples
+            .iter()
+            .filter(|s| !s.quenching)
+            .last()
+            .copied()
+            .unwrap();
+        let last = *d.samples.last().unwrap();
+        // Mass injection: n_e grows by ≈ mass_factor.
+        assert!(
+            last.n_e > 1.0 + 0.8 * d.cfg.mass_factor,
+            "n_e only reached {}",
+            last.n_e
+        );
+        // Thermal collapse: T_e far below the initial temperature.
+        assert!(last.t_e < 0.55 * pre.t_e, "T_e {} vs pre {}", last.t_e, pre.t_e);
+        // The field rises during the quench (η ∝ T^{-3/2} feedback).
+        let e_max = d
+            .samples
+            .iter()
+            .filter(|s| s.quenching)
+            .map(|s| s.e)
+            .fold(0.0f64, f64::max);
+        assert!(e_max > 2.0 * pre.e, "E never rose: {e_max} vs {}", pre.e);
+        // Current decays more slowly than temperature: still a finite
+        // fraction of its pre-quench value at the end.
+        assert!(last.j > 0.05 * pre.j, "J collapsed too fast: {}", last.j);
+        // Density profile follows the prescribed source (conservation).
+        for w in d.samples.windows(2) {
+            assert!(w[1].n_e >= w[0].n_e - 1e-6, "density must never drop");
+        }
+    }
+
+    #[test]
+    fn equilibration_detects_quasi_steady_current() {
+        let mut d = QuenchDriver::new(QuenchConfig {
+            max_equil_steps: 30,
+            ..fast_cfg()
+        });
+        let e0 = d.run_equilibration();
+        assert!(e0 > 0.0);
+        // Stopped before the cap (detector fired).
+        let n_pre = d.samples.iter().filter(|s| !s.quenching).count();
+        assert!(n_pre < 30, "never detected quasi-equilibrium");
+        // J grew to a finite value.
+        assert!(d.samples.last().unwrap().j > 0.0);
+    }
+
+    #[test]
+    fn source_pulse_integrates_to_mass_factor() {
+        let d = QuenchDriver::new(fast_cfg());
+        // Midpoint-rule integral of the source amplitude over the pulse.
+        let n = 400;
+        let taup = d.cfg.pulse_duration;
+        let mut total = 0.0;
+        for i in 0..n {
+            let tau = (i as f64 + 0.5) * taup / n as f64;
+            if let Some(src) = d.source_at(tau) {
+                // Density rate = moment of the source.
+                let rate = d.ti.moments.density(&src, 0);
+                total += rate * taup / n as f64;
+            }
+        }
+        assert!(
+            (total - d.cfg.mass_factor).abs() < 0.05 * d.cfg.mass_factor,
+            "injected {total} vs {}",
+            d.cfg.mass_factor
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! The Vlasov–Poisson–Landau thermal-quench model (paper §IV).
+//!
+//! Builds the physics applications on top of `landau-core`:
+//!
+//! * [`spitzer`] — Spitzer resistivity (eq. 12) in the nondimensional
+//!   units, the Connor–Hastie critical field and the Dreicer field;
+//! * [`resistivity`] — the §IV-B verification experiment: apply a small
+//!   `E_z`, evolve to quasi-equilibrium, measure `η = E/J` and compare
+//!   with Spitzer (Figure 4);
+//! * [`driver`] — the §IV-C thermal-quench experiment: detect the
+//!   quasi-equilibrium, switch to `E ← η(T_e) J`, inject a cold plasma
+//!   pulse and record the `n_e, J, E, T_e` profiles (Figure 5);
+//! * [`diagnostics`] — runaway-electron diagnostics (fast-tail fraction).
+
+pub mod diagnostics;
+pub mod driver;
+pub mod resistivity;
+pub mod spitzer;
+
+pub use driver::{QuenchConfig, QuenchDriver, QuenchSample};
+pub use resistivity::{measure_resistivity, ResistivityConfig, ResistivityRun};
+pub use spitzer::{connor_hastie_ec, dreicer_ed, spitzer_eta, spitzer_f};

@@ -1,0 +1,222 @@
+//! The Spitzer-resistivity verification experiment (§IV-B, Figure 4).
+//!
+//! An equilibrium electron–ion plasma with a small applied `E_z` develops a
+//! current that asymptotes to a quasi-equilibrium; the measured
+//! `η = Ẽ/J̃` should approach the Spitzer value (the paper observes the
+//! FP-Landau code landing ~1% below Spitzer for deuterium).
+
+use crate::spitzer::spitzer_eta;
+use landau_core::operator::{Backend, LandauOperator};
+use landau_core::solver::{ThetaMethod, TimeIntegrator};
+use landau_core::species::{Species, SpeciesList};
+use landau_fem::FemSpace;
+use landau_mesh::presets::MeshSpec;
+
+/// Configuration of one resistivity run.
+#[derive(Clone, Debug)]
+pub struct ResistivityConfig {
+    /// Ion effective charge `Z`.
+    pub z: f64,
+    /// Ion mass in electron masses (deuterium for the paper's tests; a
+    /// lighter ion converges faster at a small `O(sqrt(m_e/m_i))` bias).
+    pub ion_mass: f64,
+    /// Applied nondimensional field `Ẽ_z`.
+    pub e_field: f64,
+    /// Velocity-domain radius in `v0` units.
+    pub domain: f64,
+    /// Mesh resolution: cells per thermal speed.
+    pub cells_per_vt: f64,
+    /// Refinement shell radius in thermal speeds.
+    pub k_outer: f64,
+    /// Time step (electron collision times).
+    pub dt: f64,
+    /// Maximum steps.
+    pub max_steps: usize,
+    /// Quasi-equilibrium detector: stop when `|Δη|/η` per step drops
+    /// below this.
+    pub eta_tol: f64,
+    /// Kernel back-end.
+    pub backend: Backend,
+}
+
+impl Default for ResistivityConfig {
+    fn default() -> Self {
+        ResistivityConfig {
+            z: 1.0,
+            ion_mass: landau_math::constants::M_DEUTERIUM,
+            e_field: 0.02,
+            domain: 5.0,
+            cells_per_vt: 1.5,
+            k_outer: 3.5,
+            dt: 0.5,
+            max_steps: 60,
+            eta_tol: 2e-3,
+            backend: Backend::Cpu,
+        }
+    }
+}
+
+/// Result of one resistivity measurement.
+#[derive(Clone, Debug)]
+pub struct ResistivityRun {
+    /// Effective charge.
+    pub z: f64,
+    /// Measured `η = Ẽ/J̃` at quasi-equilibrium.
+    pub eta_measured: f64,
+    /// Spitzer prediction at the measured electron temperature.
+    pub eta_spitzer: f64,
+    /// Steps taken.
+    pub steps: usize,
+    /// True if the quasi-equilibrium detector fired (vs hitting the cap).
+    pub converged: bool,
+    /// Full `(t, J, η)` history.
+    pub history: Vec<(f64, f64, f64)>,
+    /// Electron temperature at the end (Ohmic heating is slow but real).
+    pub t_e: f64,
+}
+
+impl ResistivityRun {
+    /// Relative deviation from Spitzer.
+    pub fn relative_error(&self) -> f64 {
+        (self.eta_measured - self.eta_spitzer) / self.eta_spitzer
+    }
+}
+
+/// Build the standard two-species (electron + single ion) operator for a
+/// resistivity configuration.
+pub fn build_operator(cfg: &ResistivityConfig) -> LandauOperator {
+    let ion = Species {
+        name: format!("Z{}", cfg.z),
+        mass: cfg.ion_mass,
+        charge: cfg.z,
+        density: 1.0 / cfg.z, // quasineutral
+        temperature: 1.0,
+    };
+    let sl = SpeciesList::new(vec![Species::electron(), ion]);
+    let vts: Vec<f64> = sl.list.iter().map(|s| s.thermal_speed()).collect();
+    let forest = MeshSpec::for_thermal_speeds(cfg.domain, 1, &vts, cfg.cells_per_vt, cfg.k_outer)
+        .build();
+    let space = FemSpace::new(forest, 3);
+    LandauOperator::new(space, sl, cfg.backend)
+}
+
+/// Run the experiment: drive with `Ẽ` until `η = Ẽ/J̃` stops changing.
+pub fn measure_resistivity(cfg: &ResistivityConfig) -> ResistivityRun {
+    let op = build_operator(cfg);
+    let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
+    ti.rtol = 1e-8;
+    ti.max_newton = 100;
+    let mut state = ti.op.initial_state();
+    let mut history: Vec<(f64, f64, f64)> = Vec::new();
+    let mut eta_prev = f64::INFINITY;
+    let mut converged = false;
+    let mut steps = 0;
+    for k in 0..cfg.max_steps {
+        let s = ti.step(&mut state, cfg.dt, cfg.e_field, None);
+        assert!(s.converged, "Newton stalled at step {k}: {}", s.residual);
+        steps = k + 1;
+        let j = ti.moments.current_jz(&state);
+        let eta = cfg.e_field / j;
+        history.push(((k + 1) as f64 * cfg.dt, j, eta));
+        if k > 2 && ((eta - eta_prev) / eta).abs() < cfg.eta_tol * cfg.dt {
+            converged = true;
+            break;
+        }
+        eta_prev = eta;
+    }
+    let t_e = ti.moments.electron_temperature(&state);
+    let eta_measured = history.last().map(|h| h.2).unwrap_or(f64::NAN);
+    ResistivityRun {
+        z: cfg.z,
+        eta_measured,
+        eta_spitzer: spitzer_eta(cfg.z, t_e),
+        steps,
+        converged,
+        history,
+        t_e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline physics verification, on a reduced-mass ion for speed:
+    /// the measured η must land near Spitzer (paper: ~1% low for deuterium
+    /// on a 176-cell mesh; we allow a wider band for the light ion and
+    /// modest mesh).
+    #[test]
+    fn eta_approaches_spitzer_z1() {
+        let cfg = ResistivityConfig {
+            ion_mass: 16.0,
+            cells_per_vt: 0.75,
+            k_outer: 2.5,
+            domain: 4.5,
+            max_steps: 40,
+            ..Default::default()
+        };
+        let run = measure_resistivity(&cfg);
+        assert!(run.converged, "no quasi-equilibrium in {} steps", run.steps);
+        let err = run.relative_error();
+        // A 16 m_e ion biases Spitzer by O(m_e/m_i) ≈ 6%; the modest mesh
+        // adds a few % more. The fig4 bench runs the deuterium version.
+        assert!(
+            err.abs() < 0.25,
+            "η = {} vs Spitzer {} ({:+.1}%)",
+            run.eta_measured,
+            run.eta_spitzer,
+            100.0 * err
+        );
+        // The current must grow toward the asymptote monotonically at the
+        // start (conductivity rising from zero).
+        assert!(run.history[0].1 < run.history.last().unwrap().1);
+    }
+
+    #[test]
+    fn eta_is_insensitive_to_modest_field_strength() {
+        // §IV-B: "this η is not sensitive to (modest) electric field
+        // strength".
+        let base = ResistivityConfig {
+            ion_mass: 16.0,
+            cells_per_vt: 0.75,
+            k_outer: 2.2,
+            domain: 4.5,
+            max_steps: 30,
+            ..Default::default()
+        };
+        let a = measure_resistivity(&ResistivityConfig {
+            e_field: 0.015,
+            ..base.clone()
+        });
+        let b = measure_resistivity(&ResistivityConfig {
+            e_field: 0.03,
+            ..base
+        });
+        let rel = (a.eta_measured - b.eta_measured).abs() / a.eta_measured;
+        assert!(rel < 0.08, "η(E1)={} η(E2)={}", a.eta_measured, b.eta_measured);
+    }
+
+    #[test]
+    fn higher_z_is_more_resistive() {
+        let base = ResistivityConfig {
+            ion_mass: 16.0,
+            cells_per_vt: 0.75,
+            k_outer: 2.2,
+            domain: 4.5,
+            max_steps: 30,
+            ..Default::default()
+        };
+        let z1 = measure_resistivity(&base);
+        let z2 = measure_resistivity(&ResistivityConfig {
+            z: 2.0,
+            ion_mass: 32.0,
+            ..base
+        });
+        assert!(
+            z2.eta_measured > 1.2 * z1.eta_measured,
+            "η(Z=2)={} vs η(Z=1)={}",
+            z2.eta_measured,
+            z1.eta_measured
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Spitzer resistivity and runaway-threshold fields, nondimensionalized.
+//!
+//! Equation (12) of the paper in SI units, converted to the Appendix-A
+//! units (`Ẽ = E e t0/(m_e v0)`, `J̃ = J/(e n0 v0)`, so
+//! `η̃ = η e² n0 t0 / m_e`):
+//!
+//! `η̃_sp(Z, T̃) = (4√(2π)/3) (1/2π) (8/π)^{3/2} Z F(Z) T̃^{-3/2}
+//!              ≈ 2.16139 · Z F(Z) T̃^{-3/2}`
+//!
+//! with `F(Z) = (1 + 1.198 Z + 0.222 Z²)/(1 + 2.966 Z + 0.753 Z²)` and
+//! `T̃ = T_e/T_e0`. The Coulomb logarithm cancels against the one in `t0`
+//! (both fixed at 10).
+
+use core::f64::consts::PI;
+
+/// The neoclassical-free trapping factor `F(Z)` of eq. (12).
+pub fn spitzer_f(z: f64) -> f64 {
+    (1.0 + 1.198 * z + 0.222 * z * z) / (1.0 + 2.966 * z + 0.753 * z * z)
+}
+
+/// The nondimensional prefactor `(4√(2π)/3)(1/2π)(8/π)^{3/2}`.
+pub fn spitzer_prefactor() -> f64 {
+    (4.0 * (2.0 * PI).sqrt() / 3.0) * (1.0 / (2.0 * PI)) * (8.0 / PI).powf(1.5)
+}
+
+/// Nondimensional Spitzer resistivity at effective charge `z` and electron
+/// temperature `t_e` (in `T_e0` units).
+pub fn spitzer_eta(z: f64, t_e: f64) -> f64 {
+    spitzer_prefactor() * z * spitzer_f(z) * t_e.powf(-1.5)
+}
+
+/// `v0/c` for a reference electron temperature in eV
+/// (`v0 = sqrt(8 kT/π m_e)`).
+pub fn v0_over_c(t_e0_ev: f64) -> f64 {
+    // sqrt(8 e / (π m_e)) / c = 2.2322e-3 per sqrt(eV).
+    2.232_2e-3 * t_e0_ev.sqrt()
+}
+
+/// Nondimensional Connor–Hastie critical field `Ẽ_c = 2 (v0/c)²`
+/// (relativistic runaway threshold; needs the physical `T_e0`).
+pub fn connor_hastie_ec(t_e0_ev: f64) -> f64 {
+    let b = v0_over_c(t_e0_ev);
+    2.0 * b * b
+}
+
+/// Nondimensional Dreicer field `Ẽ_D = (16/π)/T̃` (thermal runaway
+/// threshold; independent of the reference temperature).
+pub fn dreicer_ed(t_e: f64) -> f64 {
+    16.0 / PI / t_e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_of_z_limits() {
+        // F(1) ≈ 0.5129; F(∞) → 0.222/0.753 ≈ 0.2948 (Lorentz limit).
+        assert!((spitzer_f(1.0) - 0.5128).abs() < 1e-3);
+        assert!((spitzer_f(1e9) - 0.222 / 0.753).abs() < 1e-6);
+        // Monotone decreasing.
+        let mut prev = spitzer_f(1.0);
+        for z in [2.0, 4.0, 8.0, 16.0, 64.0, 128.0] {
+            let f = spitzer_f(z);
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn prefactor_value() {
+        assert!((spitzer_prefactor() - 2.16139).abs() < 1e-4);
+    }
+
+    #[test]
+    fn eta_scalings() {
+        // η ∝ T^{-3/2}.
+        let a = spitzer_eta(1.0, 1.0);
+        let b = spitzer_eta(1.0, 0.25);
+        assert!((b / a - 8.0).abs() < 1e-12);
+        // Z=1 value ≈ 2.1614·0.5129 ≈ 1.1085.
+        assert!((a - 1.1086).abs() < 2e-3, "{a}");
+        // η grows with Z, sublinearly (Z F(Z)).
+        assert!(spitzer_eta(2.0, 1.0) > a);
+        assert!(spitzer_eta(2.0, 1.0) < 2.0 * a);
+    }
+
+    #[test]
+    fn critical_fields() {
+        // 100 eV plasma: v0/c ≈ 0.0223, E_c ≈ 1e-3.
+        let ec = connor_hastie_ec(100.0);
+        assert!((ec - 9.97e-4).abs() < 5e-5, "{ec}");
+        // Dreicer ≫ Connor–Hastie at fusion temperatures.
+        assert!(dreicer_ed(1.0) > 1000.0 * ec);
+        // E_D drops as the plasma heats.
+        assert!(dreicer_ed(2.0) < dreicer_ed(1.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Atomic `f64` adds for device-style concurrent matrix assembly.
+//!
+//! The released GPU-assembly path in PETSc resolves inter-element contention
+//! with atomic fetch-and-add (paper §III-F). On hardware without native f64
+//! atomics (the MI100 case discussed in §V-D1) this falls back to a
+//! compare-and-swap loop — exactly what this type implements, which is also
+//! why the hardware model charges it a penalty.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` with an atomic add, bit-cast over `AtomicU64`.
+#[repr(transparent)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// New atomic with the given value.
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Relaxed load.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store.
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed)
+    }
+
+    /// Atomic `+= v` via a CAS loop. Returns the previous value.
+    pub fn fetch_add(&self, v: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reinterpret a mutable `f64` slice as atomics. Sound because
+    /// `AtomicF64` is `repr(transparent)` over `AtomicU64`, which has the
+    /// same size and alignment as `u64`/`f64` on all supported platforms,
+    /// and the exclusive borrow guarantees no unsynchronized aliasing.
+    pub fn cast_slice_mut(vals: &mut [f64]) -> &[AtomicF64] {
+        assert_eq!(core::mem::size_of::<AtomicF64>(), 8);
+        assert_eq!(core::mem::align_of::<AtomicF64>(), core::mem::align_of::<f64>());
+        // SAFETY: see doc comment; lifetimes tie the atomic view to the
+        // exclusive borrow of `vals`.
+        unsafe { core::slice::from_raw_parts(vals.as_mut_ptr() as *const AtomicF64, vals.len()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.fetch_add(2.0), 1.5);
+        assert_eq!(a.load(), 3.5);
+        a.store(-1.0);
+        assert_eq!(a.load(), -1.0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let a = Arc::new(AtomicF64::new(0.0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = a.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        a.fetch_add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(a.load(), 80_000.0);
+    }
+
+    #[test]
+    fn slice_view_roundtrips() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        {
+            let at = AtomicF64::cast_slice_mut(&mut v);
+            at[1].fetch_add(10.0);
+        }
+        assert_eq!(v, vec![1.0, 12.0, 3.0]);
+    }
+}

@@ -1,0 +1,450 @@
+//! Banded LU direct solver (the paper's custom GPU solver, §III-G).
+//!
+//! Band storage keeps the main diagonal plus `ubw` superdiagonals and `lbw`
+//! subdiagonals. Factorization is the standard outer-product form (Golub &
+//! Van Loan, Algorithm 4.3.1) without pivoting — Landau Jacobians are
+//! `M/dt - L` with a dominant mass term, structurally symmetric, and the
+//! paper's solver likewise does not pivot.
+//!
+//! Multi-species Jacobians are block diagonal after RCM; the block-aware
+//! entry point factors/solves each species block independently and in
+//! parallel — the CPU analogue of the paper's use of CUDA group
+//! synchronization to give each species' factorization several SMs.
+
+use crate::csr::Csr;
+use rayon::prelude::*;
+
+/// A square banded matrix in LAPACK-like band-row storage:
+/// entry `(i, j)` with `|i-j| ≤ bw` lives at `data[i * w + (j - i + lbw)]`
+/// where `w = lbw + ubw + 1`.
+#[derive(Clone, Debug)]
+pub struct BandMatrix {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Subdiagonal count.
+    pub lbw: usize,
+    /// Superdiagonal count.
+    pub ubw: usize,
+    data: Vec<f64>,
+    factored: bool,
+}
+
+impl BandMatrix {
+    /// Zero banded matrix.
+    pub fn zeros(n: usize, lbw: usize, ubw: usize) -> Self {
+        BandMatrix {
+            n,
+            lbw,
+            ubw,
+            data: vec![0.0; n * (lbw + ubw + 1)],
+            factored: false,
+        }
+    }
+
+    /// Storage row width.
+    #[inline]
+    fn w(&self) -> usize {
+        self.lbw + self.ubw + 1
+    }
+
+    /// Read entry `(i, j)` (0 outside the band).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let d = j as isize - i as isize;
+        if d < -(self.lbw as isize) || d > self.ubw as isize {
+            return 0.0;
+        }
+        self.data[i * self.w() + (d + self.lbw as isize) as usize]
+    }
+
+    /// Write entry `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics outside the band.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let d = j as isize - i as isize;
+        assert!(
+            d >= -(self.lbw as isize) && d <= self.ubw as isize,
+            "entry ({i},{j}) outside band (lbw={}, ubw={})",
+            self.lbw,
+            self.ubw
+        );
+        let w = self.w();
+        self.data[i * w + (d + self.lbw as isize) as usize] = v;
+    }
+
+    /// Import a CSR matrix into band storage (bandwidth taken from the CSR
+    /// pattern; use after RCM permutation).
+    pub fn from_csr(a: &Csr) -> Self {
+        assert_eq!(a.n_rows, a.n_cols);
+        let bw = crate::rcm::bandwidth(a);
+        let mut m = BandMatrix::zeros(a.n_rows, bw, bw);
+        m.load_csr_values(a);
+        m
+    }
+
+    /// Refill values from a CSR matrix with the same (or narrower) band.
+    pub fn load_csr_values(&mut self, a: &Csr) {
+        assert_eq!(a.n_rows, self.n);
+        self.data.fill(0.0);
+        self.factored = false;
+        let w = self.w();
+        for i in 0..a.n_rows {
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                let j = a.col_idx[k];
+                let d = j as isize - i as isize;
+                assert!(
+                    d >= -(self.lbw as isize) && d <= self.ubw as isize,
+                    "CSR entry ({i},{j}) outside allocated band"
+                );
+                self.data[i * w + (d + self.lbw as isize) as usize] = a.vals[k];
+            }
+        }
+    }
+
+    /// `y = A x` for an unfactored band matrix.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.factored, "matvec on factored matrix");
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let jlo = i.saturating_sub(self.lbw);
+            let jhi = (i + self.ubw).min(self.n - 1);
+            let mut s = 0.0;
+            for j in jlo..=jhi {
+                s += self.get(i, j) * x[j];
+            }
+            y[i] = s;
+        }
+        y
+    }
+
+    /// In-place LU factorization without pivoting (outer-product form).
+    /// Returns `Err(i)` if a pivot at row `i` is smaller than `tiny`.
+    pub fn factor(&mut self) -> Result<(), usize> {
+        assert!(!self.factored, "matrix already factored");
+        let n = self.n;
+        let tiny = 1e-300;
+        for i in 0..n {
+            let piv = self.get(i, i);
+            if piv.abs() < tiny {
+                return Err(i);
+            }
+            let rmax = (i + self.lbw).min(n - 1);
+            let cmax = (i + self.ubw).min(n - 1);
+            for r in (i + 1)..=rmax {
+                let l = self.get(r, i) / piv;
+                self.set(r, i, l);
+                if l != 0.0 {
+                    // Rank-1 update of the dense sub-block A(r, i+1..cmax).
+                    for c in (i + 1)..=cmax {
+                        let u = self.get(i, c);
+                        if u != 0.0 {
+                            let v = self.get(r, c) - l * u;
+                            self.set(r, c, v);
+                        }
+                    }
+                }
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solve `A x = b` after [`BandMatrix::factor`]; overwrites `x`.
+    pub fn solve_into(&self, x: &mut [f64]) {
+        assert!(self.factored, "solve before factor");
+        assert_eq!(x.len(), self.n);
+        let n = self.n;
+        // Forward substitution with unit lower factor.
+        for i in 0..n {
+            let jlo = i.saturating_sub(self.lbw);
+            let mut s = x[i];
+            for j in jlo..i {
+                s -= self.get(i, j) * x[j];
+            }
+            x[i] = s;
+        }
+        // Backward substitution.
+        for i in (0..n).rev() {
+            let jhi = (i + self.ubw).min(n - 1);
+            let mut s = x[i];
+            for j in (i + 1)..=jhi {
+                s -= self.get(i, j) * x[j];
+            }
+            x[i] = s / self.get(i, i);
+        }
+    }
+
+    /// Factor-and-solve convenience for one right-hand side.
+    pub fn factor_solve(mut self, b: &[f64]) -> Result<Vec<f64>, usize> {
+        self.factor()?;
+        let mut x = b.to_vec();
+        self.solve_into(&mut x);
+        Ok(x)
+    }
+
+    /// Approximate FLOP count of a factorization (`≈ 2 n B (B+1)` for
+    /// half-bandwidth `B`) — used by the hardware model.
+    pub fn factor_flops(n: usize, bw: usize) -> u64 {
+        2 * n as u64 * bw as u64 * (bw as u64 + 1)
+    }
+
+    /// Approximate FLOP count of a solve (`≈ 4 n B`).
+    pub fn solve_flops(n: usize, bw: usize) -> u64 {
+        4 * n as u64 * bw as u64
+    }
+}
+
+/// A block-diagonal banded solver: one [`BandMatrix`] per species block,
+/// factored and solved independently (and in parallel).
+#[derive(Clone, Debug)]
+pub struct BlockBandSolver {
+    blocks: Vec<BandMatrix>,
+    offsets: Vec<usize>,
+}
+
+impl BlockBandSolver {
+    /// Build from a block-diagonal CSR: `block_sizes` gives the dimension of
+    /// each diagonal block (all entries of the CSR must fall inside blocks).
+    pub fn from_block_csr(a: &Csr, block_sizes: &[usize]) -> Self {
+        let total: usize = block_sizes.iter().sum();
+        assert_eq!(total, a.n_rows, "block sizes must cover the matrix");
+        let mut offsets = Vec::with_capacity(block_sizes.len() + 1);
+        offsets.push(0);
+        for &s in block_sizes {
+            offsets.push(offsets.last().unwrap() + s);
+        }
+        let blocks: Vec<BandMatrix> = block_sizes
+            .iter()
+            .enumerate()
+            .map(|(b, &size)| {
+                let off = offsets[b];
+                // Bandwidth of this block.
+                let mut bw = 0usize;
+                for i in off..off + size {
+                    for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                        let j = a.col_idx[k];
+                        assert!(
+                            (off..off + size).contains(&j),
+                            "entry ({i},{j}) crosses block boundary"
+                        );
+                        bw = bw.max(j.abs_diff(i));
+                    }
+                }
+                let mut m = BandMatrix::zeros(size, bw, bw);
+                for i in off..off + size {
+                    for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                        m.set(i - off, a.col_idx[k] - off, a.vals[k]);
+                    }
+                }
+                m
+            })
+            .collect();
+        BlockBandSolver { blocks, offsets }
+    }
+
+    /// Factor every block (parallel over blocks). Returns `Err((block, row))`
+    /// on a zero pivot.
+    pub fn factor(&mut self) -> Result<(), (usize, usize)> {
+        let results: Vec<Result<(), usize>> = self
+            .blocks
+            .par_iter_mut()
+            .map(|b| b.factor())
+            .collect();
+        for (bi, r) in results.into_iter().enumerate() {
+            if let Err(row) = r {
+                return Err((bi, row));
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve in place (parallel over blocks).
+    pub fn solve_into(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), *self.offsets.last().unwrap());
+        // Split the solution vector at the block boundaries.
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.blocks.len());
+        let mut rest = x;
+        for b in &self.blocks {
+            let (head, tail) = rest.split_at_mut(b.n);
+            slices.push(head);
+            rest = tail;
+        }
+        self.blocks
+            .par_iter()
+            .zip(slices.into_par_iter())
+            .for_each(|(b, s)| b.solve_into(s));
+    }
+
+    /// Max half-bandwidth across blocks.
+    pub fn max_bandwidth(&self) -> usize {
+        self.blocks.iter().map(|b| b.lbw).max().unwrap_or(0)
+    }
+
+    /// Total factorization FLOPs (for the hardware model).
+    pub fn factor_flops(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| BandMatrix::factor_flops(b.n, b.lbw))
+            .sum()
+    }
+
+    /// Total solve FLOPs.
+    pub fn solve_flops(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| BandMatrix::solve_flops(b.n, b.lbw))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::InsertMode;
+    use landau_math::dense::{dense_solve, DenseMatrix};
+
+    fn random_banded(n: usize, bw: usize, seed: u64) -> BandMatrix {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut m = BandMatrix::zeros(n, bw, bw);
+        for i in 0..n {
+            for j in i.saturating_sub(bw)..=(i + bw).min(n - 1) {
+                m.set(i, j, next());
+            }
+            let d = m.get(i, i);
+            m.set(i, i, d + 3.0 * (bw as f64 + 1.0)); // diagonal dominance
+        }
+        m
+    }
+
+    fn band_to_dense(m: &BandMatrix) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(m.n, m.n);
+        for i in 0..m.n {
+            for j in 0..m.n {
+                d[(i, j)] = m.get(i, j);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn band_solve_matches_dense() {
+        for (n, bw) in [(1usize, 0usize), (5, 1), (20, 3), (40, 7), (64, 15)] {
+            let m = random_banded(n, bw, (n * 31 + bw) as u64);
+            let d = band_to_dense(&m);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let xd = dense_solve(&d, &b).unwrap();
+            let xb = m.factor_solve(&b).unwrap();
+            for i in 0..n {
+                assert!(
+                    (xd[i] - xb[i]).abs() < 1e-9,
+                    "n={n} bw={bw} i={i}: {} vs {}",
+                    xd[i],
+                    xb[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_is_small() {
+        let m = random_banded(50, 5, 99);
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.1).sin()).collect();
+        let ax = {
+            let x = m.clone().factor_solve(&b).unwrap();
+            m.matvec(&x)
+        };
+        for i in 0..50 {
+            assert!((ax[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_pivot_reported() {
+        let mut m = BandMatrix::zeros(2, 1, 1);
+        m.set(0, 0, 0.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 1.0);
+        assert_eq!(m.factor(), Err(0));
+    }
+
+    #[test]
+    fn from_csr_roundtrip() {
+        let mut a = Csr::from_pattern(
+            3,
+            3,
+            &[vec![0, 1], vec![0, 1, 2], vec![1, 2]],
+        );
+        a.set_values(&[0], &[0, 1], &[4.0, 1.0], InsertMode::Insert);
+        a.set_values(&[1], &[0, 1, 2], &[1.0, 4.0, 1.0], InsertMode::Insert);
+        a.set_values(&[2], &[1, 2], &[1.0, 4.0], InsertMode::Insert);
+        let m = BandMatrix::from_csr(&a);
+        assert_eq!(m.lbw, 1);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x), a.matvec(&x));
+    }
+
+    #[test]
+    fn block_solver_matches_monolithic() {
+        // Two independent diagonal-dominant tridiagonal blocks.
+        let mut cols = vec![Vec::new(); 8];
+        for blk in 0..2usize {
+            let off = blk * 4;
+            for i in off..off + 4 {
+                cols[i].push(i);
+                if i > off {
+                    cols[i].push(i - 1);
+                }
+                if i + 1 < off + 4 {
+                    cols[i].push(i + 1);
+                }
+            }
+        }
+        let mut a = Csr::from_pattern(8, 8, &cols);
+        for i in 0..8usize {
+            a.add_value(i, i, 5.0 + i as f64);
+            if a.find(i, i + 1).is_some() {
+                a.add_value(i, i + 1, 1.0);
+            }
+            if i > 0 && a.find(i, i - 1).is_some() {
+                a.add_value(i, i - 1, 2.0);
+            }
+        }
+        let b: Vec<f64> = (0..8).map(|i| i as f64 + 1.0).collect();
+        let mono = BandMatrix::from_csr(&a).factor_solve(&b).unwrap();
+        let mut blocked = BlockBandSolver::from_block_csr(&a, &[4, 4]);
+        blocked.factor().unwrap();
+        let mut x = b.clone();
+        blocked.solve_into(&mut x);
+        for i in 0..8 {
+            assert!((mono[i] - x[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses block boundary")]
+    fn block_solver_rejects_coupled_blocks() {
+        let mut cols = vec![Vec::new(); 4];
+        for (i, c) in cols.iter_mut().enumerate() {
+            c.push(i);
+        }
+        cols[1].push(2); // couples the two 2-blocks
+        let a = Csr::from_pattern(4, 4, &cols);
+        let _ = BlockBandSolver::from_block_csr(&a, &[2, 2]);
+    }
+
+    #[test]
+    fn flop_model_is_monotone() {
+        assert!(BandMatrix::factor_flops(100, 10) < BandMatrix::factor_flops(100, 20));
+        assert!(BandMatrix::solve_flops(100, 10) < BandMatrix::solve_flops(200, 10));
+    }
+}

@@ -1,0 +1,173 @@
+//! Coordinate-format assembly (the PETSc GPU COO interface).
+//!
+//! Unlike the `MatSetValues` path, COO assembly needs no CPU pre-assembly:
+//! every element writes its `(i, j, v)` triplets into a preallocated stream
+//! and a single sort-and-sum pass produces the CSR matrix. The paper notes
+//! both interfaces exist; the bench suite compares them as an ablation.
+
+use crate::csr::Csr;
+
+/// A growable triplet buffer.
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of columns.
+    pub n_cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Empty COO matrix of the given shape.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// With preallocated triplet capacity (elements × block-size², known a
+    /// priori for FEM).
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append one triplet (duplicates allowed; they sum on conversion).
+    #[inline]
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        self.entries.push((i, j, v));
+    }
+
+    /// Append a dense block (the element-matrix scatter).
+    pub fn push_block(&mut self, rows: &[usize], cols: &[usize], block: &[f64]) {
+        assert_eq!(block.len(), rows.len() * cols.len());
+        for (bi, &i) in rows.iter().enumerate() {
+            for (bj, &j) in cols.iter().enumerate() {
+                let v = block[bi * cols.len() + bj];
+                if v != 0.0 {
+                    self.push(i, j, v);
+                }
+            }
+        }
+    }
+
+    /// Number of raw (unsummed) triplets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sort triplets and sum duplicates into a CSR matrix.
+    pub fn to_csr(&self) -> Csr {
+        let mut e = self.entries.clone();
+        e.sort_unstable_by_key(|&(i, j, _)| (i, j));
+        // Merge duplicates in place.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(e.len());
+        for &(i, j, v) in &e {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == i && last.1 == j {
+                    last.2 += v;
+                    continue;
+                }
+            }
+            merged.push((i, j, v));
+        }
+        let mut row_ptr = vec![0usize; self.n_rows + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut vals = Vec::with_capacity(merged.len());
+        let mut k = 0usize;
+        for &(i, j, v) in &merged {
+            while k < i {
+                k += 1;
+                row_ptr[k] = col_idx.len();
+            }
+            col_idx.push(j);
+            vals.push(v);
+        }
+        while k < self.n_rows {
+            k += 1;
+            row_ptr[k] = col_idx.len();
+        }
+        Csr {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Clear triplets, keeping capacity (re-assembly without reallocating).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_sum() {
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(0, 0, 2.0);
+        c.push(1, 1, 5.0);
+        c.push(0, 1, -1.0);
+        let a = c.to_csr();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 1), 5.0);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let mut c = CooMatrix::new(4, 4);
+        c.push(2, 3, 7.0);
+        let a = c.to_csr();
+        assert_eq!(a.row_ptr, vec![0, 0, 0, 1, 1]);
+        assert_eq!(a.get(2, 3), 7.0);
+    }
+
+    #[test]
+    fn block_push_matches_setvalues() {
+        use crate::csr::InsertMode;
+        let rows = [0usize, 2];
+        let cols = [1usize, 2];
+        let block = [1.0, 2.0, 3.0, 4.0];
+        let mut c = CooMatrix::new(3, 3);
+        c.push_block(&rows, &cols, &block);
+        let a = c.to_csr();
+        let mut b = Csr::from_pattern(3, 3, &[vec![1, 2], vec![], vec![1, 2]]);
+        b.set_values(&rows, &cols, &block, InsertMode::Add);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.get(i, j), b.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut c = CooMatrix::with_capacity(2, 2, 100);
+        for _ in 0..50 {
+            c.push(0, 0, 1.0);
+        }
+        let cap = 100;
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.entries.capacity() >= cap);
+    }
+}

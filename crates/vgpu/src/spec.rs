@@ -1,0 +1,188 @@
+//! Device specifications and the [`Device`] handle that carries kernel
+//! counters.
+//!
+//! Peak numbers come from the paper and public datasheets: V100 7.8 TF FP64
+//! DFMA peak and 890 GB/s HBM2 (§V-A1), MI100 up to 11.5 TF FP64 and
+//! 1.23 TB/s, A64FX ~3.07 TF FP64 and 1 TB/s HBM2, plus the CPU hosts
+//! (POWER9, EPYC "Rome") that run the factorization and solve in Table VII.
+
+use crate::counters::{KernelRegistry, KernelStats, Tally};
+use std::sync::Arc;
+
+/// Static description of a compute device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Streaming multiprocessors (or CUs / cores for non-NVIDIA devices).
+    pub sms: u32,
+    /// Peak FP64 rate in GFLOP/s.
+    pub peak_fp64_gflops: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Native f64 atomic adds in global memory (false on MI100, §V-D1).
+    pub has_hw_f64_atomics: bool,
+    /// Kernel launch overhead in microseconds (host → device dispatch).
+    pub launch_overhead_us: f64,
+    /// True for CPU-like devices (A64FX, POWER9, EPYC) where "SMs" are cores.
+    pub is_cpu: bool,
+}
+
+impl DeviceSpec {
+    /// Roofline turning point: FLOPs/byte where compute meets bandwidth.
+    pub fn roofline_knee(&self) -> f64 {
+        self.peak_fp64_gflops / self.dram_gbps
+    }
+
+    /// NVIDIA V100 (Summit): 80 SMs, 7.8 TF FP64, 890 GB/s.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "NVIDIA V100",
+            sms: 80,
+            peak_fp64_gflops: 7800.0,
+            dram_gbps: 890.0,
+            has_hw_f64_atomics: true,
+            launch_overhead_us: 8.0,
+            is_cpu: false,
+        }
+    }
+
+    /// AMD MI100 (Spock): 120 CUs, up to 11.5 TF FP64, no HW f64 atomics.
+    pub fn mi100() -> Self {
+        DeviceSpec {
+            name: "AMD MI100",
+            sms: 120,
+            peak_fp64_gflops: 11500.0,
+            dram_gbps: 1230.0,
+            has_hw_f64_atomics: false,
+            launch_overhead_us: 12.0,
+            is_cpu: false,
+        }
+    }
+
+    /// Fujitsu A64FX (Fugaku node): 48 cores, ~3.07 TF FP64, 1 TB/s HBM2.
+    pub fn a64fx() -> Self {
+        DeviceSpec {
+            name: "Fujitsu A64FX",
+            sms: 48,
+            peak_fp64_gflops: 3072.0,
+            dram_gbps: 1024.0,
+            has_hw_f64_atomics: true,
+            launch_overhead_us: 0.5,
+            is_cpu: true,
+        }
+    }
+
+    /// IBM POWER9 (one socket, 21 cores as configured on Summit).
+    pub fn power9() -> Self {
+        DeviceSpec {
+            name: "IBM POWER9",
+            sms: 21,
+            peak_fp64_gflops: 510.0,
+            dram_gbps: 170.0,
+            has_hw_f64_atomics: true,
+            launch_overhead_us: 0.0,
+            is_cpu: true,
+        }
+    }
+
+    /// AMD EPYC 7662 "Rome" (Spock host, 64 cores).
+    pub fn epyc_rome() -> Self {
+        DeviceSpec {
+            name: "AMD EPYC 7662",
+            sms: 64,
+            peak_fp64_gflops: 2048.0,
+            dram_gbps: 205.0,
+            has_hw_f64_atomics: true,
+            launch_overhead_us: 0.0,
+            is_cpu: true,
+        }
+    }
+}
+
+/// A device handle: spec plus named per-kernel counters.
+#[derive(Debug)]
+pub struct Device {
+    /// Static capabilities.
+    pub spec: DeviceSpec,
+    kernels: KernelRegistry,
+}
+
+impl Device {
+    /// New device with fresh counters.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Device {
+            spec,
+            kernels: KernelRegistry::default(),
+        }
+    }
+
+    /// Record one launch of a named kernel.
+    pub fn record_launch(&self, kernel: &str, tally: &Tally, blocks: u64) {
+        self.kernels.kernel(kernel).record_launch(tally, blocks);
+    }
+
+    /// Counter handle for a kernel (for repeated recording).
+    pub fn kernel_counters(&self, kernel: &str) -> Arc<crate::counters::Counters> {
+        self.kernels.kernel(kernel)
+    }
+
+    /// Snapshot of a kernel's stats.
+    pub fn kernel_stats(&self, kernel: &str) -> KernelStats {
+        self.kernels.kernel(kernel).stats()
+    }
+
+    /// All kernels' stats, sorted by name.
+    pub fn all_kernel_stats(&self) -> Vec<(String, KernelStats)> {
+        self.kernels.all_stats()
+    }
+
+    /// Reset all counters.
+    pub fn reset_counters(&self) {
+        self.kernels.reset_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_roofline_knee_matches_paper() {
+        // Paper §V-A1: "the AI roofline turning point is at 8.8".
+        let knee = DeviceSpec::v100().roofline_knee();
+        assert!((knee - 8.764).abs() < 0.05, "knee = {knee}");
+    }
+
+    #[test]
+    fn mi100_lacks_hw_atomics() {
+        assert!(!DeviceSpec::mi100().has_hw_f64_atomics);
+        assert!(DeviceSpec::v100().has_hw_f64_atomics);
+    }
+
+    #[test]
+    fn device_records_and_resets() {
+        let d = Device::new(DeviceSpec::v100());
+        d.record_launch(
+            "jacobian",
+            &Tally {
+                flops: 1000,
+                dram_read: 64,
+                ..Default::default()
+            },
+            80,
+        );
+        let s = d.kernel_stats("jacobian");
+        assert_eq!(s.flops, 1000);
+        assert_eq!(s.blocks, 80);
+        d.reset_counters();
+        assert_eq!(d.kernel_stats("jacobian").flops, 0);
+    }
+
+    #[test]
+    fn peak_ratio_v100_vs_mi100() {
+        // The paper normalizes by peak: MI100/V100 ≈ 1.47.
+        let r = DeviceSpec::mi100().peak_fp64_gflops / DeviceSpec::v100().peak_fp64_gflops;
+        assert!((r - 1.474).abs() < 0.01);
+    }
+}

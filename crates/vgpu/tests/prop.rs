@@ -1,0 +1,48 @@
+//! Property-based tests: both reduction models agree with serial sums for
+//! arbitrary sizes and lane counts.
+
+use landau_vgpu::kokkos::{TeamMember, TeamPolicy};
+use landau_vgpu::{cuda_strided_reduce, Tally};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cuda_reduce_any_size(log_dimx in 0u32..6, n in 0usize..500, vals in prop::collection::vec(-10.0f64..10.0, 500)) {
+        let dimx = 1usize << log_dimx;
+        let mut t = Tally::new();
+        let got: f64 = cuda_strided_reduce(dimx, n, &mut t, |j, a: &mut f64| *a += vals[j]);
+        let want: f64 = vals[..n].iter().sum();
+        prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+    }
+
+    #[test]
+    fn kokkos_reduce_any_vector_length(vl in 1usize..40, n in 0usize..400, vals in prop::collection::vec(-10.0f64..10.0, 400)) {
+        let mut t = Tally::new();
+        let policy = TeamPolicy { league_size: 1, team_size: 1, vector_length: vl };
+        let mut m = TeamMember::new(0, policy, &mut t);
+        let got: f64 = m.vector_reduce(n, |j, a: &mut f64| *a += vals[j]);
+        let want: f64 = vals[..n].iter().sum();
+        prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+    }
+
+    /// The two models agree with each other on array accumulators.
+    #[test]
+    fn models_agree(n in 0usize..300, vals in prop::collection::vec(-5.0f64..5.0, 300)) {
+        let mut t1 = Tally::new();
+        let a: [f64; 2] = cuda_strided_reduce(16, n, &mut t1, |j, acc: &mut [f64; 2]| {
+            acc[0] += vals[j];
+            acc[1] += vals[j] * vals[j];
+        });
+        let mut t2 = Tally::new();
+        let policy = TeamPolicy { league_size: 1, team_size: 1, vector_length: 16 };
+        let mut m = TeamMember::new(0, policy, &mut t2);
+        let b: [f64; 2] = m.vector_reduce(n, |j, acc: &mut [f64; 2]| {
+            acc[0] += vals[j];
+            acc[1] += vals[j] * vals[j];
+        });
+        prop_assert!((a[0] - b[0]).abs() < 1e-9 * (1.0 + a[0].abs()));
+        prop_assert!((a[1] - b[1]).abs() < 1e-9 * (1.0 + a[1].abs()));
+    }
+}

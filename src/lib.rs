@@ -1,0 +1,18 @@
+//! Facade crate re-exporting the Landau operator workspace.
+//!
+//! This is a Rust reproduction of *"Landau collision operator in the CUDA
+//! programming model applied to thermal quench plasmas"* (Adams, Brennan,
+//! Knepley, Wang — IPDPS 2022). See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use landau_core as core;
+pub use landau_fem as fem;
+pub use landau_hwsim as hwsim;
+pub use landau_math as math;
+pub use landau_mesh as mesh;
+pub use landau_quench as quench;
+pub use landau_sparse as sparse;
+pub use landau_vgpu as vgpu;
+
+/// Convenient glob import for examples and downstream users.
+pub mod prelude;

@@ -1,0 +1,3 @@
+//! One-stop imports for typical use of the library.
+pub use landau_core::*;
+pub use landau_quench::*;

@@ -1,0 +1,44 @@
+//! End-to-end physics: the quench pipeline through the facade crate.
+
+use landau::core::operator::Backend;
+use landau::quench::{spitzer_eta, QuenchConfig, QuenchDriver};
+
+/// A miniature quench run must show the Figure-5 dynamics: density ramp,
+/// thermal collapse, field spike.
+#[test]
+fn miniature_quench() {
+    let cfg = QuenchConfig {
+        ion_mass: 16.0,
+        cells_per_vt: 0.7,
+        k_outer: 2.0,
+        domain: 4.0,
+        t_cold: 0.2,
+        mass_factor: 2.0,
+        pulse_duration: 2.0,
+        dt: 0.25,
+        max_equil_steps: 10,
+        quench_steps: 10,
+        backend: Backend::Cpu,
+        ..Default::default()
+    };
+    let mut d = QuenchDriver::new(cfg);
+    d.run();
+    assert!(d.stats.converged);
+    let pre = d.samples.iter().filter(|s| !s.quenching).last().unwrap();
+    let last = d.samples.last().unwrap();
+    assert!(last.n_e > 2.0, "mass was injected: {}", last.n_e);
+    assert!(last.t_e < 0.8 * pre.t_e, "T_e collapsed: {} → {}", pre.t_e, last.t_e);
+    let e_max = d.samples.iter().map(|s| s.e).fold(0.0f64, f64::max);
+    assert!(e_max > pre.e, "E rose during quench");
+}
+
+/// Spitzer η grows with Z but sub-linearly (the Z F(Z) structure).
+#[test]
+fn spitzer_z_structure() {
+    let e1 = spitzer_eta(1.0, 1.0);
+    let e4 = spitzer_eta(4.0, 1.0);
+    let e128 = spitzer_eta(128.0, 1.0);
+    assert!(e4 > 1.5 * e1 && e4 < 4.0 * e1);
+    // High-Z Lorentz limit: η/Z → const·0.2949.
+    assert!((e128 / 128.0 / (e1 / 0.5128514)) < 0.65);
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the full mesh → FEM → kernels → solver
+//! pipeline, exercised through the facade crate.
+
+use landau::core::operator::{AssemblyPath, Backend, LandauOperator};
+use landau::core::solver::{ThetaMethod, TimeIntegrator};
+use landau::core::species::{Species, SpeciesList};
+use landau::fem::FemSpace;
+use landau::mesh::presets::{MeshSpec, RefineShell};
+
+fn small_space() -> FemSpace {
+    let spec = MeshSpec {
+        domain_radius: 4.0,
+        base_level: 1,
+        shells: vec![RefineShell {
+            radius: 2.0,
+            max_cell_size: 0.5,
+        }],
+        tail_box: None,
+    };
+    FemSpace::new(spec.build(), 3)
+}
+
+fn plasma() -> SpeciesList {
+    SpeciesList::new(vec![
+        Species::electron(),
+        Species {
+            name: "i+".into(),
+            mass: 2.0,
+            charge: 1.0,
+            density: 1.0,
+            temperature: 0.6,
+        },
+    ])
+}
+
+/// The three kernel back-ends and both assembly paths must produce the same
+/// trajectory through a full implicit step.
+#[test]
+fn backends_agree_through_time_steps() {
+    let mut results = Vec::new();
+    for (backend, assembly) in [
+        (Backend::Cpu, AssemblyPath::SetValues),
+        (Backend::CudaModel, AssemblyPath::Atomic),
+        (Backend::KokkosModel, AssemblyPath::SetValues),
+    ] {
+        let mut op = LandauOperator::new(small_space(), plasma(), backend);
+        op.assembly = assembly;
+        let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
+        let mut state = ti.op.initial_state();
+        for _ in 0..2 {
+            let s = ti.step(&mut state, 0.3, 0.02, None);
+            assert!(s.converged);
+        }
+        results.push(state);
+    }
+    let scale = results[0].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    for other in &results[1..] {
+        let d = results[0]
+            .iter()
+            .zip(other)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(d < 1e-9 * scale, "backend trajectories diverged: {d}");
+    }
+}
+
+/// Conservation through a long relaxation, across crates: density exact,
+/// momentum/energy at solver tolerance, entropy-like monotone equilibration.
+#[test]
+fn long_relaxation_conserves_and_equilibrates() {
+    let op = LandauOperator::new(small_space(), plasma(), Backend::Cpu);
+    let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
+    ti.rtol = 1e-8;
+    ti.max_newton = 100;
+    let mut state = ti.op.initial_state();
+    let n0 = ti.moments.density(&state, 0);
+    let e0 = ti.moments.total_energy(&state);
+    let mut gap_prev = f64::INFINITY;
+    for k in 0..6 {
+        let s = ti.step(&mut state, 0.6, 0.0, None);
+        assert!(s.converged, "step {k}");
+        let gap = ti.moments.temperature(&state, 0) - ti.moments.temperature(&state, 1);
+        assert!(gap > 0.0, "no overshoot through equilibrium");
+        assert!(gap < gap_prev, "temperature gap must shrink monotonically");
+        gap_prev = gap;
+    }
+    assert!((ti.moments.density(&state, 0) - n0).abs() < 1e-10);
+    assert!(((ti.moments.total_energy(&state) - e0) / e0).abs() < 1e-6);
+}
+
+/// The distribution stays positive (no oscillation blow-up) through the
+/// relaxation on the bulk of the domain.
+#[test]
+fn distribution_stays_physical() {
+    let op = LandauOperator::new(small_space(), plasma(), Backend::Cpu);
+    let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
+    let mut state = ti.op.initial_state();
+    for _ in 0..3 {
+        ti.step(&mut state, 0.5, 0.0, None);
+    }
+    // Sample f_e on a grid: the bulk must be positive; tiny negative
+    // undershoots are only tolerable far in the tail.
+    let space = &ti.op.space;
+    let fmax = state[..ti.op.n()].iter().fold(0.0f64, |m, v| m.max(*v));
+    for i in 0..20 {
+        for j in 0..20 {
+            let r = 3.9 * (i as f64 + 0.5) / 20.0;
+            let z = -3.9 + 7.8 * (j as f64 + 0.5) / 20.0;
+            let f = space.eval(&state[..ti.op.n()], r, z).unwrap();
+            if (r * r + z * z).sqrt() < 2.0 {
+                assert!(f > -1e-6 * fmax, "f({r},{z}) = {f}");
+            }
+        }
+    }
+}
+
+/// The device counters give a physically sensible roofline picture
+/// end-to-end (Table IV's qualitative claim).
+#[test]
+fn roofline_shape_is_reproduced() {
+    use landau::hwsim::roofline::{roofline_report, KernelModel};
+    use landau::vgpu::DeviceSpec;
+    let mut op = LandauOperator::new(small_space(), plasma(), Backend::CudaModel);
+    op.assembly = AssemblyPath::Atomic;
+    let state = op.initial_state();
+    let _ = op.assemble(&state, 0.0);
+    let _ = op.assemble_shifted_mass(1.0);
+    let dev = DeviceSpec::v100();
+    let jac = roofline_report(
+        &op.device.kernel_stats("landau_jacobian"),
+        &KernelModel::jacobian(),
+        &dev,
+    );
+    let mass = roofline_report(&op.device.kernel_stats("mass"), &KernelModel::mass(), &dev);
+    assert!(jac.compute_bound, "Jacobian must be compute bound");
+    assert!(!mass.compute_bound, "mass must be memory bound");
+    assert!(jac.ai > 4.0 * mass.ai, "AI ordering: {} vs {}", jac.ai, mass.ai);
+}
