@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local CI: formatting, lints (clippy + landau-check), build, tests.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== landau-check lint"
+cargo run -q -p landau-check --bin lint
+
+echo "== tier-1: release build"
+cargo build --release
+
+echo "== tier-1: tests"
+cargo test -q
+
+echo "== workspace tests"
+cargo test -q --workspace
+
+echo "CI OK"

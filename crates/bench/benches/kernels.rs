@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks of the Landau kernels and the §III-F
-//! assembly-path ablation.
+//! Micro-benchmarks of the Landau kernels and the §III-F assembly-path
+//! ablation. Plain timing harness (`harness = false`): run with
+//! `cargo bench -p landau-bench --bench kernels`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use landau_core::ipdata::IpData;
 use landau_core::kernels::{
     assemble_atomic, assemble_setvalues, inner_integral_cpu, inner_integral_cuda_model,
@@ -13,6 +13,23 @@ use landau_fem::assemble::csr_pattern;
 use landau_fem::FemSpace;
 use landau_mesh::presets::{MeshSpec, RefineShell};
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `body` for `iters` iterations and print mean time per iteration.
+fn bench<R>(name: &str, iters: usize, mut body: impl FnMut() -> R) {
+    // One warm-up pass keeps lazily-initialised state out of the timing.
+    black_box(body());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(body());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    if per_iter >= 1e-3 {
+        println!("{name:<40} {:>10.3} ms/iter", per_iter * 1e3);
+    } else {
+        println!("{name:<40} {:>10.3} µs/iter", per_iter * 1e6);
+    }
+}
 
 fn setup() -> (FemSpace, SpeciesList, IpData) {
     let spec = MeshSpec {
@@ -46,56 +63,44 @@ fn setup() -> (FemSpace, SpeciesList, IpData) {
     (space, sl, ip)
 }
 
-fn bench_tensor(c: &mut Criterion) {
-    c.bench_function("landau_tensor_2d", |b| {
-        b.iter(|| {
-            black_box(landau_tensor_2d(
-                black_box(0.53),
-                black_box(-0.21),
-                black_box(1.17),
-                black_box(0.84),
-            ))
-        })
+fn main() {
+    bench("landau_tensor_2d", 100_000, || {
+        landau_tensor_2d(
+            black_box(0.53),
+            black_box(-0.21),
+            black_box(1.17),
+            black_box(0.84),
+        )
     });
-}
 
-fn bench_inner_integral(c: &mut Criterion) {
-    let (_space, sl, ip) = setup();
-    let mut g = c.benchmark_group("inner_integral");
-    g.sample_size(10);
-    g.bench_function("cpu", |b| b.iter(|| inner_integral_cpu(&ip, &sl)));
-    g.bench_function("cuda_model", |b| {
-        b.iter(|| inner_integral_cuda_model(&ip, &sl, 16))
-    });
-    g.bench_function("kokkos_model", |b| {
-        b.iter(|| inner_integral_kokkos_model(&ip, &sl, 16))
-    });
-    g.finish();
-}
-
-fn bench_assembly(c: &mut Criterion) {
     let (space, sl, ip) = setup();
+    bench("inner_integral/cpu", 10, || inner_integral_cpu(&ip, &sl));
+    bench("inner_integral/cuda_model", 10, || {
+        inner_integral_cuda_model(&ip, &sl, 16)
+    });
+    bench("inner_integral/kokkos_model", 10, || {
+        inner_integral_kokkos_model(&ip, &sl, 16)
+    });
+
     let (coeffs, _) = inner_integral_cpu(&ip, &sl);
     let (ce, _) = landau_element_matrices(&space, &sl, &ip, &coeffs);
     let pat = csr_pattern(&space);
-    let mut g = c.benchmark_group("assembly");
-    g.sample_size(20);
-    g.bench_function("transform_element_matrices", |b| {
-        b.iter(|| landau_element_matrices(&space, &sl, &ip, &coeffs))
+    bench("assembly/transform_element_matrices", 20, || {
+        landau_element_matrices(&space, &sl, &ip, &coeffs)
     });
-    g.bench_function("setvalues", |b| {
+    {
         let mut mats = vec![pat.clone(), pat.clone()];
-        b.iter(|| assemble_setvalues(&space, 2, &ce, &mut mats))
-    });
-    g.bench_function("atomic", |b| {
+        bench("assembly/setvalues", 20, || {
+            assemble_setvalues(&space, 2, &ce, &mut mats)
+        });
+    }
+    {
         let mut mats = vec![pat.clone(), pat.clone()];
-        b.iter(|| assemble_atomic(&space, 2, &ce, &mut mats))
+        bench("assembly/atomic", 20, || {
+            assemble_atomic(&space, 2, &ce, &mut mats)
+        });
+    }
+    bench("assembly/mass_kernel", 20, || {
+        mass_element_matrices(&space, 2, &ip, 1.0)
     });
-    g.bench_function("mass_kernel", |b| {
-        b.iter(|| mass_element_matrices(&space, 2, &ip, 1.0))
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tensor, bench_inner_integral, bench_assembly);
-criterion_main!(benches);

@@ -1,11 +1,28 @@
-//! Criterion benchmarks of the direct solver (§III-G ablation: banded LU
-//! vs dense LU; RCM vs natural ordering).
+//! Benchmarks of the direct solver (§III-G ablation: banded LU vs dense
+//! LU; RCM vs natural ordering). Plain timing harness (`harness = false`):
+//! run with `cargo bench -p landau-bench --bench solver`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use landau_math::dense::{DenseLu, DenseMatrix};
 use landau_sparse::band::BandMatrix;
 use landau_sparse::csr::Csr;
 use landau_sparse::rcm::{bandwidth, rcm_order};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `body` for `iters` iterations and print mean time per iteration.
+fn bench<R>(name: &str, iters: usize, mut body: impl FnMut() -> R) {
+    black_box(body());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(body());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    if per_iter >= 1e-3 {
+        println!("{name:<40} {:>10.3} ms/iter", per_iter * 1e3);
+    } else {
+        println!("{name:<40} {:>10.3} µs/iter", per_iter * 1e6);
+    }
+}
 
 /// A 2D 5-point-grid-like SPD system of dimension n = k².
 fn grid_system(k: usize) -> Csr {
@@ -39,7 +56,7 @@ fn grid_system(k: usize) -> Csr {
     a
 }
 
-fn bench_direct_solvers(c: &mut Criterion) {
+fn main() {
     let k = 18; // n = 324, the Landau-block size class
     let a = grid_system(k);
     let n = a.n_rows;
@@ -48,44 +65,38 @@ fn bench_direct_solvers(c: &mut Criterion) {
     let bw = bandwidth(&pa);
     let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
 
-    let mut g = c.benchmark_group("direct_solver");
-    g.sample_size(20);
-    g.bench_function(format!("band_lu_rcm_bw{bw}"), |bch| {
-        bch.iter(|| {
-            let mut m = BandMatrix::from_csr(&pa);
-            m.factor().unwrap();
-            let mut x = b.clone();
-            m.solve_into(&mut x);
-            x
-        })
+    bench(&format!("direct_solver/band_lu_rcm_bw{bw}"), 20, || {
+        let mut m = BandMatrix::from_csr(&pa);
+        m.factor().unwrap();
+        let mut x = b.clone();
+        m.solve_into(&mut x);
+        x
     });
+
     let bw_nat = bandwidth(&a);
-    g.bench_function(format!("band_lu_natural_bw{bw_nat}"), |bch| {
-        bch.iter(|| {
+    bench(
+        &format!("direct_solver/band_lu_natural_bw{bw_nat}"),
+        20,
+        || {
             let mut m = BandMatrix::from_csr(&a);
             m.factor().unwrap();
             let mut x = b.clone();
             m.solve_into(&mut x);
             x
-        })
-    });
-    g.bench_function("dense_lu", |bch| {
-        let d = {
-            let mut d = DenseMatrix::zeros(n, n);
-            for i in 0..n {
-                for kk in a.row_ptr[i]..a.row_ptr[i + 1] {
-                    d[(i, a.col_idx[kk])] = a.vals[kk];
-                }
-            }
-            d
-        };
-        bch.iter(|| {
-            let lu = DenseLu::factor(&d).unwrap();
-            lu.solve(&b)
-        })
-    });
-    g.finish();
-}
+        },
+    );
 
-criterion_group!(benches, bench_direct_solvers);
-criterion_main!(benches);
+    let d = {
+        let mut d = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for kk in a.row_ptr[i]..a.row_ptr[i + 1] {
+                d[(i, a.col_idx[kk])] = a.vals[kk];
+            }
+        }
+        d
+    };
+    bench("direct_solver/dense_lu", 20, || {
+        let lu = DenseLu::factor(&d).unwrap();
+        lu.solve(&b)
+    });
+}

@@ -19,8 +19,14 @@ fn main() {
             domain_radius: 5.0 * vt,
             base_level: 1,
             shells: vec![
-                RefineShell { radius: 2.6 * vt, max_cell_size: 4.0 * h_min },
-                RefineShell { radius: 1.5 * vt, max_cell_size: h_min },
+                RefineShell {
+                    radius: 2.6 * vt,
+                    max_cell_size: 4.0 * h_min,
+                },
+                RefineShell {
+                    radius: 1.5 * vt,
+                    max_cell_size: h_min,
+                },
             ],
             tail_box: None,
         }

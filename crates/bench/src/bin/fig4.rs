@@ -41,10 +41,17 @@ fn main() {
                 format!("{:.3}", run.eta_spitzer),
                 format!("{:+.1}%", 100.0 * run.relative_error()),
                 format!("{}", run.steps),
-                if run.converged { "yes".into() } else { "no".into() },
+                if run.converged {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ],
         ));
-        eprintln!("Z={z}: η={:.4} spitzer={:.4} ({} steps)", run.eta_measured, run.eta_spitzer, run.steps);
+        eprintln!(
+            "Z={z}: η={:.4} spitzer={:.4} ({} steps)",
+            run.eta_measured, run.eta_spitzer, run.steps
+        );
     }
     print_table(
         "Figure 4 — η = E/J vs Spitzer η (paper: tracks Spitzer, ~1% low at Z=1; Z=128 under-converged)",

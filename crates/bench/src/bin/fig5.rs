@@ -47,13 +47,19 @@ fn main() {
             if s.quenching { "quench" } else { "equil" }
         );
     }
-    let pre = d.samples.iter().filter(|s| !s.quenching).last().unwrap();
+    let pre = d.samples.iter().rfind(|s| !s.quenching).unwrap();
     let last = d.samples.last().unwrap();
     let emax = d.samples.iter().map(|s| s.e).fold(0.0f64, f64::max);
     eprintln!("\nFigure 5 summary (expected dynamics, §IV-C):");
     eprintln!("  n_e: 1.0 -> {:.2} (prescribed source integral)", last.n_e);
-    eprintln!("  T_e: {:.2} -> {:.3} (thermal collapse)", pre.t_e, last.t_e);
-    eprintln!("  E:   {:.3e} -> peak {:.3e} (Spitzer feedback)", pre.e, emax);
+    eprintln!(
+        "  T_e: {:.2} -> {:.3} (thermal collapse)",
+        pre.t_e, last.t_e
+    );
+    eprintln!(
+        "  E:   {:.3e} -> peak {:.3e} (Spitzer feedback)",
+        pre.e, emax
+    );
     eprintln!("  J:   {:.3e} -> {:.3e} (slower decay)", pre.j, last.j);
     eprintln!("  newton iters total: {}", d.stats.newton_iters);
 }

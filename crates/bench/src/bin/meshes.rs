@@ -18,8 +18,14 @@ fn main() {
         domain_radius: 5.0 * vt,
         base_level: 1,
         shells: vec![
-            RefineShell { radius: 2.6 * vt, max_cell_size: 1.3 * vt },
-            RefineShell { radius: 1.3 * vt, max_cell_size: 0.65 * vt },
+            RefineShell {
+                radius: 2.6 * vt,
+                max_cell_size: 1.3 * vt,
+            },
+            RefineShell {
+                radius: 1.3 * vt,
+                max_cell_size: 0.65 * vt,
+            },
         ],
         tail_box: None,
     }
@@ -75,6 +81,10 @@ fn main() {
         f1.max_level(),
         f1.num_cells() * 9
     );
-    std::fs::write(out.join("fig1_e_deuterium.svg"), forest_to_svg(&f1, None, 500)).unwrap();
+    std::fs::write(
+        out.join("fig1_e_deuterium.svg"),
+        forest_to_svg(&f1, None, 500),
+    )
+    .unwrap();
     println!("SVGs written to target/meshes/");
 }

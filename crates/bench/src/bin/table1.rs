@@ -32,9 +32,8 @@ fn main() {
     let g_d = grid_for(&[vt_d]);
     let g_w = grid_for(&[vt_w]);
     // 10 grids: one per species.
-    let per_species: Vec<&FemSpace> = vec![
-        &g_e, &g_d, &g_w, &g_w, &g_w, &g_w, &g_w, &g_w, &g_w, &g_w,
-    ];
+    let per_species: Vec<&FemSpace> =
+        vec![&g_e, &g_d, &g_w, &g_w, &g_w, &g_w, &g_w, &g_w, &g_w, &g_w];
 
     let row = |grids: &[(&FemSpace, usize)]| -> (usize, u64, usize) {
         let n_ip: usize = grids.iter().map(|(g, _)| g.n_ip()).sum();

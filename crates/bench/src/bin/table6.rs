@@ -36,7 +36,13 @@ fn main() {
         "Table VI — Fugaku Jacobian construction (s) and total (s), 10-step run \
          (paper diag: 19.3/38.1/75.5/150; totals 25.1/45.9/87.0/169.4)",
         "threads →",
-        &["8".into(), "4".into(), "2".into(), "1".into(), "Total".into()],
+        &[
+            "8".into(),
+            "4".into(),
+            "2".into(),
+            "1".into(),
+            "Total".into(),
+        ],
         &rows,
     );
     let r = simulate_cpu_node(&m, &profile, 4, 8, iters);

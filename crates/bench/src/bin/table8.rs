@@ -28,7 +28,11 @@ fn main() {
     let rows = vec![
         (
             "Summit/CUDA".to_string(),
-            vec![format!("{:.0}", cuda.newton_per_sec), "6 V100+42 P9".into(), "100".into()],
+            vec![
+                format!("{:.0}", cuda.newton_per_sec),
+                "6 V100+42 P9".into(),
+                "100".into(),
+            ],
         ),
         (
             "Summit/Kokkos".to_string(),

@@ -41,7 +41,7 @@ fn main() {
         "vertex problem: {} Q3 cells, {} dofs/species, {} threads available",
         space.n_elements(),
         space.n_dofs,
-        rayon::current_num_threads()
+        landau_par::current_num_threads()
     );
     let sizes: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16] };
     let steps = if quick { 1 } else { 2 };

@@ -96,12 +96,7 @@ pub fn measure_newton_per_step(op: LandauOperator, steps: usize, dt: f64) -> f64
 }
 
 /// Render an aligned text table.
-pub fn print_table(
-    title: &str,
-    col_label: &str,
-    cols: &[String],
-    rows: &[(String, Vec<String>)],
-) {
+pub fn print_table(title: &str, col_label: &str, cols: &[String], rows: &[(String, Vec<String>)]) {
     println!("\n=== {title} ===");
     print!("{col_label:>20}");
     for c in cols {
@@ -126,10 +121,7 @@ mod tests {
         let op = perf_operator(80, Backend::Cpu);
         assert_eq!(op.species.len(), 10);
         let ne = op.space.n_elements();
-        assert!(
-            (50..140).contains(&ne),
-            "expected ~80 elements, got {ne}"
-        );
+        assert!((50..140).contains(&ne), "expected ~80 elements, got {ne}");
         assert_eq!(op.space.tab.nq, 16);
     }
 

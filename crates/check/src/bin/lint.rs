@@ -1,0 +1,34 @@
+//! Workspace linter: `cargo run -p landau-check --bin lint`.
+//!
+//! Walks every crate in the workspace and applies the rules in
+//! `landau_check` (U001 SAFETY comments, T002 thread hygiene, R003
+//! lane-accumulation discipline). Exits nonzero on any finding.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/check -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
+    let findings = landau_check::lint_workspace(&root);
+    if findings.is_empty() {
+        println!("lint: workspace clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("lint: {} finding(s) in {}", findings.len(), root.display());
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    ExitCode::FAILURE
+}

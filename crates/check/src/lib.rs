@@ -1,0 +1,537 @@
+//! Workspace lint pass: textual source checks for the discipline the
+//! virtual-GPU execution model depends on.
+//!
+//! Three rules, all enforced by [`lint_source`] over comment- and
+//! string-stripped source (so the patterns cannot match inside literals or
+//! prose):
+//!
+//! * **U001** — every `unsafe` block or function must carry a `// SAFETY:`
+//!   comment on the same line or within the few lines above it. Applies to
+//!   the whole workspace.
+//! * **T002** — kernel crates (`vgpu`, `core`, `sparse`, `fem`) must not
+//!   spawn bare `std::thread`s in library code: all parallelism goes
+//!   through `landau-par` (deterministic splits) or the virtual-GPU
+//!   drivers. Test code (`#[cfg(test)]` modules, `tests/`, `benches/`) is
+//!   exempt — contention tests legitimately spawn threads.
+//! * **R003** — kernel crates must not accumulate floating-point values
+//!   across vector lanes by `+=` into shared/scratch storage; cross-lane
+//!   accumulation must go through a `Reducer` (the tree join is what keeps
+//!   it deterministic). Heuristic: flag `+=` whose destination indexes a
+//!   `scratch`/`shared`/`smem` buffer.
+//!
+//! The `lint` binary walks every workspace crate and exits nonzero on any
+//! finding; `ci.sh` runs it alongside rustfmt and clippy.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How far above an `unsafe` token a `// SAFETY:` comment may sit (in
+/// lines) and still justify it.
+pub const SAFETY_COMMENT_WINDOW: usize = 6;
+
+/// Crates whose library code runs under the virtual-GPU execution model or
+/// feeds it; thread hygiene (T002) and lane-accumulation discipline (R003)
+/// apply to these.
+pub const KERNEL_CRATES: &[&str] = &["landau-vgpu", "landau-core", "landau-sparse", "landau-fem"];
+
+/// Lint rule identifiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// `unsafe` without a `// SAFETY:` comment.
+    UnsafeWithoutSafetyComment,
+    /// Bare `std::thread::spawn` in kernel-crate library code.
+    BareThreadSpawn,
+    /// Non-`Reducer` floating-point accumulation into lane-shared storage.
+    SharedAccumulation,
+}
+
+impl Rule {
+    /// Short stable code for reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::UnsafeWithoutSafetyComment => "U001",
+            Rule::BareThreadSpawn => "T002",
+            Rule::SharedAccumulation => "R003",
+        }
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            Rule::UnsafeWithoutSafetyComment => {
+                "`unsafe` without a `// SAFETY:` comment on the same line or just above"
+            }
+            Rule::BareThreadSpawn => {
+                "bare `thread::spawn` in kernel-crate library code (use landau-par \
+                 or the vgpu drivers)"
+            }
+            Rule::SharedAccumulation => {
+                "`+=` into lane-shared storage (cross-lane accumulation must go \
+                 through a Reducer join)"
+            }
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Source file.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}\n    {}",
+            self.rule.code(),
+            self.file.display(),
+            self.line,
+            self.rule.describe(),
+            self.snippet,
+        )
+    }
+}
+
+/// What the linter needs to know about the file it is looking at.
+#[derive(Clone, Copy, Debug)]
+pub struct LintContext<'a> {
+    /// Name of the crate the file belongs to (e.g. `landau-vgpu`).
+    pub crate_name: &'a str,
+    /// True for integration-test / bench / example sources, where thread
+    /// hygiene is not enforced.
+    pub is_test_code: bool,
+}
+
+impl<'a> LintContext<'a> {
+    fn kernel_crate(&self) -> bool {
+        KERNEL_CRATES.contains(&self.crate_name)
+    }
+}
+
+/// One source line after classification: code with literals blanked, and
+/// the comment text (if any) kept separately so `// SAFETY:` stays visible
+/// while commented-out code cannot trip the code rules.
+struct ScrubbedLine {
+    code: String,
+    comment: String,
+}
+
+/// Strip comments and string/char literals, preserving line structure.
+///
+/// A tiny state machine over `//`, `/* */` (nested), `"…"`, `r#"…"#`
+/// and `'c'` literals. Escapes inside strings are honored; lifetimes
+/// (`'a`) are not confused with char literals. Literal *contents* are
+/// blanked, comment text is routed to the line's `comment` slot.
+fn scrub(src: &str) -> Vec<ScrubbedLine> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut st = St::Code;
+    let mut out: Vec<ScrubbedLine> = Vec::new();
+    for raw in src.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        // A `//` line comment never crosses a newline.
+        if st == St::Line {
+            st = St::Code;
+        }
+        let b = raw.as_bytes();
+        let mut i = 0;
+        while i < b.len() {
+            let c = b[i] as char;
+            match st {
+                St::Code => {
+                    if c == '/' && b.get(i + 1) == Some(&b'/') {
+                        st = St::Line;
+                        comment.push_str(&raw[i..]);
+                        break;
+                    } else if c == '/' && b.get(i + 1) == Some(&b'*') {
+                        st = St::Block(1);
+                        i += 2;
+                        continue;
+                    } else if c == '"' {
+                        code.push('"');
+                        st = St::Str;
+                    } else if c == 'r'
+                        && (b.get(i + 1) == Some(&b'"') || b.get(i + 1) == Some(&b'#'))
+                    {
+                        let mut hashes = 0;
+                        while b.get(i + 1 + hashes) == Some(&b'#') {
+                            hashes += 1;
+                        }
+                        if b.get(i + 1 + hashes) == Some(&b'"') {
+                            code.push('"');
+                            st = St::RawStr(hashes);
+                            i += 1 + hashes; // past r##…
+                        } else {
+                            code.push(c);
+                        }
+                    } else if c == '\'' {
+                        // Char literal iff it closes within a few bytes
+                        // (`'x'`, `'\n'`, `'\u{1F600}'`); otherwise a
+                        // lifetime.
+                        let lookahead = &raw[i + 1..];
+                        let is_char = match lookahead.chars().next() {
+                            Some('\\') => true,
+                            Some(x) => lookahead[x.len_utf8()..].starts_with('\''),
+                            None => false,
+                        };
+                        code.push('\'');
+                        if is_char {
+                            st = St::Char;
+                        }
+                    } else {
+                        code.push(c);
+                    }
+                }
+                St::Line => unreachable!("handled at line start"),
+                St::Block(depth) => {
+                    if c == '*' && b.get(i + 1) == Some(&b'/') {
+                        st = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        i += 1;
+                    } else if c == '/' && b.get(i + 1) == Some(&b'*') {
+                        st = St::Block(depth + 1);
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    if c == '\\' {
+                        i += 1; // skip the escaped byte
+                    } else if c == '"' {
+                        code.push('"');
+                        st = St::Code;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if b.get(i + 1 + h) != Some(&b'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            code.push('"');
+                            st = St::Code;
+                            i += hashes;
+                        }
+                    }
+                }
+                St::Char => {
+                    if c == '\\' {
+                        i += 1;
+                    } else if c == '\'' {
+                        code.push('\'');
+                        st = St::Code;
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Unterminated string at end of line (multi-line literal).
+        out.push(ScrubbedLine { code, comment });
+    }
+    out
+}
+
+/// Does `line` contain `word` bounded by non-identifier characters?
+fn has_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = !line[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// Lint one file's source text under `ctx`.
+pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFinding> {
+    let lines = scrub(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+
+    // Everything from a `#[cfg(test)]` attribute to end-of-file is treated
+    // as test code for the kernel-crate rules (unit-test modules sit at the
+    // bottom of their files in this workspace).
+    let test_from = lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(test)]"))
+        .unwrap_or(usize::MAX);
+
+    for (ln, l) in lines.iter().enumerate() {
+        let in_test = ctx.is_test_code || ln >= test_from;
+        let raw = raw_lines.get(ln).copied().unwrap_or("").trim();
+
+        // U001: unsafe needs a SAFETY comment nearby.
+        if has_word(&l.code, "unsafe") {
+            let lo = ln.saturating_sub(SAFETY_COMMENT_WINDOW);
+            let justified = lines[lo..=ln].iter().any(|w| w.comment.contains("SAFETY:"));
+            if !justified {
+                findings.push(LintFinding {
+                    rule: Rule::UnsafeWithoutSafetyComment,
+                    file: path.to_path_buf(),
+                    line: ln + 1,
+                    snippet: raw.to_string(),
+                });
+            }
+        }
+
+        if !ctx.kernel_crate() || in_test {
+            continue;
+        }
+
+        // T002: bare thread spawns in kernel-crate library code.
+        if l.code.contains("thread::spawn") || l.code.contains("thread::Builder") {
+            findings.push(LintFinding {
+                rule: Rule::BareThreadSpawn,
+                file: path.to_path_buf(),
+                line: ln + 1,
+                snippet: raw.to_string(),
+            });
+        }
+
+        // R003: `+=` into lane-shared storage.
+        if let Some(pos) = l.code.find("+=") {
+            let dest = &l.code[..pos];
+            if ["scratch", "shared", "smem"]
+                .iter()
+                .any(|b| dest.contains(&format!("{b}[")) || dest.contains(&format!("{b}.")))
+                && !dest.contains("bytes")
+            {
+                findings.push(LintFinding {
+                    rule: Rule::SharedAccumulation,
+                    file: path.to_path_buf(),
+                    line: ln + 1,
+                    snippet: raw.to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Recursively gather `.rs` files under `dir` (sorted for stable reports).
+pub fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            out.extend(rust_sources(&p));
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Lint every crate in the workspace rooted at `root`. Returns all
+/// findings, sorted by file then line.
+pub fn lint_workspace(root: &Path) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    // The facade crate's own sources (if any) live under root/src.
+    crate_dirs.push(root.to_path_buf());
+    for dir in crate_dirs {
+        let crate_name = match crate_name_of(&dir) {
+            Some(n) => n,
+            None => continue,
+        };
+        for sub in ["src", "tests", "benches", "examples"] {
+            let is_test_code = sub != "src";
+            for file in rust_sources(&dir.join(sub)) {
+                let Ok(src) = std::fs::read_to_string(&file) else {
+                    continue;
+                };
+                let rel = file.strip_prefix(root).unwrap_or(&file);
+                findings.extend(lint_source(
+                    &src,
+                    rel,
+                    LintContext {
+                        crate_name: &crate_name,
+                        is_test_code,
+                    },
+                ));
+            }
+        }
+    }
+    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    findings
+}
+
+/// Crate name from a directory's `Cargo.toml` (first `name = "…"`).
+fn crate_name_of(dir: &Path) -> Option<String> {
+    let manifest = std::fs::read_to_string(dir.join("Cargo.toml")).ok()?;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                return Some(rest.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_ctx() -> LintContext<'static> {
+        LintContext {
+            crate_name: "landau-vgpu",
+            is_test_code: false,
+        }
+    }
+
+    fn findings(src: &str, ctx: LintContext<'_>) -> Vec<Rule> {
+        lint_source(src, Path::new("x.rs"), ctx)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_flagged() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert_eq!(
+            findings(src, kernel_ctx()),
+            [Rule::UnsafeWithoutSafetyComment]
+        );
+    }
+
+    #[test]
+    fn unsafe_with_nearby_safety_passes() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        assert!(findings(src, kernel_ctx()).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_window_is_bounded() {
+        let filler = "    let x = 1;\n".repeat(SAFETY_COMMENT_WINDOW + 1);
+        let src = format!("// SAFETY: too far away\n{filler}unsafe {{ () }}\n");
+        assert_eq!(
+            findings(&src, kernel_ctx()),
+            [Rule::UnsafeWithoutSafetyComment]
+        );
+    }
+
+    #[test]
+    fn unsafe_inside_string_or_comment_is_ignored() {
+        let src =
+            "fn f() {\n    let s = \"unsafe\"; // unsafe mentioned here\n    /* unsafe */\n}\n";
+        assert!(findings(src, kernel_ctx()).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_in_kernel_crate_is_flagged() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        assert_eq!(findings(src, kernel_ctx()), [Rule::BareThreadSpawn]);
+    }
+
+    #[test]
+    fn thread_spawn_in_test_module_is_exempt() {
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(findings(src, kernel_ctx()).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_in_non_kernel_crate_is_allowed() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let ctx = LintContext {
+            crate_name: "landau-hwsim",
+            is_test_code: false,
+        };
+        assert!(findings(src, ctx).is_empty());
+    }
+
+    #[test]
+    fn shared_accumulation_is_flagged() {
+        let src = "fn f(scratch: &mut [f64], v: f64) {\n    scratch[0] += v;\n}\n";
+        assert_eq!(findings(src, kernel_ctx()), [Rule::SharedAccumulation]);
+        // Tally bookkeeping named *_bytes is not lane data.
+        let ok = "fn f(t: &mut T, n: u64) {\n    t.shared_bytes += n;\n}\n";
+        assert!(findings(ok, kernel_ctx()).is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_matter() {
+        // `unsafe_marker` is not the keyword `unsafe`.
+        let src = "fn f() { let unsafe_marker = 1; let _ = unsafe_marker; }\n";
+        assert!(findings(src, kernel_ctx()).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_nested_blocks_scrub_clean() {
+        let src = "fn f() -> &'static str {\n    /* outer /* nested unsafe */ still comment */\n    r#\"thread::spawn in a raw string\"#\n}\n";
+        assert!(findings(src, kernel_ctx()).is_empty());
+    }
+
+    #[test]
+    fn workspace_lint_is_clean() {
+        // The repo's own sources must satisfy the rules the binary enforces.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let fs = lint_workspace(root);
+        assert!(
+            fs.is_empty(),
+            "workspace lint found {} issue(s):\n{}",
+            fs.len(),
+            fs.iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

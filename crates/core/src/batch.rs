@@ -16,7 +16,7 @@ use crate::operator::{Backend, LandauOperator};
 use crate::solver::{StepStats, ThetaMethod, TimeIntegrator};
 use crate::species::SpeciesList;
 use landau_fem::FemSpace;
-use rayon::prelude::*;
+use landau_par::prelude::*;
 use std::time::Instant;
 
 /// A batch of independent vertex problems sharing one configuration.

@@ -24,10 +24,11 @@ use crate::ipdata::IpData;
 use crate::species::SpeciesList;
 use crate::tensor::{landau_tensor_2d, TENSOR2D_FLOPS};
 use landau_fem::FemSpace;
+use landau_par::prelude::*;
 use landau_sparse::csr::{Csr, InsertMode};
-use landau_vgpu::kokkos::{TeamMember, TeamPolicy};
+use landau_sparse::{OwnerMap, ScatterConflict};
+use landau_vgpu::kokkos::{PlainFactory, Team, TeamFactory, TeamPolicy};
 use landau_vgpu::{cuda_strided_reduce, Tally};
-use rayon::prelude::*;
 
 /// Output of the inner-integral stage: per integration point, the friction
 /// vector `G_K` (2 components) and symmetric diffusion tensor `G_D`
@@ -77,15 +78,7 @@ pub fn pair_flops(s: usize) -> u64 {
 }
 
 #[inline]
-fn pair_body(
-    ri: f64,
-    zi: f64,
-    ip: &IpData,
-    fk: &[f64],
-    fd: &[f64],
-    j: usize,
-    acc: &mut [f64; 5],
-) {
+fn pair_body(ri: f64, zi: f64, ip: &IpData, fk: &[f64], fd: &[f64], j: usize, acc: &mut [f64; 5]) {
     let t = landau_tensor_2d(ri, zi, ip.r[j], ip.z[j]);
     // Lines 5–8: species sums of field data (β loop over packed arrays).
     let mut tkr = 0.0;
@@ -194,10 +187,29 @@ pub fn inner_integral_kokkos_model(
     species: &SpeciesList,
     vector_length: usize,
 ) -> (IpCoeffs, Tally) {
+    inner_integral_kokkos_with(ip, species, vector_length, &PlainFactory)
+}
+
+/// The Kokkos-model inner integral, generic over the [`TeamFactory`] so
+/// the identical kernel body runs under plain members *or* under the
+/// race/determinism-checking members of `landau_vgpu::checked`.
+///
+/// The element-local data (coordinates, weights, and the packed per-species
+/// field terms at the element's own integration points) is cooperatively
+/// staged into team scratch by the vector lanes, a team barrier orders the
+/// staging against the reads, and each test point's reduction then
+/// broadcast-reads its coordinates from scratch.
+pub fn inner_integral_kokkos_with<F: TeamFactory>(
+    ip: &IpData,
+    species: &SpeciesList,
+    vector_length: usize,
+    factory: &F,
+) -> (IpCoeffs, Tally) {
     let fk = species.k_field_factors();
     let fd = species.d_field_factors();
     let n = ip.n;
     let nq = ip.nq;
+    let ns = ip.ns;
     let policy = TeamPolicy {
         league_size: ip.n / nq,
         team_size: nq,
@@ -212,12 +224,41 @@ pub fn inner_integral_kokkos_model(
         .map(|(e, (gke, gde))| {
             let mut t = Tally::new();
             t.dram_read += ip.stream_bytes();
-            // Kokkos scratch staging of the β terms.
-            let mut member = TeamMember::new(e, policy, &mut t);
-            let _scratch = member.scratch((3 + 3 * ip.ns) * nq);
+            let mut member = factory.member(e, policy, &mut t);
+            let lanes_n = policy.vector_length.max(1);
+            // Kokkos scratch staging of the element-local data: layout is
+            // [r | z | w | per species (f | df/dr | df/dz)], nq slots each.
+            let mut sm = member.scratch((3 + 3 * ns) * nq);
+            member.vector_for((3 + 3 * ns) * nq, |idx, lane| {
+                let field = idx / nq;
+                let gi = e * nq + idx % nq;
+                let v = match field {
+                    0 => ip.r[gi],
+                    1 => ip.z[gi],
+                    2 => ip.w[gi],
+                    _ => {
+                        let s = (field - 3) / 3;
+                        match (field - 3) % 3 {
+                            0 => ip.f[s * n + gi],
+                            1 => ip.dfr[s * n + gi],
+                            _ => ip.dfz[s * n + gi],
+                        }
+                    }
+                };
+                sm.write(lane, idx, v);
+            });
+            // Order the cooperative stores against the cross-lane reads.
+            member.barrier();
             for iq in member.team_range() {
                 let gi = e * nq + iq;
-                let (ri, zi) = (ip.r[gi], ip.z[gi]);
+                // Every lane broadcast-reads the test-point coordinates
+                // into its registers (all reads post-barrier, so ordered).
+                let mut ri = 0.0;
+                let mut zi = 0.0;
+                for p in 0..lanes_n {
+                    ri = sm.read(p, iq);
+                    zi = sm.read(p, nq + iq);
+                }
                 let acc: [f64; 5] = member.vector_reduce(n, |j, a: &mut [f64; 5]| {
                     if j != gi {
                         pair_body(ri, zi, ip, &fk, &fd, j, a);
@@ -226,6 +267,7 @@ pub fn inner_integral_kokkos_model(
                 gke[iq] = [acc[0], acc[1]];
                 gde[iq] = [acc[2], acc[3], acc[4]];
             }
+            drop(member);
             t.flops += (nq as u64) * (n as u64 - 1) * pair_flops(ip.ns);
             t
         })
@@ -349,12 +391,7 @@ pub fn mass_element_matrices(
 /// CPU assembly path (`MatSetValues`, §III-F): scatter the element matrices
 /// into per-species CSR matrices. Species are independent, so the scatter
 /// parallelizes over species without contention.
-pub fn assemble_setvalues(
-    space: &FemSpace,
-    ns: usize,
-    ce: &[f64],
-    mats: &mut [Csr],
-) {
+pub fn assemble_setvalues(space: &FemSpace, ns: usize, ce: &[f64], mats: &mut [Csr]) {
     let nb = space.tab.nb;
     let block = ns * nb * nb;
     assert_eq!(mats.len(), ns);
@@ -394,6 +431,76 @@ pub fn assemble_colored(
     });
 }
 
+/// Graph-coloring assembly with the coloring contract *validated*: every
+/// value slot an element scatters into is claimed in an [`OwnerMap`], so
+/// two elements of one color batch touching the same slot surface as a
+/// [`ScatterConflict`] instead of a silently corrupted Jacobian.
+///
+/// On success the matrices hold exactly what [`assemble_colored`] produces
+/// (up to atomic-add association order) and the returned tally counts the
+/// scatter's atomic adds; on conflict the matrices are left partially
+/// assembled and must be re-assembled after fixing the coloring.
+pub fn assemble_colored_checked(
+    space: &FemSpace,
+    ns: usize,
+    ce: &[f64],
+    mats: &mut [Csr],
+    batches: &[Vec<usize>],
+) -> Result<Tally, ScatterConflict> {
+    let nb = space.tab.nb;
+    let block = ns * nb * nb;
+    assert_eq!(mats.len(), ns);
+    let mut tally = Tally::new();
+    for (a, m) in mats.iter_mut().enumerate() {
+        m.zero_entries();
+        let (row_ptr, col_idx, vals) = m.atomic_view();
+        let mut owners = OwnerMap::new(vals.len());
+        for color in batches {
+            // Different colors may touch the same slots; the contract is
+            // only *within* a batch.
+            owners.reset();
+            let n_atomics = color
+                .par_iter()
+                .map(|&e| -> Result<u64, ScatterConflict> {
+                    let el = &space.elements[e];
+                    let cea = &ce[e * block + a * nb * nb..e * block + (a + 1) * nb * nb];
+                    let mut count = 0u64;
+                    for (bi, ni) in el.nodes.iter().enumerate() {
+                        for (bj, nj) in el.nodes.iter().enumerate() {
+                            let v = cea[bi * nb + bj];
+                            if v == 0.0 {
+                                continue;
+                            }
+                            for &(di, wi) in &ni.terms {
+                                for &(dj, wj) in &nj.terms {
+                                    let lo = row_ptr[di];
+                                    let hi = row_ptr[di + 1];
+                                    let k = lo
+                                        + col_idx[lo..hi]
+                                            .binary_search(&dj)
+                                            .expect("entry in pattern");
+                                    owners.claim(k, e)?;
+                                    vals[k].fetch_add(wi * wj * v);
+                                    count += 1;
+                                }
+                            }
+                        }
+                    }
+                    Ok(count)
+                })
+                .reduce(
+                    || Ok(0u64),
+                    |x, y| match (x, y) {
+                        (Ok(a), Ok(b)) => Ok(a + b),
+                        (Err(e), _) | (_, Err(e)) => Err(e),
+                    },
+                )?;
+            tally.atomics += n_atomics;
+        }
+    }
+    Ok(tally)
+}
+
 /// Device assembly path (atomics, the released PETSc GPU approach):
 /// elements scatter concurrently, resolving contention with f64 atomic
 /// adds. Returns the atomic-add count (charged a penalty on hardware
@@ -423,9 +530,10 @@ pub fn assemble_atomic(space: &FemSpace, ns: usize, ce: &[f64], mats: &mut [Csr]
                             for &(dj, wj) in &nj.terms {
                                 let lo = row_ptr[di];
                                 let hi = row_ptr[di + 1];
-                                let k = lo + col_idx[lo..hi]
-                                    .binary_search(&dj)
-                                    .expect("entry in pattern");
+                                let k = lo
+                                    + col_idx[lo..hi]
+                                        .binary_search(&dj)
+                                        .expect("entry in pattern");
                                 vals[k].fetch_add(wi * wj * v);
                                 count += 1;
                             }
@@ -478,7 +586,11 @@ mod tests {
         let (cpu, t_cpu) = inner_integral_cpu(&ip, &sl);
         let (cuda, t_cuda) = inner_integral_cuda_model(&ip, &sl, 16);
         let (kk, _t_kk) = inner_integral_kokkos_model(&ip, &sl, 8);
-        assert!(cpu.max_rel_diff(&cuda) < 1e-12, "{}", cpu.max_rel_diff(&cuda));
+        assert!(
+            cpu.max_rel_diff(&cuda) < 1e-12,
+            "{}",
+            cpu.max_rel_diff(&cuda)
+        );
         assert!(cpu.max_rel_diff(&kk) < 1e-12, "{}", cpu.max_rel_diff(&kk));
         // Same flop model, CUDA counts shuffles.
         assert_eq!(t_cpu.flops, t_cuda.flops);
@@ -550,10 +662,7 @@ mod tests {
             }
             let scale: f64 = m.vals.iter().map(|v| v.abs()).fold(0.0, f64::max);
             for (j, c) in colsum.iter().enumerate() {
-                assert!(
-                    c.abs() < 1e-11 * scale,
-                    "column {j}: {c} (scale {scale})"
-                );
+                assert!(c.abs() < 1e-11 * scale, "column {j}: {c} (scale {scale})");
             }
             let _ = ones;
         }
@@ -568,8 +677,8 @@ mod tests {
         let mut mats = vec![pat.clone(), pat.clone()];
         assemble_setvalues(&space, 2, &ce, &mut mats);
         let mref = landau_fem::assemble_mass_matrix(&space);
-        for s in 0..2 {
-            for (v, r) in mats[s].vals.iter().zip(&mref.vals) {
+        for mat in mats.iter().take(2) {
+            for (v, r) in mat.vals.iter().zip(&mref.vals) {
                 assert!((v - 2.5 * r).abs() < 1e-11 * (1.0 + r.abs()));
             }
         }

@@ -172,13 +172,11 @@ mod tests {
         let nd = space.n_dofs;
         let shift = 0.2;
         let mut state = vec![0.0; 2 * nd];
-        state[..nd].copy_from_slice(
-            &space.interpolate(|r, z| sl.list[0].maxwellian(r, z, shift)),
-        );
+        state[..nd].copy_from_slice(&space.interpolate(|r, z| sl.list[0].maxwellian(r, z, shift)));
         state[nd..].copy_from_slice(&space.interpolate(|r, z| sl.list[1].maxwellian(r, z, 0.0)));
         // Electron drift +z with charge −1 ⇒ negative J.
         let j = m.current_jz(&state);
-        assert!((j - (-1.0) * shift * 1.0).abs() < 1e-3, "J = {j}");
+        assert!((j - -shift * 1.0).abs() < 1e-3, "J = {j}");
         // Drift-corrected temperature unchanged.
         assert!((m.temperature(&state, 0) - 1.0).abs() < 2e-3);
         // Momentum reflects the electron drift.

@@ -16,11 +16,11 @@ use crate::kernels::pair_flops;
 use crate::species::{Species, SpeciesList};
 use crate::tensor::landau_tensor_2d;
 use landau_fem::{assemble_mass_matrix, csr_pattern, scatter_element_matrix, FemSpace};
+use landau_par::prelude::*;
 use landau_sparse::band::BlockBandSolver;
 use landau_sparse::csr::{Csr, InsertMode};
 use landau_sparse::rcm::{bandwidth, rcm_order};
 use landau_vgpu::Tally;
-use rayon::prelude::*;
 
 /// One velocity grid and the species living on it.
 pub struct GridGroup {
@@ -41,6 +41,10 @@ pub struct MultiGridLandau {
     pub groups: Vec<GridGroup>,
 }
 
+/// One species' packed field data: the group it lives on plus
+/// `(f, df/dr, df/dz)` on that group's quadrature points.
+type SpeciesField = (usize, Vec<f64>, Vec<f64>, Vec<f64>);
+
 /// Concatenated quadrature data across grids: geometry for every point,
 /// field data per species on its own grid's range.
 struct CrossIp {
@@ -50,7 +54,7 @@ struct CrossIp {
     /// `offsets[g]` = first global quadrature index of group `g`.
     offsets: Vec<usize>,
     /// Per global species: `(group, f, dfr, dfz)` on that group's points.
-    fields: Vec<(usize, Vec<f64>, Vec<f64>, Vec<f64>)>,
+    fields: Vec<SpeciesField>,
 }
 
 impl MultiGridLandau {
@@ -284,8 +288,7 @@ impl MultiGridLandau {
                             let dr = gtr * dmat[0] + gtz * dmat[1];
                             let dz = gtr * dmat[1] + gtz * dmat[2];
                             for bj in 0..nb {
-                                ce[bt * nb + bj] +=
-                                    kdot * b[bj] + gs * (dr * dx[bj] + dz * dy[bj]);
+                                ce[bt * nb + bj] += kdot * b[bj] + gs * (dr * dx[bj] + dz * dy[bj]);
                             }
                         }
                     }
@@ -415,10 +418,7 @@ mod tests {
             mg.groups[0].space.n_dofs + mg.groups[1].space.n_dofs
         );
         assert!(mg.n_ip_total() > 0);
-        assert_eq!(
-            mg.tensor_count(),
-            (mg.n_ip_total() as u64).pow(2)
-        );
+        assert_eq!(mg.tensor_count(), (mg.n_ip_total() as u64).pow(2));
     }
 
     #[test]
@@ -462,8 +462,14 @@ mod tests {
         let de = 0.5 * me * dot(&e0, &lf0) + 0.5 * mi * dot(&e1, &lf1);
         let pscale = (me * dot(&z0, &lf0)).abs() + (mi * dot(&z1, &lf1)).abs();
         let escale = (0.5 * me * dot(&e0, &lf0)).abs() + (0.5 * mi * dot(&e1, &lf1)).abs();
-        assert!(dp.abs() < 1e-8 * pscale.max(1e-14), "momentum {dp} vs {pscale}");
-        assert!(de.abs() < 1e-8 * escale.max(1e-14), "energy {de} vs {escale}");
+        assert!(
+            dp.abs() < 1e-8 * pscale.max(1e-14),
+            "momentum {dp} vs {pscale}"
+        );
+        assert!(
+            de.abs() < 1e-8 * escale.max(1e-14),
+            "energy {de} vs {escale}"
+        );
     }
 
     #[test]

@@ -156,9 +156,7 @@ impl LandauOperator {
         let ns = self.species.len();
         let mut mats = vec![self.pattern.clone(); ns];
         match self.assembly {
-            AssemblyPath::SetValues => {
-                kernels::assemble_setvalues(&self.space, ns, &ce, &mut mats)
-            }
+            AssemblyPath::SetValues => kernels::assemble_setvalues(&self.space, ns, &ce, &mut mats),
             AssemblyPath::Atomic => {
                 let t3 = kernels::assemble_atomic(&self.space, ns, &ce, &mut mats);
                 tally.merge(&t3);
@@ -187,8 +185,7 @@ impl LandauOperator {
     /// single-species matrix (identical across species).
     pub fn assemble_shifted_mass(&mut self, shift: f64) -> Csr {
         let ns = self.species.len();
-        let (ce, tally) =
-            kernels::mass_element_matrices(&self.space, ns, &self.ipdata, shift);
+        let (ce, tally) = kernels::mass_element_matrices(&self.space, ns, &self.ipdata, shift);
         let mut mats = vec![self.pattern.clone()];
         // Assemble only the first species block (they are identical).
         let nb = self.space.tab.nb;
@@ -233,7 +230,10 @@ mod tests {
         let spec = MeshSpec {
             domain_radius: 4.0,
             base_level: 1,
-            shells: vec![RefineShell { radius: 2.0, max_cell_size: 0.5 }],
+            shells: vec![RefineShell {
+                radius: 2.0,
+                max_cell_size: 0.5,
+            }],
             tail_box: None,
         };
         FemSpace::new(spec.build(), 3)
@@ -279,9 +279,7 @@ mod tests {
         let ones = vec![1.0; n];
         let zvec = op.space.interpolate(|_r, z| z);
         let evec = op.space.interpolate(|r, z| r * r + z * z);
-        let dot = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| x * y).sum()
-        };
+        let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
         let masses: Vec<f64> = op.species.list.iter().map(|s| s.mass).collect();
         let mut dp = 0.0;
         let mut de = 0.0;
@@ -291,7 +289,10 @@ mod tests {
             let r = &rhs[s * n..(s + 1) * n];
             let dn = dot(&ones, r);
             let scale: f64 = r.iter().map(|v| v.abs()).sum();
-            assert!(dn.abs() < 1e-11 * scale, "density drift {dn} (scale {scale})");
+            assert!(
+                dn.abs() < 1e-11 * scale,
+                "density drift {dn} (scale {scale})"
+            );
             let p = masses[s] * dot(&zvec, r);
             let e = 0.5 * masses[s] * dot(&evec, r);
             dp += p;

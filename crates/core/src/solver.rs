@@ -372,7 +372,10 @@ mod tests {
         let spec = MeshSpec {
             domain_radius: 4.0,
             base_level: 1,
-            shells: vec![RefineShell { radius: 2.0, max_cell_size: 0.5 }],
+            shells: vec![RefineShell {
+                radius: 2.0,
+                max_cell_size: 0.5,
+            }],
             tail_box: None,
         };
         let op = LandauOperator::new(FemSpace::new(spec.build(), 3), sl, Backend::Cpu);
@@ -408,8 +411,8 @@ mod tests {
             assert!(s.converged);
         }
         let m = &ti.moments;
-        for s in 0..2 {
-            let dn = (m.density(&state, s) - n0[s]).abs();
+        for (s, n) in n0.iter().enumerate() {
+            let dn = (m.density(&state, s) - n).abs();
             assert!(dn < 1e-9, "species {s} density drift {dn}");
         }
         let dp = (m.total_z_momentum(&state) - p0).abs();
@@ -488,7 +491,11 @@ mod tests {
         assert!(be.moments.temperature(&s1, 0) < 1.0);
         assert!(cn.moments.temperature(&s2, 0) < 1.0);
         // And agree to first order.
-        let d: f64 = s1.iter().zip(&s2).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let d: f64 = s1
+            .iter()
+            .zip(&s2)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         let scale = s1.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(d < 0.05 * scale, "methods diverged: {d} vs {scale}");
     }

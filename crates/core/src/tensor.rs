@@ -148,9 +148,9 @@ mod tests {
     #[test]
     fn tensor_3d_symmetric_and_psd() {
         let u = landau_tensor_3d([0.7, -0.3, 0.2], [0.1, 0.4, -0.6]);
-        for i in 0..3 {
-            for j in 0..3 {
-                assert!((u[i][j] - u[j][i]).abs() < 1e-14);
+        for (i, row) in u.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - u[j][i]).abs() < 1e-14);
             }
         }
         // PSD: x U x ≥ 0 for a few probes.

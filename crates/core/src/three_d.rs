@@ -18,9 +18,9 @@ use crate::species::SpeciesList;
 use crate::tensor::landau_tensor_3d;
 use landau_math::lagrange::LagrangeBasis1D;
 use landau_math::quadrature::QuadratureRule;
+use landau_par::prelude::*;
 use landau_sparse::csr::Csr;
 use landau_sparse::iterative::gmres;
-use rayon::prelude::*;
 
 /// A uniform `Qp` finite-element grid over the cube `[-L, L]³`.
 pub struct Grid3D {
@@ -178,9 +178,10 @@ pub fn pack3(grid: &Grid3D, species: &SpeciesList, state: &[f64]) -> IpData3 {
                         y0 + 0.5 * (xb + 1.0) * h,
                         z0 + 0.5 * (xc + 1.0) * h,
                     ];
-                    ip.w[gi] =
-                        grid.quad.weights[qa] * grid.quad.weights[qb] * grid.quad.weights[qc]
-                            * detj;
+                    ip.w[gi] = grid.quad.weights[qa]
+                        * grid.quad.weights[qb]
+                        * grid.quad.weights[qc]
+                        * detj;
                     for s in 0..ns {
                         let coeffs = &state[s * nd..(s + 1) * nd];
                         let mut v = 0.0;
@@ -246,7 +247,9 @@ impl Landau3D {
         for qa in 0..p1 {
             for qb in 0..p1 {
                 for qc in 0..p1 {
-                    let w = grid.quad.weights[qa] * grid.quad.weights[qb] * grid.quad.weights[qc]
+                    let w = grid.quad.weights[qa]
+                        * grid.quad.weights[qb]
+                        * grid.quad.weights[qc]
                         * detj;
                     let mut bv = Vec::with_capacity(nb);
                     for a in 0..p1 {
@@ -329,8 +332,8 @@ impl Landau3D {
                     let u = landau_tensor_3d(xi, ip.x[j]);
                     let w = ip.w[j];
                     for a in 0..3 {
-                        gki[a] += w
-                            * (u[a][0] * tk[j][0] + u[a][1] * tk[j][1] + u[a][2] * tk[j][2]);
+                        gki[a] +=
+                            w * (u[a][0] * tk[j][0] + u[a][1] * tk[j][1] + u[a][2] * tk[j][2]);
                     }
                     let wtd = w * td[j];
                     gdi[0] += wtd * u[0][0];
@@ -359,11 +362,7 @@ impl Landau3D {
                     for qb in 0..p1 {
                         for qc in 0..p1 {
                             let w = ip.w[gi];
-                            let kv = [
-                                w * ks * gk[gi][0],
-                                w * ks * gk[gi][1],
-                                w * ks * gk[gi][2],
-                            ];
+                            let kv = [w * ks * gk[gi][0], w * ks * gk[gi][1], w * ks * gk[gi][2]];
                             let dm = [
                                 w * ds * gd[gi][0],
                                 w * ds * gd[gi][1],
@@ -399,10 +398,8 @@ impl Landau3D {
                                 let dz = g[0] * dm[2] + g[1] * dm[4] + g[2] * dm[5];
                                 for bj in 0..nb {
                                     let gj = gv[bj];
-                                    ce[bt * nb + bj] += kdot * bv[bj]
-                                        + dx * gj[0]
-                                        + dy * gj[1]
-                                        + dz * gj[2];
+                                    ce[bt * nb + bj] +=
+                                        kdot * bv[bj] + dx * gj[0] + dy * gj[1] + dz * gj[2];
                                 }
                             }
                             gi += 1;
@@ -457,7 +454,14 @@ impl Landau3D {
                 let mut j = self.mass.clone();
                 j.axpy_same_pattern(-dt, &mats[s]);
                 let mut delta = vec![0.0; nd];
-                let st = gmres(&j, &resid[s * nd..(s + 1) * nd], &mut delta, 40, 1e-10, 4000);
+                let st = gmres(
+                    &j,
+                    &resid[s * nd..(s + 1) * nd],
+                    &mut delta,
+                    40,
+                    1e-10,
+                    4000,
+                );
                 assert!(st.converged, "GMRES stalled: {st:?}");
                 for i in 0..nd {
                     state[s * nd + i] -= delta[i];
@@ -519,7 +523,11 @@ mod tests {
         assert!((n0 - 1.0).abs() < 0.1, "density {n0}");
         let e = op.moment(&state, 0, |x, y, z| x * x + y * y + z * z);
         let th = Species::electron().theta();
-        assert!((e - 1.5 * th).abs() < 0.15 * 1.5 * th, "energy {e} vs {}", 1.5 * th);
+        assert!(
+            (e - 1.5 * th).abs() < 0.15 * 1.5 * th,
+            "energy {e} vs {}",
+            1.5 * th
+        );
     }
 
     #[test]
@@ -535,8 +543,7 @@ mod tests {
         let th = hot.theta();
         let norm = hot.density / (core::f64::consts::PI * th).powf(1.5);
         state[..nd].copy_from_slice(&op.grid.interpolate(|x, y, z| {
-            norm * (-((x - 0.2) * (x - 0.2) + (y + 0.15) * (y + 0.15) + (z - 0.3) * (z - 0.3))
-                / th)
+            norm * (-((x - 0.2) * (x - 0.2) + (y + 0.15) * (y + 0.15) + (z - 0.3) * (z - 0.3)) / th)
                 .exp()
         }));
         let mats = op.assemble(&state);

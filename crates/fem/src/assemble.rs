@@ -237,7 +237,10 @@ mod tests {
             }
             errs.push(emax);
         }
-        assert!(errs[1] < errs[0] * 0.5 && errs[2] < errs[1] * 0.5, "{errs:?}");
+        assert!(
+            errs[1] < errs[0] * 0.5 && errs[2] < errs[1] * 0.5,
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -93,10 +93,7 @@ impl FemSpace {
         let node_coord = |key: CellKey, a: usize, b: usize| -> NodeCoord {
             let (ax, ay) = key.anchor_units();
             let su = key.size_units();
-            (
-                ax * p as i64 + a as i64 * su,
-                ay * p as i64 + b as i64 * su,
-            )
+            (ax * p as i64 + a as i64 * su, ay * p as i64 + b as i64 * su)
         };
 
         // 2. Raw (single-level) constraints from hanging faces.
@@ -110,8 +107,7 @@ impl FemSpace {
                 let su_c = coarse.size_units();
                 let (cax, cay) = coarse.anchor_units();
                 // Coarse face node coordinates and the 1D span of the face.
-                let (coarse_nodes, coarse_start, fixed): (Vec<NodeCoord>, i64, i64) = match face
-                {
+                let (coarse_nodes, coarse_start, fixed): (Vec<NodeCoord>, i64, i64) = match face {
                     FACE_LEFT | FACE_RIGHT => {
                         // Vertical faces: x fixed, nodes vary in y.
                         let x = match face {
@@ -194,10 +190,8 @@ impl FemSpace {
                     *acc.entry(gc).or_default() += pw * gw;
                 }
             }
-            let mut out: Vec<(NodeCoord, f64)> = acc
-                .into_iter()
-                .filter(|&(_, w)| w.abs() > 1e-14)
-                .collect();
+            let mut out: Vec<(NodeCoord, f64)> =
+                acc.into_iter().filter(|&(_, w)| w.abs() > 1e-14).collect();
             out.sort_by_key(|&(c, _)| c);
             resolved.insert(c, out.clone());
             out
@@ -320,7 +314,9 @@ impl FemSpace {
         let el = &self.elements[e];
         let xi = 2.0 * (r - el.r0) / el.h - 1.0;
         let eta = 2.0 * (z - el.z0) / el.h - 1.0;
-        let basis = self.tab.eval_basis_at(xi.clamp(-1.0, 1.0), eta.clamp(-1.0, 1.0));
+        let basis = self
+            .tab
+            .eval_basis_at(xi.clamp(-1.0, 1.0), eta.clamp(-1.0, 1.0));
         let mut local = vec![0.0; el.nodes.len()];
         self.element_coeffs(e, coeffs, &mut local);
         Some(basis.iter().zip(&local).map(|(b, c)| b * c).sum())
@@ -333,7 +329,9 @@ impl FemSpace {
         let el = &self.elements[e];
         let xi = 2.0 * (r - el.r0) / el.h - 1.0;
         let eta = 2.0 * (z - el.z0) / el.h - 1.0;
-        let grads = self.tab.eval_grad_at(xi.clamp(-1.0, 1.0), eta.clamp(-1.0, 1.0));
+        let grads = self
+            .tab
+            .eval_grad_at(xi.clamp(-1.0, 1.0), eta.clamp(-1.0, 1.0));
         let mut local = vec![0.0; el.nodes.len()];
         self.element_coeffs(e, coeffs, &mut local);
         let s = el.grad_scale();
@@ -449,7 +447,9 @@ mod tests {
         let s = FemSpace::new(hanging_mesh(), 3);
         // Arbitrary (non-polynomial) coefficients: the FE function must still
         // be continuous across the hanging face at x = 1 (z in [-1,0]).
-        let coeffs: Vec<f64> = (0..s.n_dofs).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let coeffs: Vec<f64> = (0..s.n_dofs)
+            .map(|i| ((i * 37) % 11) as f64 - 5.0)
+            .collect();
         for k in 0..20 {
             let z = -0.99 + 0.97 * k as f64 / 19.0;
             let a = s.eval(&coeffs, 1.0 - 1e-9, z).unwrap();

@@ -3,7 +3,7 @@
 
 use landau_fem::FemSpace;
 use landau_mesh::Forest;
-use proptest::prelude::*;
+use landau_testkit::{cases, prop_assert};
 
 fn hanging_forest(which: u8) -> Forest {
     let mut f = Forest::new(1, 1, 2.0, -1.0);
@@ -22,13 +22,14 @@ fn hanging_forest(which: u8) -> Forest {
     f
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn polynomial_reproduction(which in 0u8..4, p in 1usize..4,
-                               c in prop::collection::vec(-2.0f64..2.0, 10),
-                               r in 0.01f64..1.99, z in -0.99f64..0.99) {
+#[test]
+fn polynomial_reproduction() {
+    cases(24, |rng, case| {
+        let which = rng.usize_in(0, 4) as u8;
+        let p = rng.usize_in(1, 4);
+        let c = rng.vec_f64(10, -2.0, 2.0);
+        let r = rng.f64_in(0.01, 1.99);
+        let z = rng.f64_in(-0.99, 0.99);
         let s = FemSpace::new(hanging_forest(which), p);
         // A random polynomial with per-variable degree ≤ p.
         let poly = |x: f64, y: f64| -> f64 {
@@ -45,24 +46,37 @@ proptest! {
         let coeffs = s.interpolate(poly);
         let got = s.eval(&coeffs, r, z).unwrap();
         let want = poly(r, z);
-        prop_assert!((got - want).abs() < 1e-8 * (1.0 + want.abs()), "{} vs {}", got, want);
-    }
+        prop_assert!(
+            case,
+            (got - want).abs() < 1e-8 * (1.0 + want.abs()),
+            "{} vs {}",
+            got,
+            want
+        );
+    });
+}
 
-    /// Continuity across every hanging configuration for random coefficient
-    /// vectors.
-    #[test]
-    fn continuity(which in 0u8..4, p in 1usize..4, seed in 0u64..100, z in -0.95f64..0.95) {
+/// Continuity across every hanging configuration for random coefficient
+/// vectors.
+#[test]
+fn continuity() {
+    cases(24, |rng, case| {
+        let which = rng.usize_in(0, 4) as u8;
+        let p = rng.usize_in(1, 4);
+        let z = rng.f64_in(-0.95, 0.95);
         let s = FemSpace::new(hanging_forest(which), p);
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
-        let coeffs: Vec<f64> = (0..s.n_dofs).map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-        }).collect();
+        let coeffs = rng.vec_f64(s.n_dofs, -1.0, 1.0);
         let a = s.eval(&coeffs, 1.0 - 1e-9, z).unwrap();
         let b = s.eval(&coeffs, 1.0 + 1e-9, z).unwrap();
-        prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "jump {} vs {}", a, b);
+        prop_assert!(
+            case,
+            (a - b).abs() < 1e-6 * (1.0 + a.abs()),
+            "jump {} vs {}",
+            a,
+            b
+        );
         let c1 = s.eval(&coeffs, 0.5 + 0.4 * z, -1e-9).unwrap();
         let c2 = s.eval(&coeffs, 0.5 + 0.4 * z, 1e-9).unwrap();
-        prop_assert!((c1 - c2).abs() < 1e-6 * (1.0 + c1.abs()));
-    }
+        prop_assert!(case, (c1 - c2).abs() < 1e-6 * (1.0 + c1.abs()));
+    });
 }

@@ -90,12 +90,8 @@ fn phase_times(
         (jac, mass)
     } else {
         // CPU machine: the kernel runs on this rank's OpenMP threads.
-        let rate =
-            m.cpu_kernel_gflops_per_core * 1e9 * m.lang_efficiency * kernel_threads as f64;
-        (
-            p.kernel_flops as f64 / rate,
-            p.mass_flops as f64 / rate,
-        )
+        let rate = m.cpu_kernel_gflops_per_core * 1e9 * m.lang_efficiency * kernel_threads as f64;
+        (p.kernel_flops as f64 / rate, p.mass_flops as f64 / rate)
     };
     let h = m.host_overhead;
     PhaseTimes {
@@ -261,7 +257,10 @@ pub fn simulate_cpu_node(
     iters: u64,
 ) -> NodeThroughput {
     assert_eq!(m.gpus, 0);
-    assert!(procs * threads <= m.cpu.sms as usize, "over-subscribed node");
+    assert!(
+        procs * threads <= m.cpu.sms as usize,
+        "over-subscribed node"
+    );
     let host_rate = m.cpu_core_flops;
     simulate(m, profile, procs, host_rate, threads, iters)
 }
@@ -396,7 +395,12 @@ mod tests {
         let m = MachineConfig::summit_cuda();
         let p = profile();
         let r = simulate_node(&m, &p, 1, 1, 30);
-        assert!(r.t_factor > r.t_landau, "factor {} landau {}", r.t_factor, r.t_landau);
+        assert!(
+            r.t_factor > r.t_landau,
+            "factor {} landau {}",
+            r.t_factor,
+            r.t_landau
+        );
         assert!(r.t_kernel <= r.t_landau);
         assert!(r.t_kernel / r.t_landau > 0.6, "{}", r.t_kernel / r.t_landau);
         assert!(r.t_solve < 0.3 * r.t_factor);

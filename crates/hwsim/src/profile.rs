@@ -5,10 +5,8 @@
 //! from the virtual-GPU counters and the factor/solve FLOPs from the band
 //! solver's cost model. The DES turns these counts into per-platform times.
 
-use serde::{Deserialize, Serialize};
-
 /// Operation counts for one Newton iteration of one rank's problem.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct IterationProfile {
     /// Jacobian-kernel FLOPs (inner integral + transform&assemble).
     pub kernel_flops: u64,
@@ -37,10 +35,9 @@ impl IterationProfile {
         let nb = 16u64;
         let nip = ne as u64 * nq;
         let pair = 140 + 6 * s as u64 + 19;
-        let kernel_flops =
-            nip * nip * pair + ne as u64 * nq * (s as u64) * nb * (8 + nb * 6);
-        let kernel_bytes = ne as u64 * (3 + 3 * s as u64) * nip * 8
-            + ne as u64 * (s as u64) * nb * nb * 8;
+        let kernel_flops = nip * nip * pair + ne as u64 * nq * (s as u64) * nb * (8 + nb * 6);
+        let kernel_bytes =
+            ne as u64 * (3 + 3 * s as u64) * nip * 8 + ne as u64 * (s as u64) * nb * nb * 8;
         let mass_flops = ne as u64 * nq * nb * (1 + 2 * nb);
         let mass_bytes = 2 * ne as u64 * (s as u64) * nb * nb * 8;
         let atomics = ne as u64 * (s as u64) * nb * nb;

@@ -43,7 +43,10 @@ impl KernelModel {
 
     /// Effective compute ceiling in FLOP/s on a device.
     pub fn compute_ceiling(&self, dev: &DeviceSpec) -> f64 {
-        dev.peak_fp64_gflops * 1e9 * self.pipe_util * (self.fma_fraction + (1.0 - self.fma_fraction) * 0.5)
+        dev.peak_fp64_gflops
+            * 1e9
+            * self.pipe_util
+            * (self.fma_fraction + (1.0 - self.fma_fraction) * 0.5)
     }
 
     /// Effective bandwidth ceiling in B/s.
@@ -76,7 +79,11 @@ pub struct RooflineReport {
 }
 
 /// Analyze one kernel's counted totals on a device.
-pub fn roofline_report(stats: &KernelStats, model: &KernelModel, dev: &DeviceSpec) -> RooflineReport {
+pub fn roofline_report(
+    stats: &KernelStats,
+    model: &KernelModel,
+    dev: &DeviceSpec,
+) -> RooflineReport {
     let bytes = stats.dram_read + stats.dram_write;
     let ai = stats.arithmetic_intensity();
     let t = model.kernel_time(dev, stats.flops, bytes);

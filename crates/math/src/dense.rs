@@ -57,12 +57,10 @@ impl DenseMatrix {
     /// Matrix–vector product `y = A x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
-        let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
-        y
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Matrix–matrix product.
@@ -176,19 +174,13 @@ impl DenseLu {
         let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
         // Forward: L y = Pb (unit lower).
         for i in 1..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s;
+            let s: f64 = (0..i).map(|j| self.lu[(i, j)] * x[j]).sum();
+            x[i] -= s;
         }
         // Backward: U x = y.
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s / self.lu[(i, i)];
+            let s: f64 = ((i + 1)..n).map(|j| self.lu[(i, j)] * x[j]).sum();
+            x[i] = (x[i] - s) / self.lu[(i, i)];
         }
         x
     }
@@ -216,7 +208,9 @@ mod tests {
         // Simple LCG so the math crate avoids a rand dependency in unit tests.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let mut m = DenseMatrix::zeros(n, n);

@@ -67,9 +67,9 @@ impl LagrangeBasis1D {
         }
         // Barycentric form: ℓ_i(x) = (w_i/(x - x_i)) / Σ_j (w_j/(x - x_j)).
         let mut denom = 0.0;
-        for i in 0..n {
-            out[i] = self.bary[i] / (x - self.nodes[i]);
-            denom += out[i];
+        for ((v, &xi), &wi) in out.iter_mut().zip(&self.nodes).zip(&self.bary) {
+            *v = wi / (x - xi);
+            denom += *v;
         }
         for v in out.iter_mut() {
             *v /= denom;
@@ -90,7 +90,7 @@ impl LagrangeBasis1D {
     pub fn eval_deriv_into(&self, x: f64, out: &mut [f64]) {
         let n = self.nodes.len();
         debug_assert_eq!(out.len(), n);
-        for i in 0..n {
+        for (i, o) in out.iter_mut().enumerate() {
             // ℓ_i'(x) = Σ_{k≠i} [ Π_{j≠i,k} (x-x_j) ] * bary_i
             let mut acc = 0.0;
             for k in 0..n {
@@ -105,7 +105,7 @@ impl LagrangeBasis1D {
                 }
                 acc += prod;
             }
-            out[i] = acc * self.bary[i];
+            *o = acc * self.bary[i];
         }
     }
 

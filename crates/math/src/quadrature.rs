@@ -22,7 +22,7 @@ impl QuadratureRule {
     /// # Panics
     /// Panics for `n == 0` or `n > 64`.
     pub fn gauss_legendre(n: usize) -> Self {
-        assert!(n >= 1 && n <= 64, "unsupported rule size {n}");
+        assert!((1..=64).contains(&n), "unsupported rule size {n}");
         let mut points = vec![0.0; n];
         let mut weights = vec![0.0; n];
         let m = n.div_ceil(2);
@@ -40,9 +40,8 @@ impl QuadratureRule {
                     p0 = p1;
                     p1 = p2;
                 }
-                let p = if n == 1 { p1 } else { p1 };
                 dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
-                let dx = p / dp;
+                let dx = p1 / dp;
                 x -= dx;
                 if dx.abs() < 1e-16 {
                     break;

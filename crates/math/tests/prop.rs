@@ -4,69 +4,119 @@ use landau_math::dense::{dense_solve, DenseMatrix};
 use landau_math::elliptic::ellip_ke;
 use landau_math::lagrange::LagrangeBasis1D;
 use landau_math::quadrature::QuadratureRule;
-use proptest::prelude::*;
+use landau_testkit::{cases, prop_assert};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// K and E are monotone in m (K increasing, E decreasing) and bounded
-    /// below by π/2·(limits).
-    #[test]
-    fn elliptic_monotonicity(m1 in 0.0f64..0.98, m2 in 0.0f64..0.98) {
+/// K and E are monotone in m (K increasing, E decreasing) and bounded
+/// below by π/2·(limits).
+#[test]
+fn elliptic_monotonicity() {
+    cases(64, |rng, case| {
+        let m1 = rng.f64_in(0.0, 0.98);
+        let m2 = rng.f64_in(0.0, 0.98);
         let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
         let a = ellip_ke(lo);
         let b = ellip_ke(hi);
-        prop_assert!(b.k >= a.k - 1e-14);
-        prop_assert!(b.e <= a.e + 1e-14);
-        prop_assert!(a.e <= a.k + 1e-14);
-    }
+        prop_assert!(case, b.k >= a.k - 1e-14);
+        prop_assert!(case, b.e <= a.e + 1e-14);
+        prop_assert!(case, a.e <= a.k + 1e-14);
+    });
+}
 
-    /// Legendre relation holds for random moduli.
-    #[test]
-    fn elliptic_legendre_relation(m in 0.001f64..0.999) {
+/// Legendre relation holds for random moduli.
+#[test]
+fn elliptic_legendre_relation() {
+    cases(64, |rng, case| {
+        let m = rng.f64_in(0.001, 0.999);
         let a = ellip_ke(m);
         let b = ellip_ke(1.0 - m);
         let lhs = a.e * b.k + b.e * a.k - a.k * b.k;
-        prop_assert!((lhs - std::f64::consts::FRAC_PI_2).abs() < 1e-11);
-    }
+        prop_assert!(
+            case,
+            (lhs - std::f64::consts::FRAC_PI_2).abs() < 1e-11,
+            "m={}: {}",
+            m,
+            lhs
+        );
+    });
+}
 
-    /// Gauss rules integrate random polynomials within their exactness
-    /// degree.
-    #[test]
-    fn quadrature_exactness(n in 1usize..10, c in prop::collection::vec(-3.0f64..3.0, 1..8)) {
+/// Gauss rules integrate random polynomials within their exactness degree.
+#[test]
+fn quadrature_exactness() {
+    cases(64, |rng, case| {
+        let n = rng.usize_in(1, 10);
+        let nc = rng.usize_in(1, 8);
+        let c = rng.vec_f64(nc, -3.0, 3.0);
         let r = QuadratureRule::gauss_legendre(n);
         let deg = (c.len() - 1).min(2 * n - 1);
         let got = r.integrate(|x| {
-            c.iter().take(deg + 1).enumerate().map(|(k, ck)| ck * x.powi(k as i32)).sum()
+            c.iter()
+                .take(deg + 1)
+                .enumerate()
+                .map(|(k, ck)| ck * x.powi(k as i32))
+                .sum()
         });
-        let want: f64 = c.iter().take(deg + 1).enumerate()
-            .map(|(k, ck)| if k % 2 == 0 { 2.0 * ck / (k as f64 + 1.0) } else { 0.0 })
+        let want: f64 = c
+            .iter()
+            .take(deg + 1)
+            .enumerate()
+            .map(|(k, ck)| {
+                if k % 2 == 0 {
+                    2.0 * ck / (k as f64 + 1.0)
+                } else {
+                    0.0
+                }
+            })
             .sum();
-        prop_assert!((got - want).abs() < 1e-10 * (1.0 + want.abs()));
-    }
+        prop_assert!(
+            case,
+            (got - want).abs() < 1e-10 * (1.0 + want.abs()),
+            "n={}: {} vs {}",
+            n,
+            got,
+            want
+        );
+    });
+}
 
-    /// Lagrange bases reproduce random polynomials of their order.
-    #[test]
-    fn lagrange_reproduction(p in 1usize..5, c in prop::collection::vec(-2.0f64..2.0, 5), x in -1.0f64..1.0) {
+/// Lagrange bases reproduce random polynomials of their order.
+#[test]
+fn lagrange_reproduction() {
+    cases(64, |rng, case| {
+        let p = rng.usize_in(1, 5);
+        let c = rng.vec_f64(5, -2.0, 2.0);
+        let x = rng.f64_in(-1.0, 1.0);
         let b = LagrangeBasis1D::equispaced(p);
-        let poly = |t: f64| c.iter().take(p + 1).enumerate().map(|(k, ck)| ck * t.powi(k as i32)).sum::<f64>();
+        let poly = |t: f64| {
+            c.iter()
+                .take(p + 1)
+                .enumerate()
+                .map(|(k, ck)| ck * t.powi(k as i32))
+                .sum::<f64>()
+        };
         let coeffs: Vec<f64> = b.nodes.iter().map(|&t| poly(t)).collect();
         let interp: f64 = b.eval(x).iter().zip(&coeffs).map(|(v, c)| v * c).sum();
-        prop_assert!((interp - poly(x)).abs() < 1e-8);
-    }
+        prop_assert!(
+            case,
+            (interp - poly(x)).abs() < 1e-8,
+            "p={} x={}: {} vs {}",
+            p,
+            x,
+            interp,
+            poly(x)
+        );
+    });
+}
 
-    /// Dense LU solves random diagonally dominant systems.
-    #[test]
-    fn dense_solve_random(n in 1usize..12, seed in 0u64..1000) {
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-        };
+/// Dense LU solves random diagonally dominant systems.
+#[test]
+fn dense_solve_random() {
+    cases(64, |rng, case| {
+        let n = rng.usize_in(1, 12);
         let mut a = DenseMatrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
-                a[(i, j)] = next();
+                a[(i, j)] = rng.f64_in(-1.0, 1.0);
             }
             a[(i, i)] += 2.0 * n as f64;
         }
@@ -74,7 +124,15 @@ proptest! {
         let b = a.matvec(&x);
         let got = dense_solve(&a, &b).unwrap();
         for i in 0..n {
-            prop_assert!((got[i] - x[i]).abs() < 1e-8);
+            prop_assert!(
+                case,
+                (got[i] - x[i]).abs() < 1e-8,
+                "n={} i={}: {} vs {}",
+                n,
+                i,
+                got[i],
+                x[i]
+            );
         }
-    }
+    });
 }

@@ -27,10 +27,26 @@ impl CellKey {
         let l = self.level + 1;
         let (x, y) = (self.ix * 2, self.iy * 2);
         [
-            CellKey { level: l, ix: x, iy: y },
-            CellKey { level: l, ix: x + 1, iy: y },
-            CellKey { level: l, ix: x, iy: y + 1 },
-            CellKey { level: l, ix: x + 1, iy: y + 1 },
+            CellKey {
+                level: l,
+                ix: x,
+                iy: y,
+            },
+            CellKey {
+                level: l,
+                ix: x + 1,
+                iy: y,
+            },
+            CellKey {
+                level: l,
+                ix: x,
+                iy: y + 1,
+            },
+            CellKey {
+                level: l,
+                ix: x + 1,
+                iy: y + 1,
+            },
         ]
     }
 
@@ -396,9 +412,7 @@ impl Forest {
             assert_eq!(n2.level, key.level + 1, "forest not 2:1 balanced");
             return FaceNbr::Finer([id(n1), id(n2)]);
         }
-        panic!(
-            "face_neighbor on unbalanced forest: {key:?} vs {nb:?} across face {face}"
-        );
+        panic!("face_neighbor on unbalanced forest: {key:?} vs {nb:?} across face {face}");
     }
 
     /// Histogram of leaf counts per level.
@@ -436,8 +450,22 @@ mod tests {
         assert_eq!(f.num_cells(), 2);
         let (rmax, zmin, zmax) = f.domain();
         assert_eq!((rmax, zmin, zmax), (5.0, -5.0, 5.0));
-        assert_eq!(f.locate(2.0, -3.0), Some(CellKey { level: 0, ix: 0, iy: 0 }));
-        assert_eq!(f.locate(2.0, 3.0), Some(CellKey { level: 0, ix: 0, iy: 1 }));
+        assert_eq!(
+            f.locate(2.0, -3.0),
+            Some(CellKey {
+                level: 0,
+                ix: 0,
+                iy: 0
+            })
+        );
+        assert_eq!(
+            f.locate(2.0, 3.0),
+            Some(CellKey {
+                level: 0,
+                ix: 0,
+                iy: 1
+            })
+        );
         assert_eq!(f.locate(6.0, 0.0), None);
     }
 
@@ -452,7 +480,11 @@ mod tests {
 
     #[test]
     fn children_tile_parent() {
-        let k = CellKey { level: 2, ix: 1, iy: 3 };
+        let k = CellKey {
+            level: 2,
+            ix: 1,
+            iy: 3,
+        };
         let cs = k.children();
         for c in cs {
             assert_eq!(c.parent(), Some(k));
@@ -502,7 +534,14 @@ mod tests {
         let mut f = Forest::new(1, 1, 1.0, 0.0);
         f.refine_uniform(2); // 4x4 grid
         let k = f.locate(0.4, 0.4).unwrap(); // cell (1,1)
-        assert_eq!(k, CellKey { level: 2, ix: 1, iy: 1 });
+        assert_eq!(
+            k,
+            CellKey {
+                level: 2,
+                ix: 1,
+                iy: 1
+            }
+        );
         for face in 0..4 {
             match f.face_neighbor(k, face) {
                 FaceNbr::Same(id) => {
@@ -522,7 +561,7 @@ mod tests {
     fn face_neighbors_hanging() {
         let mut f = Forest::new(1, 1, 1.0, 0.0);
         f.refine_uniform(1); // 2x2
-        // Refine only lower-left cell → hanging faces.
+                             // Refine only lower-left cell → hanging faces.
         f.refine_once(|f, k| {
             let (r0, z0, _h) = f.cell_geometry(k);
             r0 == 0.0 && z0 == 0.0

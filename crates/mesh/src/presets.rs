@@ -76,9 +76,7 @@ impl MeshSpec {
         let shells = self.shells.clone();
         let tail = self.tail_box;
         // Refine until every shell/box criterion is met (bounded rounds).
-        f.refine_until(32, move |f, k| {
-            cell_needs_refinement(f, k, &shells, tail)
-        });
+        f.refine_until(32, move |f, k| cell_needs_refinement(f, k, &shells, tail));
         f.balance();
         f
     }
@@ -122,11 +120,7 @@ pub fn uniform_mesh(domain_radius: f64, level: usize) -> Forest {
 /// Convenience: mesh adapted to Maxwellians with the given thermal speeds
 /// (the Figure 1/3 style meshes). `cells_per_vt ≈ 1–2` reproduces the
 /// paper's ~20-cell single-species mesh on a `5 v_th` domain.
-pub fn maxwellian_mesh(
-    domain_radius: f64,
-    thermal_speeds: &[f64],
-    cells_per_vt: f64,
-) -> Forest {
+pub fn maxwellian_mesh(domain_radius: f64, thermal_speeds: &[f64], cells_per_vt: f64) -> Forest {
     MeshSpec::for_thermal_speeds(domain_radius, 1, thermal_speeds, cells_per_vt, 3.5).build()
 }
 

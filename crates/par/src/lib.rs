@@ -1,0 +1,548 @@
+//! Data-parallel iteration without external dependencies.
+//!
+//! This crate provides the subset of the rayon iterator API the workspace
+//! uses — `par_iter`, `par_iter_mut`, `par_chunks_mut`, `into_par_iter`,
+//! `zip`, `enumerate`, `map`, `for_each`, `reduce`, `sum`, `collect` — on
+//! top of `std::thread::scope`. It exists for two reasons:
+//!
+//! 1. **Hermetic builds.** The workspace must build with no network and no
+//!    crate registry; every dependency is in-tree.
+//! 2. **Deterministic joins.** Unlike rayon's work-stealing `reduce`, the
+//!    input is split into contiguous per-thread parts and the per-part
+//!    results are folded *in input order*. For a fixed thread count the
+//!    full reduction tree is a pure function of the input — the same
+//!    property `landau-check` verifies for the virtual-GPU lane reductions.
+//!
+//! The splitting is static (one contiguous part per worker thread, no
+//! stealing), which is the right shape for this workspace: every parallel
+//! loop here is a dense sweep over elements, blocks or integration points
+//! with near-uniform cost per item.
+//!
+//! Worker count comes from [`current_num_threads`]; set `LANDAU_PAR_THREADS`
+//! to pin it (e.g. `LANDAU_PAR_THREADS=1` for serial debugging).
+
+use std::ops::AddAssign;
+
+/// Rayon-style glob import: `use landau_par::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParSliceExt, ParSliceMutExt, ParallelIterator};
+}
+
+/// Number of worker threads parallel drivers will use.
+///
+/// Honors `LANDAU_PAR_THREADS` if set to a positive integer, otherwise
+/// `std::thread::available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("LANDAU_PAR_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A splittable, sequentially drivable source of items — the minimal core
+/// every combinator and driver is built from.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Remaining item count (parts are sized from this).
+    fn len(&self) -> usize;
+
+    /// True if no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, mid)` and `[mid, len)` parts.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Drive the part sequentially, feeding every item to `f` in order.
+    fn drain(self, f: &mut dyn FnMut(Self::Item));
+
+    /// Lazily apply `f` to every item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Pair items positionally with another parallel iterator
+    /// (length = the shorter of the two).
+    fn zip<B: IntoParallelIterator>(self, other: B) -> Zip<Self, B::Iter> {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Attach the global item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            base: 0,
+        }
+    }
+
+    /// Consume every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_parts(self, &|part| part.drain(&mut |item| f(item)));
+    }
+
+    /// Parallel fold with an identity and an associative join, applied to
+    /// contiguous parts whose results are joined in input order (so the
+    /// reduction tree is deterministic for a fixed thread count).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let parts = run_parts(self, &|part| {
+            let mut acc = identity();
+            part.drain(&mut |item| {
+                let prev = std::mem::replace(&mut acc, identity());
+                acc = op(prev, item);
+            });
+            acc
+        });
+        let mut it = parts.into_iter();
+        let first = it.next().unwrap_or_else(&identity);
+        it.fold(first, &op)
+    }
+
+    /// Parallel sum into any accumulator that can absorb the items.
+    fn sum<S>(self) -> S
+    where
+        S: Default + AddAssign<Self::Item> + AddAssign<S> + Send,
+    {
+        let parts = run_parts(self, &|part| {
+            let mut acc = S::default();
+            part.drain(&mut |item| acc += item);
+            acc
+        });
+        let mut total = S::default();
+        for p in parts {
+            total += p;
+        }
+        total
+    }
+
+    /// Collect into a `Vec`, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (identity for iterators, by-value
+/// for `Vec`).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Perform the conversion.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Iter = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> I {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// `&slice` parallel views.
+pub trait ParSliceExt<T: Sync> {
+    /// Parallel shared iteration.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `&mut slice` parallel views.
+pub trait ParSliceMutExt<T: Send> {
+    /// Parallel exclusive iteration.
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
+    /// Parallel iteration over `chunk`-sized exclusive windows (the last may
+    /// be shorter).
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunksMut { slice: self, chunk }
+    }
+}
+
+/// Shared-slice iterator.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid);
+        (SliceIter { slice: a }, SliceIter { slice: b })
+    }
+    fn drain(self, f: &mut dyn FnMut(Self::Item)) {
+        for x in self.slice {
+            f(x);
+        }
+    }
+}
+
+/// Exclusive-slice iterator.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid);
+        (SliceIterMut { slice: a }, SliceIterMut { slice: b })
+    }
+    fn drain(self, f: &mut dyn FnMut(Self::Item)) {
+        for x in self.slice {
+            f(x);
+        }
+    }
+}
+
+/// Exclusive chunked iterator.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(at);
+        (
+            ChunksMut {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ChunksMut {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+    fn drain(self, f: &mut dyn FnMut(Self::Item)) {
+        for c in self.slice.chunks_mut(self.chunk) {
+            f(c);
+        }
+    }
+}
+
+/// Owning iterator over a `Vec`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.items.split_off(mid);
+        (self, VecIter { items: tail })
+    }
+    fn drain(self, f: &mut dyn FnMut(Self::Item)) {
+        for x in self.items {
+            f(x);
+        }
+    }
+}
+
+/// Lazy `map` combinator.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(mid);
+        (
+            Map {
+                inner: a,
+                f: self.f.clone(),
+            },
+            Map {
+                inner: b,
+                f: self.f,
+            },
+        )
+    }
+    fn drain(self, g: &mut dyn FnMut(Self::Item)) {
+        let f = &self.f;
+        self.inner.drain(&mut |x| g(f(x)));
+    }
+}
+
+/// Positional pairing combinator.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let alen = self.a.len();
+        let blen = self.b.len();
+        let (a1, a2) = self.a.split_at(mid.min(alen));
+        let (b1, b2) = self.b.split_at(mid.min(blen));
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn drain(self, f: &mut dyn FnMut(Self::Item)) {
+        // Drain the longer side lazily by buffering the shorter prefix of
+        // `b`; parts are contiguous so the pairing stays positional.
+        let n = self.len();
+        let (a, _) = self.a.split_at(n);
+        let (b, _) = self.b.split_at(n);
+        let mut bs: Vec<B::Item> = Vec::with_capacity(n);
+        b.drain(&mut |x| bs.push(x));
+        let mut bi = bs.into_iter();
+        a.drain(&mut |x| {
+            if let Some(y) = bi.next() {
+                f((x, y));
+            }
+        });
+    }
+}
+
+/// Global-index attachment combinator.
+pub struct Enumerate<I> {
+    inner: I,
+    base: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(mid);
+        (
+            Enumerate {
+                inner: a,
+                base: self.base,
+            },
+            Enumerate {
+                inner: b,
+                base: self.base + mid,
+            },
+        )
+    }
+    fn drain(self, f: &mut dyn FnMut(Self::Item)) {
+        let mut i = self.base;
+        self.inner.drain(&mut |x| {
+            f((i, x));
+            i += 1;
+        });
+    }
+}
+
+/// Order-preserving parallel collection target.
+pub trait FromParallelIterator<T: Send> {
+    /// Build the collection from a parallel iterator.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        let parts = run_parts(iter, &|part| {
+            let mut v = Vec::with_capacity(part.len());
+            part.drain(&mut |x| v.push(x));
+            v
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+/// Split `iter` into one contiguous part per worker and run `work` on each,
+/// returning the per-part results in input order.
+fn run_parts<I, R, W>(iter: I, work: &W) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    W: Fn(I) -> R + Sync,
+{
+    let n = iter.len();
+    let k = current_num_threads().min(n.max(1));
+    if k <= 1 {
+        return vec![work(iter)];
+    }
+    // Near-equal contiguous parts.
+    let mut parts = Vec::with_capacity(k);
+    let mut rest = iter;
+    let mut remaining = n;
+    for i in 0..k - 1 {
+        let take = remaining / (k - i);
+        let (head, tail) = rest.split_at(take);
+        parts.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    parts.push(rest);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|p| s.spawn(move || work(p)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_mutates_every_item() {
+        let mut v = vec![0u64; 1000];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u64 * 2);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn map_reduce_matches_serial() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let got: u64 = v.par_iter().map(|&x| x * x).reduce(|| 0, |a, b| a + b);
+        let want: u64 = v.iter().map(|&x| x * x).sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sum_over_zip_enumerate() {
+        let mut a = vec![1u64; 100];
+        let mut b = vec![2u64; 100];
+        let s: u64 = a
+            .par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .map(|(i, (x, y))| {
+                *x += i as u64;
+                *y += *x;
+                *y
+            })
+            .sum();
+        let want: u64 = (0..100u64).map(|i| 2 + 1 + i).sum();
+        assert_eq!(s, want);
+    }
+
+    #[test]
+    fn chunks_cover_slice_exactly_once() {
+        let mut v = [0u8; 103]; // non-multiple of the chunk size
+        v.par_chunks_mut(10).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..977).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..978).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn into_par_iter_owns_items() {
+        let v: Vec<Box<u64>> = (0..50).map(Box::new).collect();
+        let s: u64 = v.into_par_iter().map(|b| *b).sum();
+        assert_eq!(s, (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn reduce_is_deterministic_for_floats() {
+        // Ordered part joins: identical bits run to run for a fixed
+        // thread count.
+        let v: Vec<f64> = (0..5000).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let run = || v.par_iter().map(|&x| x).reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u64> = Vec::new();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0);
+        let r: u64 = v.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b);
+        assert_eq!(r, 7);
+        let mut w: Vec<u64> = Vec::new();
+        w.par_iter_mut().for_each(|_| unreachable!());
+    }
+}

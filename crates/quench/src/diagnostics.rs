@@ -26,13 +26,16 @@ impl TailDiagnostics {
             .iter()
             .map(|&xc| {
                 let xc2 = xc * xc;
-                let mut v = weighted_functional(space, move |r, z| {
-                    if r * r + z * z > xc2 {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                });
+                let mut v = weighted_functional(
+                    space,
+                    move |r, z| {
+                        if r * r + z * z > xc2 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    },
+                );
                 for x in &mut v {
                     *x *= two_pi;
                 }
@@ -72,21 +75,10 @@ impl TailDiagnostics {
 /// Z-asymmetry of a distribution: `∫ x_z f / (n ⟨|x|⟩)`-style measure used
 /// to watch the fast tail separate along the field direction. Returns
 /// `∫ x_z f` restricted to `|x| > x_c`.
-pub fn directed_tail_flux(
-    space: &FemSpace,
-    state: &[f64],
-    s: usize,
-    x_c: f64,
-) -> f64 {
+pub fn directed_tail_flux(space: &FemSpace, state: &[f64], s: usize, x_c: f64) -> f64 {
     let two_pi = 2.0 * core::f64::consts::PI;
     let xc2 = x_c * x_c;
-    let m = weighted_functional(space, move |r, z| {
-        if r * r + z * z > xc2 {
-            z
-        } else {
-            0.0
-        }
-    });
+    let m = weighted_functional(space, move |r, z| if r * r + z * z > xc2 { z } else { 0.0 });
     let n = space.n_dofs;
     two_pi
         * m.iter()

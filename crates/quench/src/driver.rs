@@ -125,11 +125,13 @@ impl QuenchDriver {
         let sl = SpeciesList::new(vec![Species::electron(), ion]);
         let mut vts: Vec<f64> = sl.list.iter().map(|s| s.thermal_speed()).collect();
         // The cold pulse must be resolvable too.
-        vts.push(Species {
-            temperature: cfg.t_cold,
-            ..Species::electron()
-        }
-        .thermal_speed());
+        vts.push(
+            Species {
+                temperature: cfg.t_cold,
+                ..Species::electron()
+            }
+            .thermal_speed(),
+        );
         let space = FemSpace::new(
             MeshSpec::for_thermal_speeds(cfg.domain, 1, &vts, cfg.cells_per_vt, cfg.k_outer)
                 .build(),
@@ -277,13 +279,7 @@ mod tests {
         let mut d = QuenchDriver::new(fast_cfg());
         d.run();
         assert!(d.stats.converged, "a Newton solve failed");
-        let pre = d
-            .samples
-            .iter()
-            .filter(|s| !s.quenching)
-            .last()
-            .copied()
-            .unwrap();
+        let pre = d.samples.iter().rfind(|s| !s.quenching).copied().unwrap();
         let last = *d.samples.last().unwrap();
         // Mass injection: n_e grows by ≈ mass_factor.
         assert!(
@@ -292,7 +288,12 @@ mod tests {
             last.n_e
         );
         // Thermal collapse: T_e far below the initial temperature.
-        assert!(last.t_e < 0.55 * pre.t_e, "T_e {} vs pre {}", last.t_e, pre.t_e);
+        assert!(
+            last.t_e < 0.55 * pre.t_e,
+            "T_e {} vs pre {}",
+            last.t_e,
+            pre.t_e
+        );
         // The field rises during the quench (η ∝ T^{-3/2} feedback).
         let e_max = d
             .samples
@@ -312,15 +313,18 @@ mod tests {
 
     #[test]
     fn equilibration_detects_quasi_steady_current() {
+        // |Δη/η| decays ≈ ×0.84 per step on this mesh and crosses the
+        // 5e-4 detector threshold around step 31, so the cap must leave
+        // headroom past that.
         let mut d = QuenchDriver::new(QuenchConfig {
-            max_equil_steps: 30,
+            max_equil_steps: 40,
             ..fast_cfg()
         });
         let e0 = d.run_equilibration();
         assert!(e0 > 0.0);
         // Stopped before the cap (detector fired).
         let n_pre = d.samples.iter().filter(|s| !s.quenching).count();
-        assert!(n_pre < 30, "never detected quasi-equilibrium");
+        assert!(n_pre < 40, "never detected quasi-equilibrium");
         // J grew to a finite value.
         assert!(d.samples.last().unwrap().j > 0.0);
     }

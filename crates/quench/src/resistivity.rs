@@ -94,8 +94,8 @@ pub fn build_operator(cfg: &ResistivityConfig) -> LandauOperator {
     };
     let sl = SpeciesList::new(vec![Species::electron(), ion]);
     let vts: Vec<f64> = sl.list.iter().map(|s| s.thermal_speed()).collect();
-    let forest = MeshSpec::for_thermal_speeds(cfg.domain, 1, &vts, cfg.cells_per_vt, cfg.k_outer)
-        .build();
+    let forest =
+        MeshSpec::for_thermal_speeds(cfg.domain, 1, &vts, cfg.cells_per_vt, cfg.k_outer).build();
     let space = FemSpace::new(forest, 3);
     LandauOperator::new(space, sl, cfg.backend)
 }
@@ -193,7 +193,12 @@ mod tests {
             ..base
         });
         let rel = (a.eta_measured - b.eta_measured).abs() / a.eta_measured;
-        assert!(rel < 0.08, "η(E1)={} η(E2)={}", a.eta_measured, b.eta_measured);
+        assert!(
+            rel < 0.08,
+            "η(E1)={} η(E2)={}",
+            a.eta_measured,
+            b.eta_measured
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! `η̃ = η e² n0 t0 / m_e`):
 //!
 //! `η̃_sp(Z, T̃) = (4√(2π)/3) (1/2π) (8/π)^{3/2} Z F(Z) T̃^{-3/2}
-//!              ≈ 2.16139 · Z F(Z) T̃^{-3/2}`
+//!              ≈ 2.16152 · Z F(Z) T̃^{-3/2}`
 //!
 //! with `F(Z) = (1 + 1.198 Z + 0.222 Z²)/(1 + 2.966 Z + 0.753 Z²)` and
 //! `T̃ = T_e/T_e0`. The Coulomb logarithm cancels against the one in `t0`
@@ -69,7 +69,8 @@ mod tests {
 
     #[test]
     fn prefactor_value() {
-        assert!((spitzer_prefactor() - 2.16139).abs() < 1e-4);
+        // (4√(2π)/3)(1/2π)(8/π)^{3/2} = 2.1615189…
+        assert!((spitzer_prefactor() - 2.161519).abs() < 1e-5);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! synchronization to give each species' factorization several SMs.
 
 use crate::csr::Csr;
-use rayon::prelude::*;
+use landau_par::prelude::*;
 
 /// A square banded matrix in LAPACK-like band-row storage:
 /// entry `(i, j)` with `|i-j| ≤ bw` lives at `data[i * w + (j - i + lbw)]`
@@ -107,17 +107,13 @@ impl BandMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert!(!self.factored, "matvec on factored matrix");
         assert_eq!(x.len(), self.n);
-        let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
-            let jlo = i.saturating_sub(self.lbw);
-            let jhi = (i + self.ubw).min(self.n - 1);
-            let mut s = 0.0;
-            for j in jlo..=jhi {
-                s += self.get(i, j) * x[j];
-            }
-            y[i] = s;
-        }
-        y
+        (0..self.n)
+            .map(|i| {
+                let jlo = i.saturating_sub(self.lbw);
+                let jhi = (i + self.ubw).min(self.n - 1);
+                (jlo..=jhi).map(|j| self.get(i, j) * x[j]).sum()
+            })
+            .collect()
     }
 
     /// In-place LU factorization without pivoting (outer-product form).
@@ -160,20 +156,14 @@ impl BandMatrix {
         // Forward substitution with unit lower factor.
         for i in 0..n {
             let jlo = i.saturating_sub(self.lbw);
-            let mut s = x[i];
-            for j in jlo..i {
-                s -= self.get(i, j) * x[j];
-            }
-            x[i] = s;
+            let s: f64 = (jlo..i).map(|j| self.get(i, j) * x[j]).sum();
+            x[i] -= s;
         }
         // Backward substitution.
         for i in (0..n).rev() {
             let jhi = (i + self.ubw).min(n - 1);
-            let mut s = x[i];
-            for j in (i + 1)..=jhi {
-                s -= self.get(i, j) * x[j];
-            }
-            x[i] = s / self.get(i, i);
+            let s: f64 = ((i + 1)..=jhi).map(|j| self.get(i, j) * x[j]).sum();
+            x[i] = (x[i] - s) / self.get(i, i);
         }
     }
 
@@ -248,11 +238,8 @@ impl BlockBandSolver {
     /// Factor every block (parallel over blocks). Returns `Err((block, row))`
     /// on a zero pivot.
     pub fn factor(&mut self) -> Result<(), (usize, usize)> {
-        let results: Vec<Result<(), usize>> = self
-            .blocks
-            .par_iter_mut()
-            .map(|b| b.factor())
-            .collect();
+        let results: Vec<Result<(), usize>> =
+            self.blocks.par_iter_mut().map(|b| b.factor()).collect();
         for (bi, r) in results.into_iter().enumerate() {
             if let Err(row) = r {
                 return Err((bi, row));
@@ -379,11 +366,7 @@ mod tests {
 
     #[test]
     fn from_csr_roundtrip() {
-        let mut a = Csr::from_pattern(
-            3,
-            3,
-            &[vec![0, 1], vec![0, 1, 2], vec![1, 2]],
-        );
+        let mut a = Csr::from_pattern(3, 3, &[vec![0, 1], vec![0, 1, 2], vec![1, 2]]);
         a.set_values(&[0], &[0, 1], &[4.0, 1.0], InsertMode::Insert);
         a.set_values(&[1], &[0, 1, 2], &[1.0, 4.0, 1.0], InsertMode::Insert);
         a.set_values(&[2], &[1, 2], &[1.0, 4.0], InsertMode::Insert);
@@ -399,13 +382,13 @@ mod tests {
         let mut cols = vec![Vec::new(); 8];
         for blk in 0..2usize {
             let off = blk * 4;
-            for i in off..off + 4 {
-                cols[i].push(i);
+            for (i, col) in cols.iter_mut().enumerate().skip(off).take(4) {
+                col.push(i);
                 if i > off {
-                    cols[i].push(i - 1);
+                    col.push(i - 1);
                 }
                 if i + 1 < off + 4 {
-                    cols[i].push(i + 1);
+                    col.push(i + 1);
                 }
             }
         }

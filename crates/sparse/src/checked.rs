@@ -1,0 +1,144 @@
+//! Race-checked atomic scatter: an ownership map that validates the
+//! coloring contract of device-style assembly.
+//!
+//! The paper's assembly resolves inter-element contention either with f64
+//! atomics (§III-F) or by *coloring* elements so that same-color elements
+//! touch disjoint matrix entries and can scatter without atomics. The
+//! coloring path is only correct if the disjointness actually holds — a bug
+//! in the coloring (or in the element→entry map) silently corrupts the
+//! Jacobian. The [`OwnerMap`] here shadows a scatter pass: each slot
+//! written is claimed for the writing element with a compare-and-swap, and
+//! a second claim by a *different* element inside one color batch surfaces
+//! as a [`ScatterConflict`] instead of a corrupted matrix.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+/// Two elements of one color batch scattered into the same matrix slot —
+/// the coloring contract is violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScatterConflict {
+    /// Flat index of the contested value slot (CSR nnz index).
+    pub slot: usize,
+    /// Element that claimed the slot first.
+    pub first_elem: usize,
+    /// Element whose claim collided.
+    pub second_elem: usize,
+}
+
+impl core::fmt::Display for ScatterConflict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "coloring violation: elements {} and {} of one color batch both scatter \
+             into value slot {}",
+            self.first_elem, self.second_elem, self.slot
+        )
+    }
+}
+
+/// Shadow ownership of matrix value slots during one color batch.
+///
+/// Slot states are `0` (unclaimed) or `elem + 1`; claims race through
+/// `compare_exchange`, so the map is sound under the same parallel scatter
+/// it validates.
+pub struct OwnerMap {
+    owners: Vec<AtomicUsize>,
+}
+
+impl OwnerMap {
+    /// An ownership map over `n_slots` value slots, all unclaimed.
+    pub fn new(n_slots: usize) -> Self {
+        let mut owners = Vec::with_capacity(n_slots);
+        owners.resize_with(n_slots, || AtomicUsize::new(0));
+        OwnerMap { owners }
+    }
+
+    /// Number of slots tracked.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// True when tracking no slots.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Release every claim (call between color batches: *different* colors
+    /// may legitimately touch the same slots).
+    pub fn reset(&mut self) {
+        for o in self.owners.iter_mut() {
+            *o.get_mut() = 0;
+        }
+    }
+
+    /// Claim `slot` for `elem`. Repeated claims by the same element are
+    /// fine (an element scatters a whole dense block, revisiting rows);
+    /// a claim held by a different element is a coloring violation.
+    pub fn claim(&self, slot: usize, elem: usize) -> Result<(), ScatterConflict> {
+        let tag = elem + 1;
+        match self.owners[slot].compare_exchange(0, tag, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => Ok(()),
+            Err(prev) if prev == tag => Ok(()),
+            Err(prev) => Err(ScatterConflict {
+                slot,
+                first_elem: prev - 1,
+                second_elem: elem,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_claims_succeed() {
+        let m = OwnerMap::new(8);
+        assert!(m.claim(0, 3).is_ok());
+        assert!(m.claim(1, 4).is_ok());
+        // Same element revisits its slot: fine.
+        assert!(m.claim(0, 3).is_ok());
+    }
+
+    #[test]
+    fn conflicting_claim_reports_both_elements() {
+        let m = OwnerMap::new(4);
+        m.claim(2, 7).unwrap();
+        let e = m.claim(2, 9).unwrap_err();
+        assert_eq!(
+            e,
+            ScatterConflict {
+                slot: 2,
+                first_elem: 7,
+                second_elem: 9
+            }
+        );
+        assert!(e.to_string().contains("coloring violation"));
+    }
+
+    #[test]
+    fn reset_releases_claims() {
+        let mut m = OwnerMap::new(4);
+        m.claim(1, 0).unwrap();
+        m.reset();
+        assert!(m.claim(1, 5).is_ok());
+    }
+
+    #[test]
+    fn concurrent_conflicting_claims_catch_exactly_one_winner() {
+        let m = OwnerMap::new(1);
+        let n_threads = 6;
+        let errs: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let m = &m;
+                    s.spawn(move || usize::from(m.claim(0, t).is_err()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // Exactly one thread wins the slot; every other claim conflicts.
+        assert_eq!(errs, n_threads - 1);
+    }
+}

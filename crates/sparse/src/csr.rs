@@ -44,7 +44,7 @@ impl Csr {
             let mut c = cols.clone();
             c.sort_unstable();
             c.dedup();
-            assert!(c.last().map_or(true, |&j| j < n_cols), "column out of range");
+            assert!(c.last().is_none_or(|&j| j < n_cols), "column out of range");
             col_idx.extend_from_slice(&c);
             row_ptr.push(col_idx.len());
         }
@@ -73,10 +73,7 @@ impl Csr {
     pub fn find(&self, i: usize, j: usize) -> Option<usize> {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
-        self.col_idx[lo..hi]
-            .binary_search(&j)
-            .ok()
-            .map(|k| lo + k)
+        self.col_idx[lo..hi].binary_search(&j).ok().map(|k| lo + k)
     }
 
     /// Read entry `(i, j)` (0 if not stored).
@@ -90,13 +87,7 @@ impl Csr {
     /// # Panics
     /// Panics if an addressed entry is missing from the pattern (PETSc would
     /// raise a "new nonzero caused a malloc" error in this configuration).
-    pub fn set_values(
-        &mut self,
-        rows: &[usize],
-        cols: &[usize],
-        block: &[f64],
-        mode: InsertMode,
-    ) {
+    pub fn set_values(&mut self, rows: &[usize], cols: &[usize], block: &[f64], mode: InsertMode) {
         assert_eq!(block.len(), rows.len() * cols.len());
         for (bi, &i) in rows.iter().enumerate() {
             for (bj, &j) in cols.iter().enumerate() {
@@ -153,23 +144,23 @@ impl Csr {
     /// `y = A x` into an existing buffer.
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(y.len(), self.n_rows);
-        for i in 0..self.n_rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut s = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 s += self.vals[k] * x[self.col_idx[k]];
             }
-            y[i] = s;
+            *yi = s;
         }
     }
 
     /// `y += a * A x`.
     pub fn matvec_add_scaled(&self, a: f64, x: &[f64], y: &mut [f64]) {
-        for i in 0..self.n_rows {
+        for (i, yi) in y.iter_mut().enumerate().take(self.n_rows) {
             let mut s = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 s += self.vals[k] * x[self.col_idx[k]];
             }
-            y[i] += a * s;
+            *yi += a * s;
         }
     }
 

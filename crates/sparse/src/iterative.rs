@@ -260,7 +260,11 @@ mod tests {
         assert!(st.converged, "{st:?}");
         let r = {
             let ax = a.matvec(&x);
-            ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt()
+            ax.iter()
+                .zip(&b)
+                .map(|(p, q)| (p - q).powi(2))
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(r < 1e-8 * norm2(&b), "residual {r}");
     }

@@ -16,9 +16,13 @@
 //!   paper's custom direct solver.
 //! * [`vecops`] — the handful of BLAS-1 operations the time integrator uses.
 //! * [`atomic`] — an `AtomicF64` add used by the device-style assembly.
+//! * [`checked`] (feature `checked`, on by default) — an ownership map
+//!   that validates the element-coloring contract during scatter.
 
 pub mod atomic;
 pub mod band;
+#[cfg(feature = "checked")]
+pub mod checked;
 pub mod coo;
 pub mod csr;
 pub mod iterative;
@@ -26,6 +30,8 @@ pub mod rcm;
 pub mod vecops;
 
 pub use band::BandMatrix;
+#[cfg(feature = "checked")]
+pub use checked::{OwnerMap, ScatterConflict};
 pub use coo::CooMatrix;
 pub use csr::{Csr, InsertMode};
 pub use rcm::{bandwidth, rcm_order};

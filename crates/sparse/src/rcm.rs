@@ -35,8 +35,7 @@ pub fn rcm_order(a: &Csr) -> Vec<usize> {
         let mut comp: Vec<usize> = Vec::new();
         while let Some(u) = q.pop_front() {
             comp.push(u);
-            let mut nbrs: Vec<usize> =
-                adj[u].iter().copied().filter(|&v| !visited[v]).collect();
+            let mut nbrs: Vec<usize> = adj[u].iter().copied().filter(|&v| !visited[v]).collect();
             nbrs.sort_unstable_by_key(|&v| deg[v]);
             for v in nbrs {
                 visited[v] = true;
@@ -140,7 +139,7 @@ mod tests {
     fn rcm_is_a_permutation() {
         let a = shuffled_laplacian(31);
         let p = rcm_order(&a);
-        let mut seen = vec![false; 31];
+        let mut seen = [false; 31];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;
@@ -187,13 +186,13 @@ mod tests {
     #[test]
     fn bandwidth_of_tridiagonal() {
         let mut cols = vec![Vec::new(); 5];
-        for i in 0..5usize {
-            cols[i].push(i);
+        for (i, col) in cols.iter_mut().enumerate() {
+            col.push(i);
             if i > 0 {
-                cols[i].push(i - 1);
+                col.push(i - 1);
             }
             if i < 4 {
-                cols[i].push(i + 1);
+                col.push(i + 1);
             }
         }
         let a = Csr::from_pattern(5, 5, &cols);

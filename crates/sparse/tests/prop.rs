@@ -1,33 +1,25 @@
-//! Property-based tests: band LU vs dense, COO vs set-values, RCM validity.
+//! Property-based tests: band LU vs dense, COO vs set-values, RCM validity,
+//! and atomic-scatter exactness under contention.
 
 use landau_math::dense::{dense_solve, DenseMatrix};
+use landau_sparse::atomic::AtomicF64;
 use landau_sparse::band::BandMatrix;
 use landau_sparse::coo::CooMatrix;
 use landau_sparse::csr::{Csr, InsertMode};
 use landau_sparse::rcm::{bandwidth, rcm_order};
-use proptest::prelude::*;
+use landau_testkit::{cases, prop_assert};
 
-fn lcg(seed: u64) -> impl FnMut() -> f64 {
-    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
-    move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Band LU agrees with dense LU on random diagonally dominant banded
-    /// systems of any bandwidth.
-    #[test]
-    fn band_lu_matches_dense(n in 1usize..40, bw in 0usize..8, seed in 0u64..500) {
-        let bw = bw.min(n.saturating_sub(1));
-        let mut next = lcg(seed);
+/// Band LU agrees with dense LU on random diagonally dominant banded
+/// systems of any bandwidth.
+#[test]
+fn band_lu_matches_dense() {
+    cases(48, |rng, case| {
+        let n = rng.usize_in(1, 40);
+        let bw = rng.usize_in(0, 8).min(n.saturating_sub(1));
         let mut m = BandMatrix::zeros(n, bw, bw);
         for i in 0..n {
             for j in i.saturating_sub(bw)..=(i + bw).min(n - 1) {
-                m.set(i, j, next());
+                m.set(i, j, rng.f64_in(-1.0, 1.0));
             }
             let d = m.get(i, i);
             m.set(i, i, d + 4.0 * (bw as f64 + 1.0));
@@ -42,15 +34,34 @@ proptest! {
         let xd = dense_solve(&dense, &b).unwrap();
         let xb = m.factor_solve(&b).unwrap();
         for i in 0..n {
-            prop_assert!((xd[i] - xb[i]).abs() < 1e-8, "i={} {} vs {}", i, xd[i], xb[i]);
+            prop_assert!(
+                case,
+                (xd[i] - xb[i]).abs() < 1e-8,
+                "n={} bw={} i={}: {} vs {}",
+                n,
+                bw,
+                i,
+                xd[i],
+                xb[i]
+            );
         }
-    }
+    });
+}
 
-    /// COO assembly equals MatSetValues assembly for random triplet streams.
-    #[test]
-    fn coo_equals_setvalues(n in 1usize..20, trips in prop::collection::vec((0usize..20, 0usize..20, -5.0f64..5.0), 0..60)) {
-        let trips: Vec<(usize, usize, f64)> = trips.into_iter()
-            .map(|(i, j, v)| (i % n, j % n, v))
+/// COO assembly equals MatSetValues assembly for random triplet streams.
+#[test]
+fn coo_equals_setvalues() {
+    cases(48, |rng, case| {
+        let n = rng.usize_in(1, 20);
+        let ntrips = rng.usize_in(0, 60);
+        let trips: Vec<(usize, usize, f64)> = (0..ntrips)
+            .map(|_| {
+                (
+                    rng.usize_in(0, n),
+                    rng.usize_in(0, n),
+                    rng.f64_in(-5.0, 5.0),
+                )
+            })
             .collect();
         let mut coo = CooMatrix::new(n, n);
         for &(i, j, v) in &trips {
@@ -68,15 +79,18 @@ proptest! {
         }
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
+                prop_assert!(case, (a.get(i, j) - b.get(i, j)).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    /// RCM returns a valid permutation and never increases the bandwidth of
-    /// a banded-by-construction matrix by more than its graph requires.
-    #[test]
-    fn rcm_is_valid_permutation(n in 2usize..40, extra in prop::collection::vec((0usize..40, 0usize..40), 0..20)) {
+/// RCM returns a valid permutation and the permuted matrix keeps the same
+/// nonzero count.
+#[test]
+fn rcm_is_valid_permutation() {
+    cases(48, |rng, case| {
+        let n = rng.usize_in(2, 40);
         // Path graph + random extra edges.
         let mut cols = vec![Vec::new(); n];
         for i in 0..n {
@@ -86,8 +100,9 @@ proptest! {
                 cols[i + 1].push(i);
             }
         }
-        for &(a, b) in &extra {
-            let (a, b) = (a % n, b % n);
+        for _ in 0..rng.usize_in(0, 20) {
+            let a = rng.usize_in(0, n);
+            let b = rng.usize_in(0, n);
             cols[a].push(b);
             cols[b].push(a);
         }
@@ -95,34 +110,69 @@ proptest! {
         let p = rcm_order(&a);
         let mut seen = vec![false; n];
         for &i in &p {
-            prop_assert!(!seen[i], "duplicate index in permutation");
+            prop_assert!(case, !seen[i], "duplicate index in permutation");
             seen[i] = true;
         }
         // Permuted matrix has the same action.
         let pa = a.permute_symmetric(&p);
-        prop_assert_eq!(pa.nnz(), a.nnz());
+        prop_assert!(case, pa.nnz() == a.nnz());
         let _ = bandwidth(&pa);
-    }
+    });
+}
 
-    /// matvec distributes over vector addition (CSR algebra sanity).
-    #[test]
-    fn matvec_linearity(n in 1usize..15, seed in 0u64..100) {
-        let mut next = lcg(seed);
-        let cols: Vec<Vec<usize>> = (0..n).map(|i| {
-            (0..n).filter(|j| (i + j) % 3 != 1).collect()
-        }).collect();
+/// matvec distributes over vector addition (CSR algebra sanity).
+#[test]
+fn matvec_linearity() {
+    cases(48, |rng, case| {
+        let n = rng.usize_in(1, 15);
+        let cols: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).filter(|j| (i + j) % 3 != 1).collect())
+            .collect();
         let mut a = Csr::from_pattern(n, n, &cols);
         for v in a.vals.iter_mut() {
-            *v = next();
+            *v = rng.f64_in(-1.0, 1.0);
         }
-        let x: Vec<f64> = (0..n).map(|_| next()).collect();
-        let y: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = rng.vec_f64(n, -1.0, 1.0);
+        let y = rng.vec_f64(n, -1.0, 1.0);
         let xy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
         let lhs = a.matvec(&xy);
         let ax = a.matvec(&x);
         let ay = a.matvec(&y);
         for i in 0..n {
-            prop_assert!((lhs[i] - ax[i] - ay[i]).abs() < 1e-11);
+            prop_assert!(case, (lhs[i] - ax[i] - ay[i]).abs() < 1e-11);
         }
+    });
+}
+
+/// `AtomicF64::fetch_add` under contention never loses an update, for
+/// non-power-of-two thread counts (3, 5, 7 — the shapes that stress a CAS
+/// loop's retry path differently than the power-of-two fast paths).
+#[test]
+fn fetch_add_contention_is_exact() {
+    for &n_threads in &[3usize, 5, 7] {
+        let mut slots = vec![0.0f64; 11];
+        let adds_per_thread = 400;
+        {
+            let view = AtomicF64::cast_slice_mut(&mut slots);
+            std::thread::scope(|s| {
+                for t in 0..n_threads {
+                    let view = &view;
+                    s.spawn(move || {
+                        // Each thread walks the slots starting at a
+                        // different offset so contention is continuous.
+                        for k in 0..adds_per_thread {
+                            let slot = (t + k) % view.len();
+                            view[slot].fetch_add(1.0);
+                        }
+                    });
+                }
+            });
+        }
+        let total: f64 = slots.iter().sum();
+        assert_eq!(
+            total,
+            (n_threads * adds_per_thread) as f64,
+            "lost updates with {n_threads} threads: {slots:?}"
+        );
     }
 }

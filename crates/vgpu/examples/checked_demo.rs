@@ -1,0 +1,49 @@
+//! Demo of the checked execution mode: runs a well-barriered staged
+//! reduction (clean) and then a deliberately racy kernel (findings), printing
+//! what the checker observed. `cargo run -p landau-vgpu --example checked_demo`.
+
+use landau_vgpu::kokkos::{Team, TeamFactory, TeamPolicy};
+use landau_vgpu::{CheckCtx, GpuSpec, Tally};
+
+fn policy(vl: usize) -> TeamPolicy {
+    TeamPolicy {
+        league_size: 1,
+        team_size: 1,
+        vector_length: vl,
+    }
+}
+
+fn main() {
+    let spec = GpuSpec::v100();
+
+    // A correct shared-memory staging pattern: each lane writes its own
+    // cell, a barrier orders the block, then lane 0 reads them all.
+    let ctx = CheckCtx::new(spec);
+    let mut tally = Tally::new();
+    let mut m = ctx.member(0, policy(8), &mut tally);
+    let mut sm = m.scratch(8);
+    m.vector_for(8, |j, lane| sm.write(lane, j, j as f64 + 1.0));
+    m.barrier();
+    let total: f64 = (0..8).map(|j| sm.read(0, j)).sum();
+    drop(m);
+    println!("staged sum = {total} (expect 36)");
+    println!(
+        "clean kernel: {} finding(s), {} shared bytes tallied",
+        ctx.findings().len(),
+        tally.shared_bytes
+    );
+
+    // The same kernel with the barrier removed: every cross-lane read
+    // races the writes, and the checker names the lanes involved.
+    let ctx = CheckCtx::new(spec);
+    let mut tally = Tally::new();
+    let mut m = ctx.member(0, policy(8), &mut tally);
+    let mut sm = m.scratch(8);
+    m.vector_for(8, |j, lane| sm.write(lane, j, j as f64 + 1.0));
+    let _ = (0..8).map(|j| sm.read(0, j)).sum::<f64>();
+    drop(m);
+    println!("\nracy kernel (barrier removed):");
+    for f in ctx.findings() {
+        println!("  - {f}");
+    }
+}

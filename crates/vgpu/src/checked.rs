@@ -1,0 +1,740 @@
+//! Checked execution mode: a shadow-state race/determinism checker for the
+//! virtual GPU.
+//!
+//! The host-side simulator runs vector lanes *sequentially*, so a kernel
+//! that would race on real hardware still produces a deterministic answer
+//! here — silently. This module closes that gap: a
+//! [`CheckedTeamMember`] records, per scratch cell, which lanes have read
+//! and written it since the last [`Team::barrier`] (an *epoch*), and flags
+//!
+//! * **write–write** conflicts: two lanes store to the same cell in one
+//!   epoch (on hardware, whichever warp retires last wins);
+//! * **read–write** conflicts: a lane loads a cell another lane stored in
+//!   the same epoch (on hardware the load may see either value);
+//! * **scratch over-allocation** past the active [`GpuSpec`]'s per-block
+//!   shared memory (a launch failure on hardware);
+//! * **launch over-subscription** past `max_threads_per_block`;
+//! * **reduction divergence**: lanes disagreeing on the trip count of a
+//!   `vector_reduce` (a deadlock under warp-synchronous shuffles);
+//! * **barrier divergence**: a conditional barrier not reached by every
+//!   lane (undefined behavior for `__syncthreads`);
+//! * **nondeterministic reduction**: a reducer whose result changes beyond
+//!   rounding when the lane-join order is permuted (warp scheduling decides
+//!   the order on hardware, so such a kernel is run-to-run irreproducible).
+//!
+//! Findings either collect into a [`CheckCtx`] for later inspection or, in
+//! strict mode, abort at the first defect.
+
+use crate::counters::Tally;
+use crate::kokkos::{
+    join_in_order, lane_partials, tree_join, Reducer, ReducerCheck, ScratchBuf, Team, TeamFactory,
+    TeamPolicy,
+};
+use crate::spec::GpuSpec;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Relative tolerance for the reduction-determinism comparison: permuting
+/// the join order of a well-behaved floating-point reduction moves the
+/// result by rounding only (≤ ~1e-13 relative for ≤64 lanes); 1e-9 leaves
+/// four orders of magnitude of headroom while catching genuinely
+/// order-dependent joins.
+pub const DETERMINISM_RTOL: f64 = 1e-9;
+
+/// The kind of cross-lane scratch conflict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two lanes wrote one cell in the same epoch.
+    WriteWrite,
+    /// One lane read a cell another lane wrote in the same epoch.
+    ReadWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceKind::WriteWrite => write!(f, "write-write"),
+            RaceKind::ReadWrite => write!(f, "read-write"),
+        }
+    }
+}
+
+/// One defect detected by the checked execution mode.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Finding {
+    /// Cross-lane scratch conflict without an intervening barrier.
+    ScratchRace {
+        /// Block in which the conflict occurred.
+        league_rank: usize,
+        /// Scratch cell index.
+        idx: usize,
+        /// A lane that accessed the cell earlier in the epoch.
+        first_lane: usize,
+        /// The lane whose access conflicted.
+        second_lane: usize,
+        /// Conflict kind.
+        kind: RaceKind,
+    },
+    /// Cumulative scratch allocation exceeded the spec's per-block capacity.
+    ScratchOverflow {
+        /// Block that over-allocated.
+        league_rank: usize,
+        /// Bytes in use after the offending allocation.
+        in_use: u64,
+        /// Per-block capacity of the active spec.
+        capacity: u64,
+    },
+    /// `team_size × vector_length` exceeds the spec's thread limit.
+    LaunchOverflow {
+        /// Threads the policy asks for.
+        threads: usize,
+        /// The spec's per-block maximum.
+        max: usize,
+    },
+    /// Lanes disagreed on a `vector_reduce` trip count.
+    ReduceDivergence {
+        /// Block in which the divergence occurred.
+        league_rank: usize,
+        /// A lane with a differing trip count.
+        lane: usize,
+        /// That lane's trip count.
+        trips: usize,
+        /// Lane 0's trip count (the reference).
+        expected: usize,
+    },
+    /// A conditional barrier was not reached by every lane.
+    BarrierDivergence {
+        /// Block in which the divergence occurred.
+        league_rank: usize,
+        /// Lanes that arrived at the barrier.
+        arriving: usize,
+        /// Lanes in the vector dimension.
+        lanes: usize,
+    },
+    /// Permuting the lane-join order moved the reduction result beyond
+    /// rounding tolerance.
+    NondeterministicReduce {
+        /// Block in which the reduction ran.
+        league_rank: usize,
+        /// Observed |tree − permuted| distance.
+        dist: f64,
+        /// The tolerance it exceeded.
+        tol: f64,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::ScratchRace {
+                league_rank,
+                idx,
+                first_lane,
+                second_lane,
+                kind,
+            } => write!(
+                f,
+                "{kind} race on scratch[{idx}] in block {league_rank}: lanes {first_lane} \
+                 and {second_lane} without an intervening barrier"
+            ),
+            Finding::ScratchOverflow {
+                league_rank,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "scratch over-allocation in block {league_rank}: {in_use} B in use, \
+                 {capacity} B per block available"
+            ),
+            Finding::LaunchOverflow { threads, max } => write!(
+                f,
+                "launch config of {threads} threads/block exceeds the device limit of {max}"
+            ),
+            Finding::ReduceDivergence {
+                league_rank,
+                lane,
+                trips,
+                expected,
+            } => write!(
+                f,
+                "reduction divergence in block {league_rank}: lane {lane} runs {trips} \
+                 trips, lane 0 runs {expected}"
+            ),
+            Finding::BarrierDivergence {
+                league_rank,
+                arriving,
+                lanes,
+            } => write!(
+                f,
+                "barrier divergence in block {league_rank}: {arriving} of {lanes} lanes \
+                 arrive at the barrier"
+            ),
+            Finding::NondeterministicReduce {
+                league_rank,
+                dist,
+                tol,
+            } => write!(
+                f,
+                "nondeterministic reduction in block {league_rank}: permuting the lane \
+                 join order moved the result by {dist:.3e} (tolerance {tol:.3e})"
+            ),
+        }
+    }
+}
+
+/// Shared checker state and [`TeamFactory`] for checked members.
+///
+/// Clone-able and `Sync`: one context can hand out members across the
+/// parallel league dimension; all findings funnel into one list.
+#[derive(Clone, Debug)]
+pub struct CheckCtx {
+    spec: GpuSpec,
+    strict: bool,
+    findings: Arc<Mutex<Vec<Finding>>>,
+}
+
+impl CheckCtx {
+    /// Collecting mode under `spec`: findings accumulate, execution
+    /// continues.
+    pub fn new(spec: GpuSpec) -> Self {
+        CheckCtx {
+            spec,
+            strict: false,
+            findings: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Strict mode: panic at the first finding (for `#[should_panic]`
+    /// defect tests and fail-fast CI runs).
+    pub fn strict(spec: GpuSpec) -> Self {
+        CheckCtx {
+            strict: true,
+            ..CheckCtx::new(spec)
+        }
+    }
+
+    /// The spec whose limits this context enforces.
+    pub fn spec(&self) -> GpuSpec {
+        self.spec
+    }
+
+    /// Snapshot of all findings so far.
+    pub fn findings(&self) -> Vec<Finding> {
+        self.findings.lock().unwrap().clone()
+    }
+
+    /// True when no findings have been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.findings.lock().unwrap().is_empty()
+    }
+
+    /// Panic (with the full list) unless no findings were recorded.
+    pub fn assert_clean(&self) {
+        let f = self.findings();
+        assert!(
+            f.is_empty(),
+            "checked execution found {} defect(s):\n{}",
+            f.len(),
+            f.iter()
+                .map(|x| format!("  - {x}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+    }
+
+    pub(crate) fn report(&self, finding: Finding) {
+        if self.strict {
+            panic!("landau-check: {finding}");
+        }
+        self.findings.lock().unwrap().push(finding);
+    }
+}
+
+impl TeamFactory for CheckCtx {
+    type Member<'t>
+        = CheckedTeamMember<'t>
+    where
+        Self: 't;
+
+    fn member<'t>(
+        &'t self,
+        league_rank: usize,
+        policy: TeamPolicy,
+        tally: &'t mut Tally,
+    ) -> CheckedTeamMember<'t> {
+        CheckedTeamMember::new(league_rank, policy, self.clone(), tally)
+    }
+}
+
+/// Per-cell shadow state: which lanes wrote / read the cell in the current
+/// barrier epoch. Lane masks are 64 bits wide — enough for every real warp
+/// (32 on NVIDIA, 64 on AMD); wider policies alias modulo 64, which can
+/// only *miss* races, never invent them (aliased lanes are distinct, so a
+/// conflict between them is real; two accesses by one lane folded together
+/// are the benign case the mask check already permits — the alias makes a
+/// cross-lane pair look like that benign case).
+#[derive(Clone, Copy, Default)]
+struct CellState {
+    epoch: u64,
+    writers: u64,
+    readers: u64,
+}
+
+/// The tracking half of a checked [`ScratchBuf`]: owns the per-cell shadow
+/// state and a handle to the member's barrier epoch.
+pub struct ScratchTrack {
+    ctx: CheckCtx,
+    league_rank: usize,
+    epoch: Arc<AtomicU64>,
+    cells: Vec<CellState>,
+}
+
+impl ScratchTrack {
+    fn cell(&mut self, idx: usize) -> &mut CellState {
+        let now = self.epoch.load(Ordering::Relaxed);
+        let c = &mut self.cells[idx];
+        if c.epoch != now {
+            // A barrier has passed since the last access: the epoch's
+            // access sets are cleared, ordering is re-established.
+            *c = CellState {
+                epoch: now,
+                writers: 0,
+                readers: 0,
+            };
+        }
+        c
+    }
+
+    pub(crate) fn on_write(&mut self, lane: usize, idx: usize) {
+        let rank = self.league_rank;
+        let bit = 1u64 << (lane % 64);
+        let c = self.cell(idx);
+        let other_writers = c.writers & !bit;
+        let other_readers = c.readers & !bit;
+        c.writers |= bit;
+        if other_writers != 0 {
+            let first = other_writers.trailing_zeros() as usize;
+            self.ctx.report(Finding::ScratchRace {
+                league_rank: rank,
+                idx,
+                first_lane: first,
+                second_lane: lane,
+                kind: RaceKind::WriteWrite,
+            });
+        } else if other_readers != 0 {
+            let first = other_readers.trailing_zeros() as usize;
+            self.ctx.report(Finding::ScratchRace {
+                league_rank: rank,
+                idx,
+                first_lane: first,
+                second_lane: lane,
+                kind: RaceKind::ReadWrite,
+            });
+        }
+    }
+
+    pub(crate) fn on_read(&mut self, lane: usize, idx: usize) {
+        let rank = self.league_rank;
+        let bit = 1u64 << (lane % 64);
+        let c = self.cell(idx);
+        let other_writers = c.writers & !bit;
+        c.readers |= bit;
+        if other_writers != 0 {
+            let first = other_writers.trailing_zeros() as usize;
+            self.ctx.report(Finding::ScratchRace {
+                league_rank: rank,
+                idx,
+                first_lane: first,
+                second_lane: lane,
+                kind: RaceKind::ReadWrite,
+            });
+        }
+    }
+}
+
+/// A [`Team`] member that shadows every scratch access, enforces the
+/// [`GpuSpec`] capacity limits, and verifies reduction determinism.
+pub struct CheckedTeamMember<'t> {
+    /// This member's league rank (block id).
+    pub league_rank: usize,
+    policy: TeamPolicy,
+    ctx: CheckCtx,
+    epoch: Arc<AtomicU64>,
+    scratch_used: u64,
+    tally: &'t mut Tally,
+}
+
+impl<'t> CheckedTeamMember<'t> {
+    /// Create a checked member; flags launch over-subscription immediately.
+    pub fn new(
+        league_rank: usize,
+        policy: TeamPolicy,
+        ctx: CheckCtx,
+        tally: &'t mut Tally,
+    ) -> Self {
+        let threads = policy.threads_per_block();
+        if threads > ctx.spec().max_threads_per_block {
+            ctx.report(Finding::LaunchOverflow {
+                threads,
+                max: ctx.spec().max_threads_per_block,
+            });
+        }
+        CheckedTeamMember {
+            league_rank,
+            policy,
+            ctx,
+            epoch: Arc::new(AtomicU64::new(0)),
+            scratch_used: 0,
+            tally,
+        }
+    }
+
+    /// The context collecting this member's findings.
+    pub fn ctx(&self) -> &CheckCtx {
+        &self.ctx
+    }
+
+    /// A `vector_reduce` whose trip count may *diverge* per lane
+    /// (`n_for_lane(lane)` items for lane `lane`): models a reduction loop
+    /// whose exit condition depends on lane-varying data. Divergence is
+    /// flagged — under warp-synchronous shuffles it deadlocks on hardware —
+    /// and execution continues with the per-lane counts.
+    pub fn vector_reduce_div<T: Reducer>(
+        &mut self,
+        n_for_lane: impl Fn(usize) -> usize,
+        mut body: impl FnMut(usize, &mut T),
+    ) -> T {
+        let lanes_n = self.policy.vector_length.max(1);
+        let expected = n_for_lane(0);
+        let mut lanes: Vec<T> = vec![T::identity(); lanes_n];
+        for (p, lane) in lanes.iter_mut().enumerate() {
+            let n = n_for_lane(p);
+            if n != expected {
+                let trips = n / lanes_n + usize::from(p < n % lanes_n);
+                let etrips = expected / lanes_n + usize::from(p < expected % lanes_n);
+                self.ctx.report(Finding::ReduceDivergence {
+                    league_rank: self.league_rank,
+                    lane: p,
+                    trips,
+                    expected: etrips,
+                });
+            }
+            let mut j = p;
+            while j < n {
+                body(j, lane);
+                j += lanes_n;
+            }
+        }
+        tree_join(lanes, self.tally)
+    }
+
+    /// A barrier guarded by a per-lane predicate: if the lanes disagree the
+    /// barrier is divergent (undefined behavior for `__syncthreads`) and a
+    /// finding is recorded; the epoch only advances when every lane
+    /// arrives.
+    pub fn barrier_if(&mut self, pred: impl Fn(usize) -> bool) {
+        let lanes_n = self.policy.vector_length.max(1);
+        let arriving = (0..lanes_n).filter(|&p| pred(p)).count();
+        if arriving == lanes_n {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        } else if arriving > 0 {
+            self.ctx.report(Finding::BarrierDivergence {
+                league_rank: self.league_rank,
+                arriving,
+                lanes: lanes_n,
+            });
+        }
+    }
+}
+
+impl Team for CheckedTeamMember<'_> {
+    fn league_rank(&self) -> usize {
+        self.league_rank
+    }
+
+    fn policy(&self) -> TeamPolicy {
+        self.policy
+    }
+
+    fn tally(&mut self) -> &mut Tally {
+        self.tally
+    }
+
+    fn scratch(&mut self, len: usize) -> ScratchBuf {
+        let bytes = (len * 8) as u64;
+        self.scratch_used += bytes;
+        let capacity = self.ctx.spec().shared_mem_per_block;
+        if self.scratch_used > capacity {
+            self.ctx.report(Finding::ScratchOverflow {
+                league_rank: self.league_rank,
+                in_use: self.scratch_used,
+                capacity,
+            });
+        }
+        self.tally.shared_bytes += bytes;
+        ScratchBuf::tracked(
+            len,
+            ScratchTrack {
+                ctx: self.ctx.clone(),
+                league_rank: self.league_rank,
+                epoch: self.epoch.clone(),
+                cells: vec![CellState::default(); len],
+            },
+        )
+    }
+
+    fn barrier(&mut self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn vector_for(&mut self, n: usize, mut body: impl FnMut(usize, usize)) {
+        let lanes_n = self.policy.vector_length.max(1);
+        for j in 0..n {
+            body(j, j % lanes_n);
+        }
+    }
+
+    fn vector_reduce<T: ReducerCheck>(
+        &mut self,
+        n: usize,
+        mut body: impl FnMut(usize, &mut T),
+    ) -> T {
+        let lanes_n = self.policy.vector_length.max(1);
+        let lanes = lane_partials(lanes_n, n, &mut body);
+        // Reference join in a permuted lane order (rotate by one, so every
+        // pair of adjacent tree joins is broken up), then compare.
+        let rotated = join_in_order(&lanes, (1..lanes_n).chain(0..1.min(lanes_n)));
+        let result = tree_join(lanes, self.tally);
+        let tol = DETERMINISM_RTOL * (1.0 + result.norm().max(rotated.norm()));
+        let dist = result.dist(&rotated);
+        if dist > tol {
+            self.ctx.report(Finding::NondeterministicReduce {
+                league_rank: self.league_rank,
+                dist,
+                tol,
+            });
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(vl: usize) -> TeamPolicy {
+        TeamPolicy {
+            league_size: 1,
+            team_size: 1,
+            vector_length: vl,
+        }
+    }
+
+    #[test]
+    fn clean_staged_kernel_has_no_findings() {
+        let ctx = CheckCtx::new(GpuSpec::v100());
+        let mut t = Tally::new();
+        let mut m = ctx.member(0, policy(8), &mut t);
+        let mut sm = m.scratch(16);
+        // Each lane stages its own strided cells...
+        m.vector_for(16, |j, lane| sm.write(lane, j, j as f64));
+        // ...a barrier orders the epoch...
+        m.barrier();
+        // ...then every lane may read everything.
+        let s = m.vector_reduce(16, |j, acc: &mut f64| {
+            *acc += sm.read(j % 8, j) + sm.read((j + 3) % 8, (j + 5) % 16);
+        });
+        assert!(s.is_finite());
+        ctx.assert_clean();
+    }
+
+    #[test]
+    fn unbarriered_cross_lane_read_is_flagged() {
+        let ctx = CheckCtx::new(GpuSpec::v100());
+        let mut t = Tally::new();
+        let mut m = ctx.member(0, policy(4), &mut t);
+        let mut sm = m.scratch(4);
+        m.vector_for(4, |j, lane| sm.write(lane, j, 1.0));
+        // No barrier: lane 0 reads the cell lane 1 wrote.
+        let _ = sm.read(0, 1);
+        let f = ctx.findings();
+        assert_eq!(f.len(), 1);
+        assert!(matches!(
+            f[0],
+            Finding::ScratchRace {
+                kind: RaceKind::ReadWrite,
+                idx: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "write-write")]
+    fn strict_mode_panics_on_write_write() {
+        let ctx = CheckCtx::strict(GpuSpec::v100());
+        let mut t = Tally::new();
+        let mut m = ctx.member(0, policy(4), &mut t);
+        let mut sm = m.scratch(2);
+        // All lanes store to cell 0 in one epoch.
+        m.vector_for(4, |_, lane| sm.write(lane, 0, lane as f64));
+    }
+
+    #[test]
+    fn barrier_clears_the_epoch() {
+        let ctx = CheckCtx::new(GpuSpec::v100());
+        let mut t = Tally::new();
+        let mut m = ctx.member(0, policy(4), &mut t);
+        let mut sm = m.scratch(4);
+        sm.write(1, 0, 2.0);
+        m.barrier();
+        // After the barrier the cross-lane read is ordered: no race.
+        assert_eq!(sm.read(0, 0), 2.0);
+        // A cross-lane write needs its own barrier after the read — the
+        // read and write would otherwise conflict within one epoch.
+        m.barrier();
+        sm.write(2, 0, 3.0);
+        ctx.assert_clean();
+    }
+
+    #[test]
+    fn scratch_overflow_is_recorded() {
+        let spec = GpuSpec {
+            shared_mem_per_block: 1024,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+        };
+        let ctx = CheckCtx::new(spec);
+        let mut t = Tally::new();
+        let mut m = ctx.member(0, policy(4), &mut t);
+        let _a = m.scratch(100); // 800 B, fits
+        let _b = m.scratch(100); // cumulative 1600 B > 1024 B
+        assert!(matches!(
+            ctx.findings()[..],
+            [Finding::ScratchOverflow {
+                in_use: 1600,
+                capacity: 1024,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn launch_overflow_is_recorded() {
+        let ctx = CheckCtx::new(GpuSpec::v100());
+        let mut t = Tally::new();
+        let p = TeamPolicy {
+            league_size: 1,
+            team_size: 64,
+            vector_length: 32, // 2048 threads > 1024
+        };
+        let _m = ctx.member(0, p, &mut t);
+        assert!(matches!(
+            ctx.findings()[..],
+            [Finding::LaunchOverflow {
+                threads: 2048,
+                max: 1024
+            }]
+        ));
+    }
+
+    #[test]
+    fn reduce_divergence_is_flagged() {
+        let ctx = CheckCtx::new(GpuSpec::v100());
+        let mut t = Tally::new();
+        let mut m = ctx.member(0, policy(4), &mut t);
+        // Lane 2 exits the strided loop early.
+        let s: f64 =
+            m.vector_reduce_div(|lane| if lane == 2 { 8 } else { 16 }, |_, acc| *acc += 1.0);
+        assert!(s > 0.0);
+        assert!(matches!(
+            ctx.findings()[..],
+            [Finding::ReduceDivergence { lane: 2, .. }]
+        ));
+    }
+
+    #[test]
+    fn barrier_divergence_is_flagged() {
+        let ctx = CheckCtx::new(GpuSpec::v100());
+        let mut t = Tally::new();
+        let mut m = ctx.member(0, policy(4), &mut t);
+        m.barrier_if(|lane| lane != 3);
+        assert!(matches!(
+            ctx.findings()[..],
+            [Finding::BarrierDivergence {
+                arriving: 3,
+                lanes: 4,
+                ..
+            }]
+        ));
+        // A uniformly-taken barrier is fine and advances the epoch.
+        m.barrier_if(|_| true);
+        assert_eq!(ctx.findings().len(), 1);
+    }
+
+    #[test]
+    fn order_dependent_reducer_is_flagged() {
+        // "Last lane wins" — deterministic in the simulator, scheduler-
+        // dependent on hardware.
+        #[derive(Clone, Copy)]
+        struct Last(f64);
+        impl Reducer for Last {
+            fn identity() -> Self {
+                Last(f64::NAN)
+            }
+            fn join(&mut self, o: &Self) {
+                if !o.0.is_nan() {
+                    self.0 = o.0;
+                }
+            }
+        }
+        impl ReducerCheck for Last {
+            fn dist(&self, o: &Self) -> f64 {
+                (self.0 - o.0).abs()
+            }
+            fn norm(&self) -> f64 {
+                self.0.abs()
+            }
+        }
+        let ctx = CheckCtx::new(GpuSpec::v100());
+        let mut t = Tally::new();
+        let mut m = ctx.member(0, policy(4), &mut t);
+        let _ = m.vector_reduce(4, |j, acc: &mut Last| acc.0 = j as f64);
+        assert!(matches!(
+            ctx.findings()[..],
+            [Finding::NondeterministicReduce { .. }]
+        ));
+    }
+
+    #[test]
+    fn well_behaved_sum_passes_determinism_check() {
+        let ctx = CheckCtx::new(GpuSpec::v100());
+        let mut t = Tally::new();
+        for vl in [1usize, 3, 8, 32] {
+            let mut m = ctx.member(0, policy(vl), &mut t);
+            let got: f64 = m.vector_reduce(257, |j, acc| *acc += (j as f64).sin());
+            let want: f64 = (0..257).map(|j| (j as f64).sin()).sum();
+            assert!((got - want).abs() < 1e-9);
+        }
+        ctx.assert_clean();
+    }
+
+    #[test]
+    fn checked_tally_matches_plain_tally() {
+        use crate::kokkos::{PlainFactory, TeamFactory};
+        fn run<F: TeamFactory>(f: &F) -> (f64, Tally) {
+            let mut t = Tally::new();
+            let mut m = f.member(0, policy(8), &mut t);
+            let s = m.vector_reduce(100, |j, acc: &mut f64| *acc += j as f64);
+            drop(m);
+            (s, t)
+        }
+        let (sp, tp) = run(&PlainFactory);
+        let ctx = CheckCtx::new(GpuSpec::v100());
+        let (sc, tc) = run(&ctx);
+        ctx.assert_clean();
+        assert_eq!(sp, sc);
+        assert_eq!(tp.shuffles, tc.shuffles);
+    }
+}

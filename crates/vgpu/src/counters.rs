@@ -4,10 +4,9 @@
 //! hardware-utilization study: arithmetic intensity and roofline fractions
 //! for Table IV are computed from exactly these quantities.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A cheap per-block (per-task) operation tally. Kernels accumulate into a
 /// local `Tally` and merge once per block, so counting adds negligible
@@ -72,7 +71,8 @@ impl Counters {
         self.flops.fetch_add(t.flops, Ordering::Relaxed);
         self.dram_read.fetch_add(t.dram_read, Ordering::Relaxed);
         self.dram_write.fetch_add(t.dram_write, Ordering::Relaxed);
-        self.shared_bytes.fetch_add(t.shared_bytes, Ordering::Relaxed);
+        self.shared_bytes
+            .fetch_add(t.shared_bytes, Ordering::Relaxed);
         self.atomics.fetch_add(t.atomics, Ordering::Relaxed);
         self.shuffles.fetch_add(t.shuffles, Ordering::Relaxed);
         self.launches.fetch_add(1, Ordering::Relaxed);
@@ -147,13 +147,13 @@ pub struct KernelRegistry {
 impl KernelRegistry {
     /// Get (or create) the counters for a kernel name.
     pub fn kernel(&self, name: &str) -> Arc<Counters> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         g.entry(name.to_string()).or_default().clone()
     }
 
     /// Snapshot every kernel's stats.
     pub fn all_stats(&self) -> Vec<(String, KernelStats)> {
-        let g = self.inner.lock();
+        let g = self.inner.lock().unwrap();
         let mut v: Vec<(String, KernelStats)> =
             g.iter().map(|(k, c)| (k.clone(), c.stats())).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
@@ -162,7 +162,7 @@ impl KernelRegistry {
 
     /// Reset every kernel's counters.
     pub fn reset_all(&self) {
-        let g = self.inner.lock();
+        let g = self.inner.lock().unwrap();
         for c in g.values() {
             c.reset();
         }
@@ -216,7 +216,13 @@ mod tests {
         let r = KernelRegistry::default();
         let a = r.kernel("jacobian");
         let b = r.kernel("jacobian");
-        a.record_launch(&Tally { flops: 7, ..Default::default() }, 1);
+        a.record_launch(
+            &Tally {
+                flops: 7,
+                ..Default::default()
+            },
+            1,
+        );
         assert_eq!(b.stats().flops, 7);
         assert_eq!(r.all_stats().len(), 1);
     }

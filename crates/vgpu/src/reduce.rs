@@ -95,10 +95,9 @@ mod tests {
         let mut t = Tally::new();
         for dim_x in [1usize, 2, 4, 16, 32] {
             for n in [0usize, 1, 5, 16, 100, 257] {
-                let got: f64 =
-                    cuda_strided_reduce(dim_x, n, &mut t, |j, acc: &mut f64| {
-                        *acc += (j as f64).sqrt();
-                    });
+                let got: f64 = cuda_strided_reduce(dim_x, n, &mut t, |j, acc: &mut f64| {
+                    *acc += (j as f64).sqrt();
+                });
                 let want: f64 = (0..n).map(|j| (j as f64).sqrt()).sum();
                 assert!(
                     (got - want).abs() < 1e-9 * (1.0 + want),

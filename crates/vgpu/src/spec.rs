@@ -28,10 +28,75 @@ pub struct DeviceSpec {
     pub is_cpu: bool,
 }
 
+/// Execution-model limits of a GPU block — the constraints a kernel's launch
+/// configuration must respect. Separated from [`DeviceSpec`] (throughput
+/// numbers) because the *execution* checks in [`crate::checked`] and
+/// [`crate::kokkos::TeamMember::scratch`] depend only on these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GpuSpec {
+    /// Shared memory ("scratch") available to one block, in bytes.
+    pub shared_mem_per_block: u64,
+    /// Maximum threads per block (`blockDim.x · blockDim.y`).
+    pub max_threads_per_block: usize,
+    /// Lanes per warp (the shuffle-reduction width).
+    pub warp_size: usize,
+}
+
+impl GpuSpec {
+    /// NVIDIA V100: 48 KiB default shared memory per block (up to 96 KiB
+    /// with opt-in carve-out, which the paper's kernels do not use),
+    /// 1024 threads, 32-lane warps.
+    pub fn v100() -> Self {
+        GpuSpec {
+            shared_mem_per_block: 48 * 1024,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+        }
+    }
+
+    /// AMD MI100: 64 KiB LDS per workgroup, 1024 threads, 64-lane
+    /// wavefronts.
+    pub fn mi100() -> Self {
+        GpuSpec {
+            shared_mem_per_block: 64 * 1024,
+            max_threads_per_block: 1024,
+            warp_size: 64,
+        }
+    }
+
+    /// A permissive spec for CPU-like devices where "shared memory" is
+    /// cache: no practical scratch limit.
+    pub fn cpu() -> Self {
+        GpuSpec {
+            shared_mem_per_block: u64::MAX,
+            max_threads_per_block: usize::MAX,
+            warp_size: 1,
+        }
+    }
+}
+
+impl Default for GpuSpec {
+    /// The paper's primary target (V100).
+    fn default() -> Self {
+        GpuSpec::v100()
+    }
+}
+
 impl DeviceSpec {
     /// Roofline turning point: FLOPs/byte where compute meets bandwidth.
     pub fn roofline_knee(&self) -> f64 {
         self.peak_fp64_gflops / self.dram_gbps
+    }
+
+    /// Execution-model limits for this device.
+    pub fn gpu_spec(&self) -> GpuSpec {
+        if self.is_cpu {
+            GpuSpec::cpu()
+        } else if self.name.contains("MI100") {
+            GpuSpec::mi100()
+        } else {
+            GpuSpec::v100()
+        }
     }
 
     /// NVIDIA V100 (Summit): 80 SMs, 7.8 TF FP64, 890 GB/s.

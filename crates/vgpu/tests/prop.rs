@@ -1,48 +1,147 @@
 //! Property-based tests: both reduction models agree with serial sums for
-//! arbitrary sizes and lane counts.
+//! arbitrary sizes and lane counts, and the result is invariant under the
+//! lane count (the determinism property `landau-check` enforces at run
+//! time).
 
+use landau_testkit::{cases, prop_assert};
 use landau_vgpu::kokkos::{TeamMember, TeamPolicy};
 use landau_vgpu::{cuda_strided_reduce, Tally};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn member(vl: usize, t: &mut Tally) -> TeamMember<'_> {
+    TeamMember::new(
+        0,
+        TeamPolicy {
+            league_size: 1,
+            team_size: 1,
+            vector_length: vl,
+        },
+        t,
+    )
+}
 
-    #[test]
-    fn cuda_reduce_any_size(log_dimx in 0u32..6, n in 0usize..500, vals in prop::collection::vec(-10.0f64..10.0, 500)) {
-        let dimx = 1usize << log_dimx;
+#[test]
+fn cuda_reduce_any_size() {
+    cases(64, |rng, case| {
+        let dimx = 1usize << rng.usize_in(0, 6);
+        let n = rng.usize_in(0, 500);
+        let vals = rng.vec_f64(500, -10.0, 10.0);
         let mut t = Tally::new();
         let got: f64 = cuda_strided_reduce(dimx, n, &mut t, |j, a: &mut f64| *a += vals[j]);
         let want: f64 = vals[..n].iter().sum();
-        prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
-    }
+        prop_assert!(
+            case,
+            (got - want).abs() < 1e-9 * (1.0 + want.abs()),
+            "dimx={} n={}: {} vs {}",
+            dimx,
+            n,
+            got,
+            want
+        );
+    });
+}
 
-    #[test]
-    fn kokkos_reduce_any_vector_length(vl in 1usize..40, n in 0usize..400, vals in prop::collection::vec(-10.0f64..10.0, 400)) {
+#[test]
+fn kokkos_reduce_any_vector_length() {
+    cases(64, |rng, case| {
+        let vl = rng.usize_in(1, 40);
+        let n = rng.usize_in(0, 400);
+        let vals = rng.vec_f64(400, -10.0, 10.0);
         let mut t = Tally::new();
-        let policy = TeamPolicy { league_size: 1, team_size: 1, vector_length: vl };
-        let mut m = TeamMember::new(0, policy, &mut t);
-        let got: f64 = m.vector_reduce(n, |j, a: &mut f64| *a += vals[j]);
+        let got: f64 = member(vl, &mut t).vector_reduce(n, |j, a: &mut f64| *a += vals[j]);
         let want: f64 = vals[..n].iter().sum();
-        prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
-    }
+        prop_assert!(
+            case,
+            (got - want).abs() < 1e-9 * (1.0 + want.abs()),
+            "vl={} n={}: {} vs {}",
+            vl,
+            n,
+            got,
+            want
+        );
+    });
+}
 
-    /// The two models agree with each other on array accumulators.
-    #[test]
-    fn models_agree(n in 0usize..300, vals in prop::collection::vec(-5.0f64..5.0, 300)) {
+/// The two models agree with each other on array accumulators.
+#[test]
+fn models_agree() {
+    cases(64, |rng, case| {
+        let n = rng.usize_in(0, 300);
+        let vals = rng.vec_f64(300, -5.0, 5.0);
         let mut t1 = Tally::new();
         let a: [f64; 2] = cuda_strided_reduce(16, n, &mut t1, |j, acc: &mut [f64; 2]| {
             acc[0] += vals[j];
             acc[1] += vals[j] * vals[j];
         });
         let mut t2 = Tally::new();
-        let policy = TeamPolicy { league_size: 1, team_size: 1, vector_length: 16 };
-        let mut m = TeamMember::new(0, policy, &mut t2);
-        let b: [f64; 2] = m.vector_reduce(n, |j, acc: &mut [f64; 2]| {
+        let b: [f64; 2] = member(16, &mut t2).vector_reduce(n, |j, acc: &mut [f64; 2]| {
             acc[0] += vals[j];
             acc[1] += vals[j] * vals[j];
         });
-        prop_assert!((a[0] - b[0]).abs() < 1e-9 * (1.0 + a[0].abs()));
-        prop_assert!((a[1] - b[1]).abs() < 1e-9 * (1.0 + a[1].abs()));
-    }
+        prop_assert!(case, (a[0] - b[0]).abs() < 1e-9 * (1.0 + a[0].abs()));
+        prop_assert!(case, (a[1] - b[1]).abs() < 1e-9 * (1.0 + a[1].abs()));
+    });
+}
+
+/// `vector_reduce` over `f64` is invariant under the lane count: every
+/// vector length 1..=32 gives the same answer up to rounding. This is the
+/// portability property the paper relies on when retuning `blockDim.x` per
+/// device (V100 vs MI100 warp widths).
+#[test]
+fn scalar_reduce_lane_count_invariance() {
+    cases(32, |rng, case| {
+        let n = rng.usize_in(1, 600);
+        let vals = rng.vec_f64(n, -100.0, 100.0);
+        let reference: f64 = {
+            let mut t = Tally::new();
+            member(1, &mut t).vector_reduce(n, |j, a: &mut f64| *a += vals[j])
+        };
+        for vl in 1..=32usize {
+            let mut t = Tally::new();
+            let got: f64 = member(vl, &mut t).vector_reduce(n, |j, a: &mut f64| *a += vals[j]);
+            prop_assert!(
+                case,
+                (got - reference).abs() < 1e-9 * (1.0 + reference.abs()),
+                "vl={}: {} vs {}",
+                vl,
+                got,
+                reference
+            );
+        }
+    });
+}
+
+/// The same invariance for array reducers (the `[f64; 5]` shape the
+/// Jacobian kernel accumulates).
+#[test]
+fn array_reduce_lane_count_invariance() {
+    cases(32, |rng, case| {
+        let n = rng.usize_in(1, 400);
+        let vals = rng.vec_f64(n, -10.0, 10.0);
+        let body = |j: usize, acc: &mut [f64; 5]| {
+            let v = vals[j];
+            acc[0] += v;
+            acc[1] += v * v;
+            acc[2] += v.sin();
+            acc[3] += v.abs();
+            acc[4] += 1.0;
+        };
+        let reference: [f64; 5] = {
+            let mut t = Tally::new();
+            member(1, &mut t).vector_reduce(n, body)
+        };
+        for vl in 1..=32usize {
+            let mut t = Tally::new();
+            let got: [f64; 5] = member(vl, &mut t).vector_reduce(n, body);
+            for (g, r) in got.iter().zip(&reference) {
+                prop_assert!(
+                    case,
+                    (g - r).abs() < 1e-9 * (1.0 + r.abs()),
+                    "vl={}: {} vs {}",
+                    vl,
+                    g,
+                    r
+                );
+            }
+        }
+    });
 }

@@ -14,7 +14,11 @@ fn main() {
     for s in &sl.list {
         println!(
             "  {:5}  m = {:9.1} m_e   q = {:+2.0}   n = {:.4}   v_th = {:.2e} v0",
-            s.name, s.mass, s.charge, s.density, s.thermal_speed()
+            s.name,
+            s.mass,
+            s.charge,
+            s.density,
+            s.thermal_speed()
         );
     }
     println!("net charge: {:+.2e} (quasineutral)\n", sl.net_charge());

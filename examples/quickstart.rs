@@ -33,7 +33,11 @@ fn main() {
         forest.max_level() + 1
     );
     let space = FemSpace::new(forest, 3);
-    println!("space: {} dofs/species, {} integration points", space.n_dofs, space.n_ip());
+    println!(
+        "space: {} dofs/species, {} integration points",
+        space.n_dofs,
+        space.n_ip()
+    );
 
     // 3. The Landau operator and an implicit (backward Euler) integrator.
     let op = LandauOperator::new(space, species, Backend::Cpu);

@@ -22,7 +22,10 @@ fn main() {
             ..Default::default()
         }
     };
-    println!("measuring η for Z = {} (ion mass {} m_e)…", cfg.z, cfg.ion_mass);
+    println!(
+        "measuring η for Z = {} (ion mass {} m_e)…",
+        cfg.z, cfg.ion_mass
+    );
     let run = measure_resistivity(&cfg);
     println!("\n   t       J            η = E/J");
     for (t, j, eta) in run.history.iter().step_by(3) {
@@ -33,7 +36,10 @@ fn main() {
         run.steps, run.converged
     );
     println!("η measured : {:.4}", run.eta_measured);
-    println!("η Spitzer  : {:.4}  (at measured T_e = {:.4})", run.eta_spitzer, run.t_e);
+    println!(
+        "η Spitzer  : {:.4}  (at measured T_e = {:.4})",
+        run.eta_spitzer, run.t_e
+    );
     println!("deviation  : {:+.1}%", 100.0 * run.relative_error());
     println!("\n(paper: the FP-Landau deuterium plasma lands ~1% below Spitzer;");
     println!(" the light demo ion adds an O(m_e/m_i) bias)");

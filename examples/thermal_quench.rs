@@ -43,15 +43,21 @@ fn main() {
             s.tail_2v
         );
     }
-    let pre = d.samples.iter().filter(|s| !s.quenching).last().unwrap();
+    let pre = d.samples.iter().rfind(|s| !s.quenching).unwrap();
     let last = d.samples.last().unwrap();
     println!("\nexpected Figure-5 dynamics:");
-    println!("  density follows the prescribed source: 1.0 → {:.2}", last.n_e);
+    println!(
+        "  density follows the prescribed source: 1.0 → {:.2}",
+        last.n_e
+    );
     println!("  thermal collapse: T_e {:.3} → {:.3}", pre.t_e, last.t_e);
     println!(
         "  field rise from Spitzer feedback: {:.2e} → peak {:.2e}",
         pre.e,
         d.samples.iter().map(|s| s.e).fold(0.0f64, f64::max)
     );
-    println!("  current decays on the slower kinetic timescale: {:.3e} → {:.3e}", pre.j, last.j);
+    println!(
+        "  current decays on the slower kinetic timescale: {:.3e} → {:.3e}",
+        pre.j, last.j
+    );
 }

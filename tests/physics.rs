@@ -24,10 +24,15 @@ fn miniature_quench() {
     let mut d = QuenchDriver::new(cfg);
     d.run();
     assert!(d.stats.converged);
-    let pre = d.samples.iter().filter(|s| !s.quenching).last().unwrap();
+    let pre = d.samples.iter().rfind(|s| !s.quenching).unwrap();
     let last = d.samples.last().unwrap();
     assert!(last.n_e > 2.0, "mass was injected: {}", last.n_e);
-    assert!(last.t_e < 0.8 * pre.t_e, "T_e collapsed: {} → {}", pre.t_e, last.t_e);
+    assert!(
+        last.t_e < 0.8 * pre.t_e,
+        "T_e collapsed: {} → {}",
+        pre.t_e,
+        last.t_e
+    );
     let e_max = d.samples.iter().map(|s| s.e).fold(0.0f64, f64::max);
     assert!(e_max > pre.e, "E rose during quench");
 }

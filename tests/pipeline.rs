@@ -134,5 +134,10 @@ fn roofline_shape_is_reproduced() {
     let mass = roofline_report(&op.device.kernel_stats("mass"), &KernelModel::mass(), &dev);
     assert!(jac.compute_bound, "Jacobian must be compute bound");
     assert!(!mass.compute_bound, "mass must be memory bound");
-    assert!(jac.ai > 4.0 * mass.ai, "AI ordering: {} vs {}", jac.ai, mass.ai);
+    assert!(
+        jac.ai > 4.0 * mass.ai,
+        "AI ordering: {} vs {}",
+        jac.ai,
+        mass.ai
+    );
 }
