@@ -21,4 +21,10 @@ cargo test -q
 echo "== workspace tests"
 cargo test -q --workspace
 
+echo "== bench build"
+cargo build --release -p landau-bench --benches
+
+echo "== tensor cache bench (quick gate: verify + 2x speedup)"
+cargo bench -q -p landau-bench --bench tensor_cache -- --quick
+
 echo "CI OK"

@@ -1,22 +1,34 @@
 //! Micro-benchmarks of the Landau kernels and the §III-F assembly-path
 //! ablation. Plain timing harness (`harness = false`): run with
-//! `cargo bench -p landau-bench --bench kernels`.
+//! `cargo bench -p landau-bench --bench kernels`. Mean seconds per
+//! iteration for every case land in `BENCH_kernels.json` at the
+//! workspace root.
 
+use landau_bench::write_bench_json;
 use landau_core::ipdata::IpData;
 use landau_core::kernels::{
-    assemble_atomic, assemble_setvalues, inner_integral_cpu, inner_integral_cuda_model,
+    assemble_atomic, assemble_setvalues, inner_integral_cpu, inner_integral_cpu_cached,
+    inner_integral_cuda_model, inner_integral_cuda_model_cached, inner_integral_kokkos_cached,
     inner_integral_kokkos_model, landau_element_matrices, mass_element_matrices,
 };
 use landau_core::species::{Species, SpeciesList};
 use landau_core::tensor::landau_tensor_2d;
+use landau_core::TensorTable;
 use landau_fem::assemble::csr_pattern;
 use landau_fem::FemSpace;
 use landau_mesh::presets::{MeshSpec, RefineShell};
+use landau_vgpu::kokkos::PlainFactory;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Time `body` for `iters` iterations and print mean time per iteration.
-fn bench<R>(name: &str, iters: usize, mut body: impl FnMut() -> R) {
+/// Time `body` for `iters` iterations, print the mean time per iteration
+/// and record it (in seconds) under `name` in `results`.
+fn bench<R>(
+    results: &mut Vec<(String, f64)>,
+    name: &str,
+    iters: usize,
+    mut body: impl FnMut() -> R,
+) {
     // One warm-up pass keeps lazily-initialised state out of the timing.
     black_box(body());
     let start = Instant::now();
@@ -29,6 +41,7 @@ fn bench<R>(name: &str, iters: usize, mut body: impl FnMut() -> R) {
     } else {
         println!("{name:<40} {:>10.3} µs/iter", per_iter * 1e6);
     }
+    results.push((name.replace('/', "_"), per_iter));
 }
 
 fn setup() -> (FemSpace, SpeciesList, IpData) {
@@ -64,7 +77,9 @@ fn setup() -> (FemSpace, SpeciesList, IpData) {
 }
 
 fn main() {
-    bench("landau_tensor_2d", 100_000, || {
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let r = &mut results;
+    bench(r, "landau_tensor_2d", 100_000, || {
         landau_tensor_2d(
             black_box(0.53),
             black_box(-0.21),
@@ -74,33 +89,51 @@ fn main() {
     });
 
     let (space, sl, ip) = setup();
-    bench("inner_integral/cpu", 10, || inner_integral_cpu(&ip, &sl));
-    bench("inner_integral/cuda_model", 10, || {
+    bench(r, "inner_integral/cpu", 10, || inner_integral_cpu(&ip, &sl));
+    bench(r, "inner_integral/cuda_model", 10, || {
         inner_integral_cuda_model(&ip, &sl, 16)
     });
-    bench("inner_integral/kokkos_model", 10, || {
+    bench(r, "inner_integral/kokkos_model", 10, || {
         inner_integral_kokkos_model(&ip, &sl, 16)
+    });
+
+    let table = TensorTable::build(&ip, usize::MAX);
+    bench(r, "inner_integral/cpu_cached", 10, || {
+        inner_integral_cpu_cached(&ip, &sl, &table)
+    });
+    bench(r, "inner_integral/cuda_model_cached", 10, || {
+        inner_integral_cuda_model_cached(&ip, &sl, 16, &table)
+    });
+    bench(r, "inner_integral/kokkos_model_cached", 10, || {
+        inner_integral_kokkos_cached(&ip, &sl, 16, &table, &PlainFactory)
+    });
+    let recompute = TensorTable::build(&ip, 0);
+    bench(r, "inner_integral/cpu_recompute", 10, || {
+        inner_integral_cpu_cached(&ip, &sl, &recompute)
     });
 
     let (coeffs, _) = inner_integral_cpu(&ip, &sl);
     let (ce, _) = landau_element_matrices(&space, &sl, &ip, &coeffs);
     let pat = csr_pattern(&space);
-    bench("assembly/transform_element_matrices", 20, || {
+    bench(r, "assembly/transform_element_matrices", 20, || {
         landau_element_matrices(&space, &sl, &ip, &coeffs)
     });
     {
         let mut mats = vec![pat.clone(), pat.clone()];
-        bench("assembly/setvalues", 20, || {
+        bench(r, "assembly/setvalues", 20, || {
             assemble_setvalues(&space, 2, &ce, &mut mats)
         });
     }
     {
         let mut mats = vec![pat.clone(), pat.clone()];
-        bench("assembly/atomic", 20, || {
+        bench(r, "assembly/atomic", 20, || {
             assemble_atomic(&space, 2, &ce, &mut mats)
         });
     }
-    bench("assembly/mass_kernel", 20, || {
+    bench(r, "assembly/mass_kernel", 20, || {
         mass_element_matrices(&space, 2, &ip, 1.0)
     });
+
+    let path = write_bench_json("BENCH_kernels.json", &results);
+    println!("wrote {}", path.display());
 }

@@ -95,6 +95,25 @@ pub fn measure_newton_per_step(op: LandauOperator, steps: usize, dt: f64) -> f64
     iters as f64 / steps as f64
 }
 
+/// Write a flat `{"metric": value}` JSON map to `file_name` at the
+/// workspace root (bench mains run with the package directory as cwd).
+/// Returns the path written so mains can echo it for CI logs.
+pub fn write_bench_json(file_name: &str, entries: &[(String, f64)]) -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root");
+    let path = root.join(file_name);
+    let mut s = String::from("{\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("  \"{name}\": {value:e}{comma}\n"));
+    }
+    s.push_str("}\n");
+    std::fs::write(&path, s).expect("write bench json");
+    path
+}
+
 /// Render an aligned text table.
 pub fn print_table(title: &str, col_label: &str, cols: &[String], rows: &[(String, Vec<String>)]) {
     println!("\n=== {title} ===");

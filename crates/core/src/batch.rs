@@ -15,11 +15,15 @@
 use crate::operator::{Backend, LandauOperator};
 use crate::solver::{StepStats, ThetaMethod, TimeIntegrator};
 use crate::species::SpeciesList;
+use crate::tensor_cache::{TensorTable, DEFAULT_BUDGET_BYTES};
 use landau_fem::FemSpace;
 use landau_par::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// A batch of independent vertex problems sharing one configuration.
+/// A batch of independent vertex problems sharing one configuration: one
+/// `Arc<FemSpace>` (no per-vertex mesh clones) and one `Arc<TensorTable>`
+/// geometry cache streamed by every vertex's Jacobian builds.
 pub struct BatchedAdvance {
     integrators: Vec<TimeIntegrator>,
     /// One state per vertex.
@@ -38,19 +42,44 @@ pub struct BatchStats {
 }
 
 impl BatchedAdvance {
-    /// Build `n_vertices` independent problems on clones of the same space.
-    /// Each vertex gets a slightly different initial electron temperature,
-    /// like neighbouring spatial points of a profile.
+    /// Build `n_vertices` independent problems on one shared space. Each
+    /// vertex gets a slightly different initial electron temperature, like
+    /// neighbouring spatial points of a profile.
     pub fn new(
         space: &FemSpace,
         species: &SpeciesList,
         backend: Backend,
         n_vertices: usize,
     ) -> Self {
+        Self::new_shared(
+            Arc::new(space.clone()),
+            species,
+            backend,
+            n_vertices,
+            DEFAULT_BUDGET_BYTES,
+        )
+    }
+
+    /// Build the batch on an already shared space with an explicit tensor
+    /// cache budget. The geometry is identical across vertices, so *one*
+    /// table (built by the first vertex's operator) is streamed by all of
+    /// them — the cross-vertex reuse the paper's conclusion argues for.
+    pub fn new_shared(
+        space: Arc<FemSpace>,
+        species: &SpeciesList,
+        backend: Backend,
+        n_vertices: usize,
+        cache_budget_bytes: usize,
+    ) -> Self {
         assert!(n_vertices > 0);
+        let mut table: Option<Arc<TensorTable>> = None;
         let integrators: Vec<TimeIntegrator> = (0..n_vertices)
             .map(|_| {
-                let op = LandauOperator::new(space.clone(), species.clone(), backend);
+                let mut op = LandauOperator::new_shared(space.clone(), species.clone(), backend);
+                match &table {
+                    None => table = Some(op.enable_tensor_cache(cache_budget_bytes)),
+                    Some(t) => op.set_tensor_table(t.clone()),
+                }
                 let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
                 ti.rtol = 1e-6;
                 ti
@@ -78,6 +107,22 @@ impl BatchedAdvance {
     /// Number of vertex problems.
     pub fn len(&self) -> usize {
         self.integrators.len()
+    }
+
+    /// The one shared finite-element space.
+    pub fn space(&self) -> &Arc<FemSpace> {
+        &self.integrators[0].op.space
+    }
+
+    /// The one shared geometry cache.
+    pub fn tensor_table(&self) -> Option<&Arc<TensorTable>> {
+        self.integrators[0].op.tensor_table()
+    }
+
+    /// Heap bytes the shared-space design avoids relative to per-vertex
+    /// `FemSpace` clones (the pre-cache constructor's behaviour).
+    pub fn space_bytes_saved(&self) -> usize {
+        self.space().approx_heap_bytes() * (self.len() - 1)
     }
 
     /// True if the batch is empty (never for constructed batches).
@@ -175,8 +220,10 @@ mod tests {
         let mut batch = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 2);
         let solo_state = batch.states[0].clone();
         batch.advance(0.4, 1, 0.0);
-        // Vertex 0 evolved exactly as it would alone.
-        let op = LandauOperator::new(tiny_space(), plasma(), Backend::Cpu);
+        // Vertex 0 evolved exactly as it would alone (the solo integrator
+        // streams the same kind of geometry cache the batch shares).
+        let mut op = LandauOperator::new(tiny_space(), plasma(), Backend::Cpu);
+        op.enable_tensor_cache(crate::tensor_cache::DEFAULT_BUDGET_BYTES);
         let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
         ti.rtol = 1e-6;
         let mut s = solo_state;
@@ -188,5 +235,26 @@ mod tests {
             .fold(0.0, f64::max);
         let scale = s.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(d < 1e-12 * scale, "batch diverged from solo: {d}");
+    }
+
+    #[test]
+    fn space_and_table_are_shared_across_vertices() {
+        let space = tiny_space();
+        let batch = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 4);
+        let shared = batch.space();
+        let table = batch.tensor_table().expect("cache on by default");
+        for ti in &batch.integrators {
+            assert!(
+                Arc::ptr_eq(shared, &ti.op.space),
+                "every vertex must hold the same FemSpace allocation"
+            );
+            assert!(
+                Arc::ptr_eq(table, ti.op.tensor_table().unwrap()),
+                "every vertex must stream the same tensor table"
+            );
+        }
+        // 4 vertices: 3 clones avoided.
+        assert_eq!(batch.space_bytes_saved(), 3 * shared.approx_heap_bytes());
+        assert!(shared.approx_heap_bytes() > 0);
     }
 }

@@ -23,6 +23,7 @@
 use crate::ipdata::IpData;
 use crate::species::SpeciesList;
 use crate::tensor::{landau_tensor_2d, TENSOR2D_FLOPS};
+use crate::tensor_cache::{CachedStream, TensorTable, TileScratch};
 use landau_fem::FemSpace;
 use landau_par::prelude::*;
 use landau_sparse::csr::{Csr, InsertMode};
@@ -269,6 +270,158 @@ pub fn inner_integral_kokkos_with<F: TeamFactory>(
             }
             drop(member);
             t.flops += (nq as u64) * (n as u64 - 1) * pair_flops(ip.ns);
+            t
+        })
+        .reduce(Tally::new, |a, b| a + b);
+    (out, tally)
+}
+
+/// Inner integral over the geometry cache, plain CPU style: a parallel
+/// loop over elements, each test point streaming every field-element tile
+/// through [`CachedStream::accumulate`]. The uncached
+/// [`inner_integral_cpu`] stays as the reference implementation.
+pub fn inner_integral_cpu_cached(
+    ip: &IpData,
+    species: &SpeciesList,
+    table: &TensorTable,
+) -> (IpCoeffs, Tally) {
+    debug_assert!(table.matches(ip), "table geometry must match the ipdata");
+    let fk = species.k_field_factors();
+    let fd = species.d_field_factors();
+    let nq = ip.nq;
+    let ne = ip.n / nq;
+    let stream = CachedStream {
+        table,
+        ip,
+        fk: &fk,
+        fd: &fd,
+    };
+    let mut out = IpCoeffs::zeros(ip.n);
+    let tally: Tally = out
+        .gk
+        .par_chunks_mut(nq)
+        .zip(out.gd.par_chunks_mut(nq))
+        .enumerate()
+        .map(|(e, (gke, gde))| {
+            let mut t = Tally::new();
+            let mut scratch = TileScratch::new(nq);
+            for iq in 0..nq {
+                let gi = e * nq + iq;
+                let mut acc = [0.0f64; 5];
+                for je in 0..ne {
+                    stream.accumulate(gi, je, &mut scratch, &mut acc, &mut t);
+                }
+                gke[iq] = [acc[0], acc[1]];
+                gde[iq] = [acc[2], acc[3], acc[4]];
+            }
+            t
+        })
+        .reduce(Tally::new, |a, b| a + b);
+    (out, tally)
+}
+
+/// Cached inner integral in the CUDA programming model: one block per
+/// element as in [`inner_integral_cuda_model`], but the x lanes stride over
+/// field-element *tiles* instead of points, each lane streaming whole tiles
+/// from the table with register partials combined by the warp-shuffle
+/// butterfly.
+pub fn inner_integral_cuda_model_cached(
+    ip: &IpData,
+    species: &SpeciesList,
+    dim_x: usize,
+    table: &TensorTable,
+) -> (IpCoeffs, Tally) {
+    debug_assert!(table.matches(ip), "table geometry must match the ipdata");
+    let fk = species.k_field_factors();
+    let fd = species.d_field_factors();
+    let nq = ip.nq;
+    let ne = ip.n / nq;
+    let stream = CachedStream {
+        table,
+        ip,
+        fk: &fk,
+        fd: &fd,
+    };
+    let mut out = IpCoeffs::zeros(ip.n);
+    let tally: Tally = out
+        .gk
+        .par_chunks_mut(nq)
+        .zip(out.gd.par_chunks_mut(nq))
+        .enumerate()
+        .map(|(e, (gke, gde))| {
+            let mut t = Tally::new();
+            // The block still prefetches the packed field stream once per
+            // element for the species staging.
+            t.dram_read += ip.stream_bytes();
+            t.shared_bytes += ip.stream_bytes();
+            let mut tb = Tally::new();
+            let mut scratch = TileScratch::new(nq);
+            for iq in 0..nq {
+                let gi = e * nq + iq;
+                let acc: [f64; 5] = cuda_strided_reduce(dim_x, ne, &mut t, |je, a| {
+                    stream.accumulate(gi, je, &mut scratch, a, &mut tb);
+                });
+                gke[iq] = [acc[0], acc[1]];
+                gde[iq] = [acc[2], acc[3], acc[4]];
+            }
+            t.merge(&tb);
+            t
+        })
+        .reduce(Tally::new, |a, b| a + b);
+    (out, tally)
+}
+
+/// Cached inner integral in the Kokkos model: league member per element,
+/// team over its integration points, and the tile sweep as a generic-object
+/// `parallel_reduce` over a `ThreadVectorRange(0, N_e)`. Generic over the
+/// [`TeamFactory`] so the checked members can run it too. Unlike the
+/// uncached kernel no coordinate staging is needed — the table already
+/// encodes the test-point geometry.
+pub fn inner_integral_kokkos_cached<F: TeamFactory>(
+    ip: &IpData,
+    species: &SpeciesList,
+    vector_length: usize,
+    table: &TensorTable,
+    factory: &F,
+) -> (IpCoeffs, Tally) {
+    debug_assert!(table.matches(ip), "table geometry must match the ipdata");
+    let fk = species.k_field_factors();
+    let fd = species.d_field_factors();
+    let nq = ip.nq;
+    let ne = ip.n / nq;
+    let policy = TeamPolicy {
+        league_size: ne,
+        team_size: nq,
+        vector_length,
+    };
+    let stream = CachedStream {
+        table,
+        ip,
+        fk: &fk,
+        fd: &fd,
+    };
+    let mut out = IpCoeffs::zeros(ip.n);
+    let tally: Tally = out
+        .gk
+        .par_chunks_mut(nq)
+        .zip(out.gd.par_chunks_mut(nq))
+        .enumerate()
+        .map(|(e, (gke, gde))| {
+            let mut t = Tally::new();
+            t.dram_read += ip.stream_bytes();
+            let mut tb = Tally::new();
+            let mut scratch = TileScratch::new(nq);
+            let mut member = factory.member(e, policy, &mut t);
+            for iq in member.team_range() {
+                let gi = e * nq + iq;
+                let acc: [f64; 5] = member.vector_reduce(ne, |je, a: &mut [f64; 5]| {
+                    stream.accumulate(gi, je, &mut scratch, a, &mut tb);
+                });
+                gke[iq] = [acc[0], acc[1]];
+                gde[iq] = [acc[2], acc[3], acc[4]];
+            }
+            drop(member);
+            t.merge(&tb);
             t
         })
         .reduce(Tally::new, |a, b| a + b);
@@ -682,6 +835,48 @@ mod tests {
                 assert!((v - 2.5 * r).abs() < 1e-11 * (1.0 + r.abs()));
             }
         }
+    }
+
+    #[test]
+    fn cached_backends_agree_with_reference() {
+        let (_space, sl, ip) = setup();
+        let table = TensorTable::build(&ip, usize::MAX);
+        let (cpu, t_ref) = inner_integral_cpu(&ip, &sl);
+        let (ccpu, t_cc) = inner_integral_cpu_cached(&ip, &sl, &table);
+        let (ccuda, t_cu) = inner_integral_cuda_model_cached(&ip, &sl, 16, &table);
+        let (ckk, _) = inner_integral_kokkos_cached(&ip, &sl, 8, &table, &PlainFactory);
+        assert!(
+            cpu.max_rel_diff(&ccpu) < 1e-14,
+            "{}",
+            cpu.max_rel_diff(&ccpu)
+        );
+        assert!(
+            cpu.max_rel_diff(&ccuda) < 1e-14,
+            "{}",
+            cpu.max_rel_diff(&ccuda)
+        );
+        assert!(cpu.max_rel_diff(&ckk) < 1e-14, "{}", cpu.max_rel_diff(&ckk));
+        // Streaming the table trades tensor flops for table bytes.
+        assert!(t_cc.flops < t_ref.flops / 4);
+        assert!(t_cc.cache_read > 0 && t_cc.cache_flops_saved > 0);
+        assert!(t_cu.shuffles > 0);
+    }
+
+    #[test]
+    fn cached_kernels_match_under_forced_recompute() {
+        let (_space, sl, ip) = setup();
+        let full = TensorTable::build(&ip, usize::MAX);
+        let re = TensorTable::build(&ip, 0);
+        let (a, _) = inner_integral_cpu_cached(&ip, &sl, &full);
+        let (b, t_re) = inner_integral_cpu_cached(&ip, &sl, &re);
+        // Identical streaming arithmetic either side: bitwise equal.
+        for (x, y) in a.gk.iter().flatten().zip(b.gk.iter().flatten()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.gd.iter().flatten().zip(b.gd.iter().flatten()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(t_re.cache_build_flops > 0 && t_re.cache_read == 0);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   the Kokkos model (league/team/vector with generic `parallel_reduce`),
 //!   plus the mass-matrix kernel and both assembly paths (`MatSetValues`
 //!   and COO/atomics);
+//! * [`tensor_cache`] — the geometry-invariant tiled `TensorTable` cache
+//!   that amortizes the elliptic-integral tensor evaluations across Newton
+//!   iterations, time steps and batch vertices;
 //! * [`operator`] — the multi-species Landau operator: Jacobian assembly,
 //!   electric-field advection, block-diagonal structure;
 //! * [`moments`] — density, z-momentum, energy, current and temperature
@@ -36,8 +39,10 @@ pub mod operator;
 pub mod solver;
 pub mod species;
 pub mod tensor;
+pub mod tensor_cache;
 pub mod three_d;
 
 pub use operator::{Backend, LandauOperator};
 pub use solver::{StepStats, ThetaMethod, TimeIntegrator};
 pub use species::{Species, SpeciesList};
+pub use tensor_cache::TensorTable;

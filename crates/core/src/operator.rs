@@ -13,8 +13,10 @@
 use crate::ipdata::IpData;
 use crate::kernels;
 use crate::species::SpeciesList;
+use crate::tensor_cache::TensorTable;
 use landau_fem::{assemble_dz_matrix, assemble_mass_matrix, csr_pattern, FemSpace};
 use landau_sparse::csr::Csr;
+use landau_vgpu::kokkos::PlainFactory;
 use landau_vgpu::{Device, DeviceSpec, Tally};
 use std::sync::Arc;
 
@@ -61,8 +63,9 @@ impl AssembledOperator {
 
 /// The Landau operator on one shared grid.
 pub struct LandauOperator {
-    /// The finite-element space (shared by all species).
-    pub space: FemSpace,
+    /// The finite-element space (shared by all species, and — via the `Arc`
+    /// — across batch vertices without per-vertex clones).
+    pub space: Arc<FemSpace>,
     /// The plasma composition.
     pub species: SpeciesList,
     /// Kernel back-end.
@@ -82,11 +85,21 @@ pub struct LandauOperator {
     pub dim_x: usize,
     /// Element color batches (built lazily for the `Colored` path).
     color_batches: Option<Vec<Vec<usize>>>,
+    /// Geometry-invariant tensor cache; when set, `assemble` streams the
+    /// tiled kernels instead of re-evaluating the Landau tensors per pair.
+    tensor_table: Option<Arc<TensorTable>>,
 }
 
 impl LandauOperator {
     /// Build the operator over a space with the given species and backend.
     pub fn new(space: FemSpace, species: SpeciesList, backend: Backend) -> Self {
+        Self::new_shared(Arc::new(space), species, backend)
+    }
+
+    /// Build the operator over an already shared space (no mesh clone) —
+    /// the constructor batched advances use so hundreds of vertices hold
+    /// one `FemSpace` allocation.
+    pub fn new_shared(space: Arc<FemSpace>, species: SpeciesList, backend: Backend) -> Self {
         let device = Arc::new(Device::new(DeviceSpec::v100()));
         let mass = assemble_mass_matrix(&space);
         let dz = assemble_dz_matrix(&space);
@@ -110,7 +123,46 @@ impl LandauOperator {
             ipdata,
             dim_x,
             color_batches: None,
+            tensor_table: None,
         }
+    }
+
+    /// Build (and adopt) the geometry cache for this operator's mesh under
+    /// the given byte budget, recording the build on the device's
+    /// `tensor_table_build` counter. Returns the shared handle so callers
+    /// can pass it to sibling operators ([`Self::set_tensor_table`]).
+    ///
+    /// Not enabled by default: the uncached path is the reference both for
+    /// correctness and for the paper's arithmetic-intensity tables.
+    pub fn enable_tensor_cache(&mut self, budget_bytes: usize) -> Arc<TensorTable> {
+        let table = TensorTable::build(&self.ipdata, budget_bytes);
+        self.device.record_launch(
+            "tensor_table_build",
+            &table.build_tally(),
+            self.ipdata.n as u64,
+        );
+        self.tensor_table = Some(table.clone());
+        table
+    }
+
+    /// Adopt a cache built elsewhere (e.g. by a sibling vertex operator on
+    /// the same mesh). Panics if the table's geometry does not match.
+    pub fn set_tensor_table(&mut self, table: Arc<TensorTable>) {
+        assert!(
+            table.matches(&self.ipdata),
+            "tensor table geometry does not match this operator's mesh"
+        );
+        self.tensor_table = Some(table);
+    }
+
+    /// The adopted geometry cache, if any.
+    pub fn tensor_table(&self) -> Option<&Arc<TensorTable>> {
+        self.tensor_table.as_ref()
+    }
+
+    /// Drop the geometry cache, returning to the uncached reference path.
+    pub fn clear_tensor_cache(&mut self) {
+        self.tensor_table = None;
     }
 
     /// Dofs per species.
@@ -141,14 +193,30 @@ impl LandauOperator {
     pub fn assemble(&mut self, state: &[f64], e_field: f64) -> AssembledOperator {
         assert_eq!(state.len(), self.n_total());
         self.ipdata.pack(&self.space, state);
-        let (coeffs, mut tally) = match self.backend {
-            Backend::Cpu => kernels::inner_integral_cpu(&self.ipdata, &self.species),
-            Backend::CudaModel => {
+        let (coeffs, mut tally) = match (&self.tensor_table, self.backend) {
+            (None, Backend::Cpu) => kernels::inner_integral_cpu(&self.ipdata, &self.species),
+            (None, Backend::CudaModel) => {
                 kernels::inner_integral_cuda_model(&self.ipdata, &self.species, self.dim_x)
             }
-            Backend::KokkosModel => {
+            (None, Backend::KokkosModel) => {
                 kernels::inner_integral_kokkos_model(&self.ipdata, &self.species, self.dim_x)
             }
+            (Some(t), Backend::Cpu) => {
+                kernels::inner_integral_cpu_cached(&self.ipdata, &self.species, t)
+            }
+            (Some(t), Backend::CudaModel) => kernels::inner_integral_cuda_model_cached(
+                &self.ipdata,
+                &self.species,
+                self.dim_x,
+                t,
+            ),
+            (Some(t), Backend::KokkosModel) => kernels::inner_integral_kokkos_cached(
+                &self.ipdata,
+                &self.species,
+                self.dim_x,
+                t,
+                &PlainFactory,
+            ),
         };
         let (ce, t2) =
             kernels::landau_element_matrices(&self.space, &self.species, &self.ipdata, &coeffs);

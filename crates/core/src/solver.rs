@@ -10,10 +10,12 @@
 
 use crate::moments::Moments;
 use crate::operator::{AssembledOperator, LandauOperator};
+use crate::tensor_cache::TensorTable;
 use landau_sparse::band::BlockBandSolver;
 use landau_sparse::csr::Csr;
 use landau_sparse::rcm::{bandwidth, rcm_order};
 use landau_sparse::vecops;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// θ-method selector.
@@ -137,6 +139,15 @@ impl TimeIntegrator {
     /// Dofs per species.
     pub fn n(&self) -> usize {
         self.op.n()
+    }
+
+    /// Build (or adopt) the operator's geometry-invariant tensor cache once;
+    /// every subsequent [`Self::step`] then streams the cached tiles through
+    /// all of its Newton iterations instead of re-evaluating the Landau
+    /// tensors — the geometry never changes across steps, so one build
+    /// amortizes over the whole transient.
+    pub fn enable_tensor_cache(&mut self, budget_bytes: usize) -> Arc<TensorTable> {
+        self.op.enable_tensor_cache(budget_bytes)
     }
 
     /// Build the block solver for `J = M − γ L` across species (permuted).

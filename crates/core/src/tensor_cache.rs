@@ -1,0 +1,468 @@
+//! Geometry-invariant Landau tensor cache (tiled `TensorTable`).
+//!
+//! The Landau tensor `U(x_i, x_j)` (eq. 3 azimuthally integrated to the
+//! `U^K`/`U^D` pair) depends only on quadrature-point *geometry* — which is
+//! fixed for the life of a mesh. Yet the inner integral re-evaluates the
+//! elliptic-integral-heavy [`landau_tensor_2d`] for all `(i, j)` pairs on
+//! every Jacobian build: every Newton iteration, every implicit time step,
+//! and every vertex of a batched advance. This module hoists that work into
+//! a precomputed table, turning the hot path from transcendental-bound into
+//! a streaming multiply-accumulate.
+//!
+//! **Layout.** The table is tiled by field *element* (j-blocked): for test
+//! point `i` and field element `je`, one tile holds the seven tensor streams
+//! `k00, k01, k10, k11, d0, d1, d2` in SoA order, `nq` consecutive entries
+//! each, with the combined quadrature weight `w[j]` pre-folded in. The
+//! self-interaction entry (`j == i`) is stored as zero, which removes the
+//! `j != i` branch from the streaming loop entirely. Tile address:
+//! `data[(i·N_e + je)·7·nq + c·nq + jj]`.
+//!
+//! **Memory model.** A full table is `7 · N² · 8 = 56 N²` bytes — ~92 MiB at
+//! the 80-cell Table-II mesh (`N = 1280`) but quadratic in `N`, so
+//! [`TensorTable::build`] takes a byte budget: below it the table is fully
+//! resident ([`CacheMode::Cached`]); above it only the geometry arrays are
+//! kept and tiles are recomputed into caller scratch on the fly
+//! ([`CacheMode::Recompute`]), preserving the API and the exact streaming
+//! arithmetic (so results are bitwise identical across modes).
+//!
+//! **Accounting.** Tile construction is charged to
+//! [`Tally::cache_build_flops`], streamed tiles to [`Tally::cache_read`]
+//! (mirrored into `dram_read` so arithmetic-intensity stays honest), and the
+//! avoided tensor evaluations to [`Tally::cache_flops_saved`].
+
+use crate::ipdata::IpData;
+use crate::tensor::{landau_tensor_2d, TENSOR2D_FLOPS};
+use landau_par::prelude::*;
+use landau_vgpu::Tally;
+use std::sync::Arc;
+
+/// Tensor streams per tile: `k00, k01, k10, k11, d0, d1, d2`.
+pub const STREAMS: usize = 7;
+
+/// Default table budget: 256 MiB covers the Table-II meshes through 80
+/// cells with room to spare; Table-II's 263-cell mesh (N = 4208) exceeds it
+/// and falls back to recompute.
+pub const DEFAULT_BUDGET_BYTES: usize = 256 << 20;
+
+/// FLOPs per `(i, j)` pair when *building* a tile: the tensor evaluation
+/// plus folding `w[j]` into the seven streams.
+pub const TILE_BUILD_FLOPS_PER_PAIR: u64 = TENSOR2D_FLOPS + 7;
+
+/// FLOPs per `(i, j)` pair avoided by streaming a cached tile instead of
+/// running the uncached [`pair_body`] tensor evaluation + weight folding.
+///
+/// Uncached: `TENSOR2D_FLOPS + 6s + 19` ([`crate::kernels::pair_flops`]);
+/// cached MAC: `6s + 14` ([`pair_flops_cached`]); difference:
+///
+/// [`pair_body`]: crate::kernels
+pub const PAIR_FLOPS_SAVED: u64 = TENSOR2D_FLOPS + 5;
+
+/// FLOPs per `(i, j)` pair on the cached streaming path: the species sums
+/// (`6s`) plus the 14-op multiply-accumulate against the seven streams.
+#[inline]
+pub fn pair_flops_cached(s: usize) -> u64 {
+    6 * s as u64 + 14
+}
+
+/// Whether the table is resident or recomputed per tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Full table in memory; `tile` streams precomputed entries.
+    Cached,
+    /// Budget exceeded; `tile` recomputes entries into caller scratch.
+    Recompute,
+}
+
+/// The precomputed (or recompute-on-demand) geometry cache. Self-contained —
+/// it owns copies of the quadrature geometry — so one `Arc<TensorTable>` is
+/// shared across operator rebuilds, time steps, and batch vertices.
+pub struct TensorTable {
+    n: usize,
+    nq: usize,
+    ne: usize,
+    mode: CacheMode,
+    /// `Cached` mode: `(i·N_e + je)·7·nq + c·nq + jj`; empty in `Recompute`.
+    data: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    w: Vec<f64>,
+    build_tally: Tally,
+}
+
+impl TensorTable {
+    /// Bytes a fully resident table needs for `n` integration points.
+    pub fn required_bytes(n: usize) -> usize {
+        STREAMS * n * n * 8
+    }
+
+    /// Build the cache for the packed geometry in `ip`, fully resident if
+    /// `required_bytes(ip.n) <= budget_bytes`, otherwise in recompute mode.
+    ///
+    /// The build parallelizes over test points with a deterministic
+    /// in-order fold, so the table contents are a pure function of the
+    /// geometry.
+    pub fn build(ip: &IpData, budget_bytes: usize) -> Arc<TensorTable> {
+        let n = ip.n;
+        let nq = ip.nq;
+        assert!(
+            nq > 0 && n.is_multiple_of(nq),
+            "points must tile into elements"
+        );
+        let ne = n / nq;
+        let mut table = TensorTable {
+            n,
+            nq,
+            ne,
+            mode: if Self::required_bytes(n) <= budget_bytes {
+                CacheMode::Cached
+            } else {
+                CacheMode::Recompute
+            },
+            data: Vec::new(),
+            r: ip.r.clone(),
+            z: ip.z.clone(),
+            w: ip.w.clone(),
+            build_tally: Tally::new(),
+        };
+        let mut t = Tally::new();
+        if table.mode == CacheMode::Cached {
+            let row = STREAMS * n; // ne tiles of STREAMS * nq each
+            let mut data = vec![0.0f64; n * row];
+            let tt = &table;
+            t = data
+                .par_chunks_mut(row)
+                .enumerate()
+                .map(|(i, out)| {
+                    for je in 0..ne {
+                        tt.fill_tile(i, je, &mut out[je * STREAMS * nq..(je + 1) * STREAMS * nq]);
+                    }
+                    Tally {
+                        dram_write: (row * 8) as u64,
+                        ..Default::default()
+                    }
+                })
+                .reduce(Tally::new, |a, b| a + b);
+            table.data = data;
+        }
+        // The build reads the three geometry streams per row and evaluates
+        // every off-diagonal pair once (recompute mode defers the same work
+        // to `tile`, charged there instead).
+        if table.mode == CacheMode::Cached {
+            let pairs = (n as u64) * (n as u64 - 1);
+            t.flops += pairs * TILE_BUILD_FLOPS_PER_PAIR;
+            t.cache_build_flops += pairs * TILE_BUILD_FLOPS_PER_PAIR;
+            t.dram_read += (n * 3 * n * 8) as u64;
+        }
+        table.build_tally = t;
+        Arc::new(table)
+    }
+
+    /// Compute one tile (all streams for test point `i` against field
+    /// element `je`) into `out`, which must hold `STREAMS * nq` values.
+    fn fill_tile(&self, i: usize, je: usize, out: &mut [f64]) {
+        let nq = self.nq;
+        let (ri, zi) = (self.r[i], self.z[i]);
+        let (k00, rest) = out.split_at_mut(nq);
+        let (k01, rest) = rest.split_at_mut(nq);
+        let (k10, rest) = rest.split_at_mut(nq);
+        let (k11, rest) = rest.split_at_mut(nq);
+        let (d0, rest) = rest.split_at_mut(nq);
+        let (d1, d2) = rest.split_at_mut(nq);
+        for jj in 0..nq {
+            let j = je * nq + jj;
+            if j == i {
+                // The integrable self-interaction singularity: a stored zero
+                // replaces the `j != i` branch of the uncached path.
+                k00[jj] = 0.0;
+                k01[jj] = 0.0;
+                k10[jj] = 0.0;
+                k11[jj] = 0.0;
+                d0[jj] = 0.0;
+                d1[jj] = 0.0;
+                d2[jj] = 0.0;
+                continue;
+            }
+            let t = landau_tensor_2d(ri, zi, self.r[j], self.z[j]);
+            let w = self.w[j];
+            k00[jj] = w * t.k[0][0];
+            k01[jj] = w * t.k[0][1];
+            k10[jj] = w * t.k[1][0];
+            k11[jj] = w * t.k[1][1];
+            d0[jj] = w * t.d[0];
+            d1[jj] = w * t.d[1];
+            d2[jj] = w * t.d[2];
+        }
+    }
+
+    /// Off-diagonal pair count of tile `(i, je)` (the diagonal entry is a
+    /// stored zero, not an evaluation).
+    #[inline]
+    fn tile_pairs(&self, i: usize, je: usize) -> u64 {
+        if i / self.nq == je {
+            self.nq as u64 - 1
+        } else {
+            self.nq as u64
+        }
+    }
+
+    /// The tile for `(i, je)`: a slice of `STREAMS * nq` weighted tensor
+    /// entries. In `Cached` mode this streams the resident table (charged to
+    /// `cache_read`/`dram_read`); in `Recompute` mode it fills `buf`
+    /// (charged to `cache_build_flops`).
+    #[inline]
+    pub fn tile<'a>(&'a self, i: usize, je: usize, buf: &'a mut [f64], t: &mut Tally) -> &'a [f64] {
+        let len = STREAMS * self.nq;
+        match self.mode {
+            CacheMode::Cached => {
+                let bytes = (len * 8) as u64;
+                t.dram_read += bytes;
+                t.cache_read += bytes;
+                t.cache_flops_saved += self.tile_pairs(i, je) * PAIR_FLOPS_SAVED;
+                let off = (i * self.ne + je) * len;
+                &self.data[off..off + len]
+            }
+            CacheMode::Recompute => {
+                self.fill_tile(i, je, &mut buf[..len]);
+                let build = self.tile_pairs(i, je) * TILE_BUILD_FLOPS_PER_PAIR;
+                t.flops += build;
+                t.cache_build_flops += build;
+                &buf[..len]
+            }
+        }
+    }
+
+    /// Resident or recompute?
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Integration points the table was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Points per element.
+    pub fn nq(&self) -> usize {
+        self.nq
+    }
+
+    /// Field elements (tiles per test point).
+    pub fn n_elements(&self) -> usize {
+        self.ne
+    }
+
+    /// Bytes held by the resident table (0 in recompute mode).
+    pub fn table_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// The tally of the (one-time) build, for device accounting.
+    pub fn build_tally(&self) -> Tally {
+        self.build_tally
+    }
+
+    /// True if the table's geometry is bitwise identical to `ip`'s — the
+    /// precondition for using this table with that packed data.
+    pub fn matches(&self, ip: &IpData) -> bool {
+        self.n == ip.n && self.nq == ip.nq && self.r == ip.r && self.z == ip.z && self.w == ip.w
+    }
+}
+
+/// Per-thread scratch for the tiled streaming kernels: the species-summed
+/// field stage and (recompute mode) one tile's streams.
+pub struct TileScratch {
+    /// `3 · nq`: `tkr | tkz | td` for the current tile.
+    pub sums: Vec<f64>,
+    /// `STREAMS · nq`: tile recompute buffer.
+    pub tiles: Vec<f64>,
+}
+
+impl TileScratch {
+    /// Scratch for tiles of `nq` points.
+    pub fn new(nq: usize) -> Self {
+        TileScratch {
+            sums: vec![0.0; 3 * nq],
+            tiles: vec![0.0; STREAMS * nq],
+        }
+    }
+}
+
+/// The tiled inner-integral streaming kernel, shared by all three cached
+/// back-ends: borrow the table and packed field data once, then
+/// [`CachedStream::accumulate`] per `(i, je)` tile.
+pub struct CachedStream<'a> {
+    /// The geometry cache.
+    pub table: &'a TensorTable,
+    /// Packed field data (geometry must match the table).
+    pub ip: &'a IpData,
+    /// Per-species `K` field factors.
+    pub fk: &'a [f64],
+    /// Per-species `D` field factors.
+    pub fd: &'a [f64],
+}
+
+/// Accumulator unroll width: four independent partial sums per output
+/// component keep the multiply-accumulate dependency chains short enough
+/// for LLVM to autovectorize, and the fixed `(p0+p1)+(p2+p3)` fold keeps
+/// the reduction deterministic.
+const UNROLL: usize = 4;
+
+impl CachedStream<'_> {
+    /// Accumulate tile `(i, je)` into `acc = [gk_r, gk_z, gd_rr, gd_rz,
+    /// gd_zz]`.
+    ///
+    /// The species `β` loop is hoisted out of the pair loop (the paper's
+    /// eq. 11 optimization, one level further): field data is staged as
+    /// species-summed `tkr/tkz/td` per field point — in the same species
+    /// order as the uncached `pair_body`, so the staged sums are bitwise
+    /// equal to the uncached ones — and the seven tensor streams are then
+    /// folded in with unrolled accumulators.
+    #[inline]
+    pub fn accumulate(
+        &self,
+        i: usize,
+        je: usize,
+        scratch: &mut TileScratch,
+        acc: &mut [f64; 5],
+        t: &mut Tally,
+    ) {
+        let nq = self.table.nq;
+        let n = self.ip.n;
+        let j0 = je * nq;
+        let (tkr, rest) = scratch.sums.split_at_mut(nq);
+        let (tkz, td) = rest.split_at_mut(nq);
+        tkr[..nq].fill(0.0);
+        tkz[..nq].fill(0.0);
+        td[..nq].fill(0.0);
+        for (b, (&fkb, &fdb)) in self.fk.iter().zip(self.fd).enumerate() {
+            let off = b * n + j0;
+            let dfr = &self.ip.dfr[off..off + nq];
+            let dfz = &self.ip.dfz[off..off + nq];
+            let f = &self.ip.f[off..off + nq];
+            for jj in 0..nq {
+                tkr[jj] += fkb * dfr[jj];
+                tkz[jj] += fkb * dfz[jj];
+                td[jj] += fdb * f[jj];
+            }
+        }
+        let streams = self.table.tile(i, je, &mut scratch.tiles, t);
+        let (k00, rest) = streams.split_at(nq);
+        let (k01, rest) = rest.split_at(nq);
+        let (k10, rest) = rest.split_at(nq);
+        let (k11, rest) = rest.split_at(nq);
+        let (d0, rest) = rest.split_at(nq);
+        let (d1, d2) = rest.split_at(nq);
+        let mut p = [[0.0f64; UNROLL]; 5];
+        let mut jj = 0;
+        while jj + UNROLL <= nq {
+            #[allow(clippy::needless_range_loop)] // lockstep index into 5 lanes
+            for l in 0..UNROLL {
+                let j = jj + l;
+                p[0][l] += k00[j] * tkr[j] + k01[j] * tkz[j];
+                p[1][l] += k10[j] * tkr[j] + k11[j] * tkz[j];
+                p[2][l] += d0[j] * td[j];
+                p[3][l] += d1[j] * td[j];
+                p[4][l] += d2[j] * td[j];
+            }
+            jj += UNROLL;
+        }
+        while jj < nq {
+            let l = jj % UNROLL;
+            p[0][l] += k00[jj] * tkr[jj] + k01[jj] * tkz[jj];
+            p[1][l] += k10[jj] * tkr[jj] + k11[jj] * tkz[jj];
+            p[2][l] += d0[jj] * td[jj];
+            p[3][l] += d1[jj] * td[jj];
+            p[4][l] += d2[jj] * td[jj];
+            jj += 1;
+        }
+        for (c, a) in acc.iter_mut().enumerate() {
+            *a += (p[c][0] + p[c][1]) + (p[c][2] + p[c][3]);
+        }
+        t.flops += (nq as u64) * pair_flops_cached(self.ip.ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::SpeciesList;
+    use landau_fem::FemSpace;
+    use landau_mesh::presets::uniform_mesh;
+
+    fn setup() -> IpData {
+        let space = FemSpace::new(uniform_mesh(3.0, 1), 2);
+        let sl = SpeciesList::electron_deuterium();
+        IpData::new(&space, &sl)
+    }
+
+    #[test]
+    fn required_bytes_formula() {
+        assert_eq!(TensorTable::required_bytes(1280), 56 * 1280 * 1280);
+    }
+
+    #[test]
+    fn budget_selects_mode() {
+        let ip = setup();
+        let full = TensorTable::build(&ip, usize::MAX);
+        assert_eq!(full.mode(), CacheMode::Cached);
+        assert_eq!(full.table_bytes(), TensorTable::required_bytes(ip.n));
+        assert!(full.build_tally().cache_build_flops > 0);
+        let re = TensorTable::build(&ip, 0);
+        assert_eq!(re.mode(), CacheMode::Recompute);
+        assert_eq!(re.table_bytes(), 0);
+        assert_eq!(re.build_tally(), Tally::new());
+    }
+
+    #[test]
+    fn cached_and_recomputed_tiles_agree_bitwise() {
+        let ip = setup();
+        let full = TensorTable::build(&ip, usize::MAX);
+        let re = TensorTable::build(&ip, 0);
+        let nq = ip.nq;
+        let ne = ip.n / nq;
+        let mut buf_a = vec![0.0; STREAMS * nq];
+        let mut buf_b = vec![0.0; STREAMS * nq];
+        let mut ta = Tally::new();
+        let mut tb = Tally::new();
+        for &i in &[0usize, 7, ip.n - 1] {
+            for je in 0..ne {
+                let a = full.tile(i, je, &mut buf_a, &mut ta).to_vec();
+                let b = re.tile(i, je, &mut buf_b, &mut tb).to_vec();
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "tile ({i},{je})");
+                }
+            }
+        }
+        assert!(ta.cache_read > 0 && ta.cache_build_flops == 0);
+        assert!(tb.cache_build_flops > 0 && tb.cache_read == 0);
+        assert!(ta.cache_flops_saved > 0);
+    }
+
+    #[test]
+    fn diagonal_entries_are_zero() {
+        let ip = setup();
+        let full = TensorTable::build(&ip, usize::MAX);
+        let nq = ip.nq;
+        let mut buf = vec![0.0; STREAMS * nq];
+        let mut t = Tally::new();
+        let i = nq + 3; // element 1, local point 3
+        let tile = full.tile(i, 1, &mut buf, &mut t);
+        for c in 0..STREAMS {
+            assert_eq!(tile[c * nq + 3], 0.0, "diagonal slot of stream {c}");
+        }
+        // Off-diagonal entries are genuine tensor values (the diagonal
+        // principal streams k00/d0 are strictly positive kernels).
+        assert_ne!(tile[4], 0.0);
+        assert_ne!(tile[4 * nq + 4], 0.0);
+    }
+
+    #[test]
+    fn table_matches_its_geometry() {
+        let ip = setup();
+        let table = TensorTable::build(&ip, usize::MAX);
+        assert!(table.matches(&ip));
+        let space = FemSpace::new(uniform_mesh(3.0, 2), 2);
+        let other = IpData::new(&space, &SpeciesList::electron_deuterium());
+        assert!(!table.matches(&other));
+    }
+}

@@ -292,6 +292,30 @@ impl FemSpace {
         self.elements.len() * self.tab.nq
     }
 
+    /// Approximate heap footprint of the space (the dominant arrays: element
+    /// closures with their constraint expansions, dof positions, tabulation
+    /// and forest leaf bookkeeping). Used to quantify what sharing one
+    /// space across batch vertices saves versus per-vertex clones.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use core::mem::size_of;
+        let mut b = self.elements.capacity() * size_of::<Element>();
+        for el in &self.elements {
+            b += el.nodes.capacity() * size_of::<NodeExpansion>();
+            for nd in &el.nodes {
+                b += nd.terms.capacity() * size_of::<(usize, f64)>();
+            }
+            b += el.dofs.capacity() * size_of::<usize>();
+        }
+        b += self.dof_positions.capacity() * size_of::<(f64, f64)>();
+        b += (self.tab.b.capacity() + self.tab.dxi.capacity() + self.tab.deta.capacity())
+            * size_of::<f64>();
+        b += self.tab.quad.points.capacity() * size_of::<(f64, f64)>()
+            + self.tab.quad.weights.capacity() * size_of::<f64>();
+        // Forest leaf set + sorted list + index, roughly 3 entries per cell.
+        b += self.forest.cells().len() * 3 * (size_of::<CellKey>() + size_of::<usize>());
+        b
+    }
+
     /// Gather the element-local coefficient vector (constrained nodes filled
     /// in by their constraint expansion).
     pub fn element_coeffs(&self, e: usize, global: &[f64], out: &mut [f64]) {

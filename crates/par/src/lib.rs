@@ -19,30 +19,43 @@
 //! with near-uniform cost per item.
 //!
 //! Worker count comes from [`current_num_threads`]; set `LANDAU_PAR_THREADS`
-//! to pin it (e.g. `LANDAU_PAR_THREADS=1` for serial debugging).
+//! to pin it (e.g. `LANDAU_PAR_THREADS=1` for serial debugging). The value is
+//! read once and cached for the life of the process, and parts are executed
+//! on a lazily started persistent worker pool — a Jacobian build issues many
+//! small parallel sweeps and must not pay thread spawn/join on each one.
 
+use std::cell::Cell;
 use std::ops::AddAssign;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, OnceLock};
 
 /// Rayon-style glob import: `use landau_par::prelude::*;`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParSliceExt, ParSliceMutExt, ParallelIterator};
 }
 
+static NUM_THREADS: OnceLock<usize> = OnceLock::new();
+
 /// Number of worker threads parallel drivers will use.
 ///
 /// Honors `LANDAU_PAR_THREADS` if set to a positive integer, otherwise
-/// `std::thread::available_parallelism()`.
+/// `std::thread::available_parallelism()`. The value is resolved on first
+/// call and cached in a `OnceLock` — this sits on the hot path of every
+/// parallel sweep, and env parsing per call is measurable on small meshes.
 pub fn current_num_threads() -> usize {
-    if let Ok(v) = std::env::var("LANDAU_PAR_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
+    *NUM_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("LANDAU_PAR_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// A splittable, sequentially drivable source of items — the minimal core
@@ -423,8 +436,112 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     }
 }
 
+/// A type-erased unit of work shipped to a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Persistent worker threads fed over per-worker channels. Started lazily on
+/// the first parallel sweep and kept for the life of the process, replacing
+/// the per-call `std::thread::scope` spawn/join that dominated small-mesh
+/// batched advances.
+struct WorkerPool {
+    senders: Vec<Mutex<mpsc::Sender<Job>>>,
+}
+
+static POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// Count of pool-dispatched sweeps currently in flight; a second concurrent
+/// sweep (nested parallelism, or parallel tests) runs its parts inline
+/// instead of deadlocking on busy workers.
+static POOL_BUSY: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool worker threads: a nested sweep launched from inside a
+    /// worker must not re-enter the pool.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static WorkerPool {
+    POOL.get_or_init(|| {
+        // Part 0 of every sweep runs on the calling thread, so
+        // `threads - 1` workers saturate `current_num_threads()`.
+        let workers = current_num_threads().saturating_sub(1);
+        let senders = (0..workers)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel::<Job>();
+                std::thread::Builder::new()
+                    .name(format!("landau-par-{i}"))
+                    .spawn(move || {
+                        IN_WORKER.with(|f| f.set(true));
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn landau-par worker");
+                Mutex::new(tx)
+            })
+            .collect();
+        WorkerPool { senders }
+    })
+}
+
+impl WorkerPool {
+    /// Run one part per worker (part 0 inline on the caller), returning the
+    /// results in input order. Worker panics are re-raised on the caller
+    /// after every dispatched part has reported back.
+    fn run<I, R, W>(&self, parts: Vec<I>, work: &W) -> Vec<R>
+    where
+        I: ParallelIterator,
+        R: Send,
+        W: Fn(I) -> R + Sync,
+    {
+        let k = parts.len();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        let mut it = parts.into_iter();
+        let part0 = it.next().expect("at least one part");
+        for (idx, part) in it.enumerate() {
+            let tx = tx.clone();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| work(part)));
+                let _ = tx.send((idx, r));
+            });
+            // SAFETY: the job borrows `work` and the part, which outlive this
+            // call frame; the erased lifetime is re-established by blocking
+            // below until every dispatched job has sent its result, so no
+            // borrow is live once `run` returns.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            self.senders[idx % self.senders.len()]
+                .lock()
+                .unwrap()
+                .send(job)
+                .expect("landau-par worker alive");
+        }
+        let r0 = catch_unwind(AssertUnwindSafe(|| work(part0)));
+        let mut rest: Vec<Option<std::thread::Result<R>>> = (0..k - 1).map(|_| None).collect();
+        for _ in 0..k - 1 {
+            let (idx, r) = rx.recv().expect("landau-par worker result");
+            rest[idx] = Some(r);
+        }
+        // Every job has reported: borrows are dead, panics can propagate.
+        let mut out = Vec::with_capacity(k);
+        for r in std::iter::once(r0).chain(rest.into_iter().map(|o| o.expect("part reported"))) {
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+}
+
 /// Split `iter` into one contiguous part per worker and run `work` on each,
 /// returning the per-part results in input order.
+///
+/// The split (and therefore the deterministic in-order fold every combinator
+/// builds on) depends only on `current_num_threads()` and `iter.len()` —
+/// never on how the parts are executed. The outermost sweep on a non-worker
+/// thread dispatches to the persistent pool; nested or concurrent sweeps run
+/// the *same* parts inline, so results are bitwise identical either way.
 fn run_parts<I, R, W>(iter: I, work: &W) -> Vec<R>
 where
     I: ParallelIterator,
@@ -448,16 +565,24 @@ where
         remaining -= take;
     }
     parts.push(rest);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|p| s.spawn(move || work(p)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    })
+    if IN_WORKER.with(|f| f.get()) {
+        // Nested sweep inside a pool worker: run the same parts inline.
+        return parts.into_iter().map(work).collect();
+    }
+    struct BusyGuard;
+    impl Drop for BusyGuard {
+        fn drop(&mut self) {
+            POOL_BUSY.fetch_sub(1, Ordering::Release);
+        }
+    }
+    let first_in = POOL_BUSY.fetch_add(1, Ordering::Acquire) == 0;
+    let _guard = BusyGuard;
+    if first_in {
+        pool().run(parts, work)
+    } else {
+        // Another sweep already owns the workers; same parts, inline.
+        parts.into_iter().map(work).collect()
+    }
 }
 
 #[cfg(test)]
@@ -533,6 +658,89 @@ mod tests {
         let v: Vec<f64> = (0..5000).map(|i| 1.0 / (1.0 + i as f64)).collect();
         let run = || v.par_iter().map(|&x| x).reduce(|| 0.0, |a, b| a + b);
         assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn thread_count_is_cached_and_positive() {
+        let a = crate::current_num_threads();
+        let b = crate::current_num_threads();
+        assert!(a > 0);
+        assert_eq!(a, b, "OnceLock'd value must be stable");
+    }
+
+    #[test]
+    fn nested_parallelism_matches_serial() {
+        // An outer sweep whose body issues inner sweeps: inner calls run
+        // inline (same split, same fold) so the result matches serial.
+        let rows: Vec<u64> = (0..64).collect();
+        let got: u64 = rows
+            .par_iter()
+            .map(|&r| {
+                let inner: Vec<u64> = (0..100).map(|c| r * 100 + c).collect();
+                inner.par_iter().map(|&x| x * x).reduce(|| 0, |a, b| a + b)
+            })
+            .sum();
+        let want: u64 = (0..6400u64).map(|x| x * x).sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_sweeps_from_many_threads_agree() {
+        // Several OS threads hammer the pool at once; losers of the
+        // busy-flag race run inline but must produce identical results.
+        let v: Vec<f64> = (0..4000).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let expect = v.par_iter().map(|&x| x).reduce(|| 0.0, |a, b| a + b);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let v = &v;
+                s.spawn(move || {
+                    let got = v.par_iter().map(|&x| x).reduce(|| 0.0, |a, b| a + b);
+                    assert_eq!(got.to_bits(), expect.to_bits());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sweeps_run_on_named_pool_workers_only() {
+        use std::sync::Mutex;
+        // Every part runs either inline on the caller or on a persistent
+        // named pool worker — never on a fresh anonymous scoped thread.
+        let caller = std::thread::current().id();
+        let foreign: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        for _ in 0..3 {
+            let v: Vec<usize> = (0..10_000).collect();
+            v.par_iter().for_each(|_| {
+                let t = std::thread::current();
+                if t.id() != caller {
+                    let name = t.name().unwrap_or("<unnamed>").to_string();
+                    if !name.starts_with("landau-par-") {
+                        foreign.lock().unwrap().push(name);
+                    }
+                }
+            });
+        }
+        let foreign = foreign.into_inner().unwrap();
+        assert!(
+            foreign.is_empty(),
+            "parts ran on non-pool threads: {foreign:?}"
+        );
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_caller() {
+        let v: Vec<u64> = (0..1000).collect();
+        let r = std::panic::catch_unwind(|| {
+            v.par_iter().for_each(|&x| {
+                if x == 977 {
+                    panic!("boom at {x}");
+                }
+            });
+        });
+        assert!(r.is_err(), "a panicking part must fail the sweep");
+        // The pool must still be usable afterwards.
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, (0..1000u64).sum());
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub struct Tally {
     pub atomics: u64,
     /// Warp-shuffle operations issued by tree reductions.
     pub shuffles: u64,
+    /// FLOPs spent building geometry-cache tiles (tensor-table construction
+    /// or on-the-fly tile recomputes under a memory budget).
+    pub cache_build_flops: u64,
+    /// Bytes streamed from a prebuilt tensor table (also counted in
+    /// `dram_read`, so arithmetic-intensity numbers stay honest).
+    pub cache_read: u64,
+    /// Tensor-evaluation FLOPs avoided by streaming cached tiles instead of
+    /// re-evaluating `landau_tensor_2d` per pair.
+    pub cache_flops_saved: u64,
 }
 
 impl Tally {
@@ -41,6 +50,9 @@ impl Tally {
         self.shared_bytes += o.shared_bytes;
         self.atomics += o.atomics;
         self.shuffles += o.shuffles;
+        self.cache_build_flops += o.cache_build_flops;
+        self.cache_read += o.cache_read;
+        self.cache_flops_saved += o.cache_flops_saved;
     }
 }
 
@@ -61,6 +73,9 @@ pub struct Counters {
     shared_bytes: AtomicU64,
     atomics: AtomicU64,
     shuffles: AtomicU64,
+    cache_build_flops: AtomicU64,
+    cache_read: AtomicU64,
+    cache_flops_saved: AtomicU64,
     launches: AtomicU64,
     blocks: AtomicU64,
 }
@@ -75,6 +90,11 @@ impl Counters {
             .fetch_add(t.shared_bytes, Ordering::Relaxed);
         self.atomics.fetch_add(t.atomics, Ordering::Relaxed);
         self.shuffles.fetch_add(t.shuffles, Ordering::Relaxed);
+        self.cache_build_flops
+            .fetch_add(t.cache_build_flops, Ordering::Relaxed);
+        self.cache_read.fetch_add(t.cache_read, Ordering::Relaxed);
+        self.cache_flops_saved
+            .fetch_add(t.cache_flops_saved, Ordering::Relaxed);
         self.launches.fetch_add(1, Ordering::Relaxed);
         self.blocks.fetch_add(blocks, Ordering::Relaxed);
     }
@@ -88,6 +108,9 @@ impl Counters {
             shared_bytes: self.shared_bytes.load(Ordering::Relaxed),
             atomics: self.atomics.load(Ordering::Relaxed),
             shuffles: self.shuffles.load(Ordering::Relaxed),
+            cache_build_flops: self.cache_build_flops.load(Ordering::Relaxed),
+            cache_read: self.cache_read.load(Ordering::Relaxed),
+            cache_flops_saved: self.cache_flops_saved.load(Ordering::Relaxed),
             launches: self.launches.load(Ordering::Relaxed),
             blocks: self.blocks.load(Ordering::Relaxed),
         }
@@ -101,6 +124,9 @@ impl Counters {
         self.shared_bytes.store(0, Ordering::Relaxed);
         self.atomics.store(0, Ordering::Relaxed);
         self.shuffles.store(0, Ordering::Relaxed);
+        self.cache_build_flops.store(0, Ordering::Relaxed);
+        self.cache_read.store(0, Ordering::Relaxed);
+        self.cache_flops_saved.store(0, Ordering::Relaxed);
         self.launches.store(0, Ordering::Relaxed);
         self.blocks.store(0, Ordering::Relaxed);
     }
@@ -121,6 +147,12 @@ pub struct KernelStats {
     pub atomics: u64,
     /// Warp shuffles issued.
     pub shuffles: u64,
+    /// Geometry-cache build FLOPs (table construction + tile recomputes).
+    pub cache_build_flops: u64,
+    /// Bytes streamed from the prebuilt tensor table.
+    pub cache_read: u64,
+    /// Tensor-evaluation FLOPs avoided by the geometry cache.
+    pub cache_flops_saved: u64,
     /// Kernel launches.
     pub launches: u64,
     /// Total blocks executed.
@@ -225,6 +257,32 @@ mod tests {
         );
         assert_eq!(b.stats().flops, 7);
         assert_eq!(r.all_stats().len(), 1);
+    }
+
+    #[test]
+    fn cache_accounting_flows_through() {
+        let a = Tally {
+            cache_build_flops: 100,
+            cache_read: 56,
+            ..Default::default()
+        };
+        let b = Tally {
+            cache_flops_saved: 145,
+            cache_read: 56,
+            ..Default::default()
+        };
+        let m = a + b;
+        assert_eq!(m.cache_build_flops, 100);
+        assert_eq!(m.cache_read, 112);
+        assert_eq!(m.cache_flops_saved, 145);
+        let c = Counters::default();
+        c.record_launch(&m, 4);
+        let s = c.stats();
+        assert_eq!(s.cache_build_flops, 100);
+        assert_eq!(s.cache_read, 112);
+        assert_eq!(s.cache_flops_saved, 145);
+        c.reset();
+        assert_eq!(c.stats(), KernelStats::default());
     }
 
     #[test]
