@@ -27,4 +27,7 @@ cargo build --release -p landau-bench --benches
 echo "== tensor cache bench (quick gate: verify + 2x speedup)"
 cargo bench -q -p landau-bench --bench tensor_cache -- --quick
 
+echo "== resilience bench (quick gate: bitwise identity + recovery smoke)"
+cargo bench -q -p landau-bench --bench resilience -- --quick
+
 echo "CI OK"

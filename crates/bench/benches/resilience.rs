@@ -1,0 +1,142 @@
+//! Recovery-overhead benchmark on the §V performance problem (Table II's
+//! 80-element Q3 mesh, 10 species).
+//!
+//! Three gates:
+//!   1. *Bitwise* — the guarded paths (`try_step` with `FaultPlan::none()`
+//!      armed, and the full `AdaptiveStepper` fast path) must produce
+//!      bit-for-bit the same states as the plain `step`: the resilience
+//!      machinery costs nothing in arithmetic.
+//!   2. *Timing* — fault-free guarded stepping must stay within a few
+//!      percent of the plain path (the disarmed fault poll is one atomic
+//!      load per assemble; the recovery wrapper adds one branch per step).
+//!   3. *Recovery* — a seeded transient NaN burst must be survived, and
+//!      its cost (extra attempts) is reported.
+//!
+//! Plain timing harness (`harness = false`):
+//! `cargo bench -p landau-bench --bench resilience -- --quick`.
+//! Results land in `BENCH_resilience.json` at the workspace root.
+
+use landau_bench::{perf_operator, write_bench_json};
+use landau_core::fault_sites::SITE_LANDAU_JACOBIAN;
+use landau_core::operator::Backend;
+use landau_core::solver::{ThetaMethod, TimeIntegrator};
+use landau_core::{AdaptiveStepper, FaultKind, FaultPlan};
+use std::time::Instant;
+
+fn make_ti() -> TimeIntegrator {
+    let op = perf_operator(80, Backend::Cpu);
+    let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
+    ti.rtol = 1e-6;
+    ti
+}
+
+/// Advance `steps` plain steps; returns (final state, iters, seconds).
+fn run_plain(steps: usize, dt: f64) -> (Vec<f64>, usize, f64) {
+    let mut ti = make_ti();
+    let mut state = ti.op.initial_state();
+    let t0 = Instant::now();
+    let mut iters = 0;
+    for _ in 0..steps {
+        iters += ti.step(&mut state, dt, 0.0, None).newton_iters;
+    }
+    (state, iters, t0.elapsed().as_secs_f64())
+}
+
+/// Same run through the recovery wrapper with an empty plan armed.
+fn run_guarded(steps: usize, dt: f64) -> (Vec<f64>, usize, f64) {
+    let ti = make_ti();
+    let mut stepper = AdaptiveStepper::new(ti);
+    stepper.ti.op.device.arm_faults(FaultPlan::none());
+    let mut state = stepper.ti.op.initial_state();
+    let t0 = Instant::now();
+    let mut iters = 0;
+    for _ in 0..steps {
+        let (st, rec) = stepper
+            .advance(&mut state, dt, 0.0, None)
+            .expect("fault-free run must not fail");
+        assert_eq!(rec.retried, 0, "fault-free run must not retry");
+        iters += st.newton_iters;
+    }
+    (state, iters, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let steps = if quick { 2 } else { 6 };
+    let dt = 0.5;
+
+    // Warm-up pass so neither timed path pays first-touch costs.
+    run_plain(1, dt);
+
+    let (s_plain, it_plain, t_plain) = run_plain(steps, dt);
+    let (s_guard, it_guard, t_guard) = run_guarded(steps, dt);
+
+    // Gate 1: bitwise identity.
+    let identical = s_plain.len() == s_guard.len()
+        && s_plain
+            .iter()
+            .zip(&s_guard)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        identical,
+        "guarded fault-free path diverged bitwise from the plain path"
+    );
+    assert_eq!(it_plain, it_guard, "iteration counts must match");
+    eprintln!("bitwise: guarded == plain over {steps} steps ({it_plain} Newton iters)");
+
+    // Gate 2: overhead. Generous bound — the two runs share one machine
+    // and the work is identical; this catches an accidentally hot guard,
+    // not scheduler noise.
+    let overhead = t_guard / t_plain - 1.0;
+    eprintln!(
+        "timing: plain {:.3}s, guarded {:.3}s ({:+.1}% overhead)",
+        t_plain,
+        t_guard,
+        100.0 * overhead
+    );
+    assert!(
+        overhead < 0.25,
+        "fault-free recovery overhead too high: {:.1}%",
+        100.0 * overhead
+    );
+
+    // Gate 3: survive a transient NaN burst and report its cost.
+    let ti = make_ti();
+    let mut stepper = AdaptiveStepper::new(ti);
+    stepper
+        .ti
+        .op
+        .device
+        .arm_faults(FaultPlan::seeded(5).with_repeated(SITE_LANDAU_JACOBIAN, 1, 2, FaultKind::Nan));
+    let mut state = stepper.ti.op.initial_state();
+    let t0 = Instant::now();
+    let mut retried = 0usize;
+    for _ in 0..steps {
+        let (_, rec) = stepper
+            .advance(&mut state, dt, 0.0, None)
+            .expect("transient faults must be recovered");
+        retried += rec.retried;
+    }
+    let t_faulty = t0.elapsed().as_secs_f64();
+    stepper.ti.op.device.disarm_faults();
+    assert!(retried > 0, "the planned faults never fired");
+    eprintln!(
+        "recovery: {} retried attempts over {steps} steps, {:.3}s ({:+.1}% vs clean)",
+        retried,
+        t_faulty,
+        100.0 * (t_faulty / t_guard - 1.0)
+    );
+
+    let entries = vec![
+        ("steps".to_string(), steps as f64),
+        ("newton_iters".to_string(), it_plain as f64),
+        ("seconds_plain".to_string(), t_plain),
+        ("seconds_guarded".to_string(), t_guard),
+        ("overhead_frac".to_string(), overhead),
+        ("bitwise_identical".to_string(), 1.0),
+        ("seconds_faulty".to_string(), t_faulty),
+        ("retried_attempts".to_string(), retried as f64),
+    ];
+    let path = write_bench_json("BENCH_resilience.json", &entries);
+    eprintln!("wrote {}", path.display());
+}

@@ -78,11 +78,14 @@ fn main() {
     let mut d = QuenchDriver::new(cfg);
     eprintln!(
         "ex2: {} Q3 cells, {} dofs/species, backend {:?}",
-        d.ti.op.space.n_elements(),
-        d.ti.op.n(),
+        d.ti().op.space.n_elements(),
+        d.ti().op.n(),
         backend
     );
-    d.run();
+    if let Err(e) = d.run() {
+        eprintln!("quench run failed: {e}");
+        eprintln!("(samples up to the failure follow)");
+    }
     if args.iter().any(|a| a == "-csv") {
         println!("t,n_e,J,E,T_e,phase");
         for s in &d.samples {

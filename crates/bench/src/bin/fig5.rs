@@ -30,10 +30,13 @@ fn main() {
     let mut d = QuenchDriver::new(cfg);
     eprintln!(
         "mesh: {} Q3 cells, {} dofs/species",
-        d.ti.op.space.n_elements(),
-        d.ti.op.n()
+        d.ti().op.space.n_elements(),
+        d.ti().op.n()
     );
-    d.run();
+    if let Err(e) = d.run() {
+        eprintln!("quench run failed: {e}");
+        eprintln!("(samples up to the failure follow)");
+    }
     println!("t,n_e,J,E,T_e,tail_2v,phase");
     for s in &d.samples {
         println!(

@@ -18,6 +18,12 @@
 //!   accumulation must go through a `Reducer` (the tree join is what keeps
 //!   it deterministic). Heuristic: flag `+=` whose destination indexes a
 //!   `scratch`/`shared`/`smem` buffer.
+//! * **E004** — the resilient solve path ([`NO_PANIC_FILES`]: the
+//!   integrator, recovery layer, batched advance and quench driver) must
+//!   not call `.unwrap()` / `.expect(` in library code: every failure
+//!   there is a typed `SolveError`/`RecoveryFailure`/`QuenchError`, and a
+//!   panic would void the transactional-step guarantee. Test code is
+//!   exempt.
 //!
 //! The `lint` binary walks every workspace crate and exits nonzero on any
 //! finding; `ci.sh` runs it alongside rustfmt and clippy.
@@ -34,6 +40,16 @@ pub const SAFETY_COMMENT_WINDOW: usize = 6;
 /// apply to these.
 pub const KERNEL_CRATES: &[&str] = &["landau-vgpu", "landau-core", "landau-sparse", "landau-fem"];
 
+/// Files on the resilient solve path where library code must surface
+/// failures as typed errors, never panic (`E004`). Paths are
+/// workspace-relative with `/` separators.
+pub const NO_PANIC_FILES: &[&str] = &[
+    "crates/core/src/solver.rs",
+    "crates/core/src/recover.rs",
+    "crates/core/src/batch.rs",
+    "crates/quench/src/driver.rs",
+];
+
 /// Lint rule identifiers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rule {
@@ -43,6 +59,8 @@ pub enum Rule {
     BareThreadSpawn,
     /// Non-`Reducer` floating-point accumulation into lane-shared storage.
     SharedAccumulation,
+    /// `.unwrap()`/`.expect(` in resilient-solve-path library code.
+    PanicInSolvePath,
 }
 
 impl Rule {
@@ -52,6 +70,7 @@ impl Rule {
             Rule::UnsafeWithoutSafetyComment => "U001",
             Rule::BareThreadSpawn => "T002",
             Rule::SharedAccumulation => "R003",
+            Rule::PanicInSolvePath => "E004",
         }
     }
 
@@ -67,6 +86,10 @@ impl Rule {
             Rule::SharedAccumulation => {
                 "`+=` into lane-shared storage (cross-lane accumulation must go \
                  through a Reducer join)"
+            }
+            Rule::PanicInSolvePath => {
+                "`.unwrap()`/`.expect(` on the resilient solve path (return a \
+                 typed SolveError/RecoveryFailure instead)"
             }
         }
     }
@@ -289,6 +312,9 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
         .position(|l| l.code.contains("#[cfg(test)]"))
         .unwrap_or(usize::MAX);
 
+    let path_str = path.to_string_lossy().replace('\\', "/");
+    let no_panic_file = NO_PANIC_FILES.iter().any(|f| path_str.ends_with(f));
+
     for (ln, l) in lines.iter().enumerate() {
         let in_test = ctx.is_test_code || ln >= test_from;
         let raw = raw_lines.get(ln).copied().unwrap_or("").trim();
@@ -305,6 +331,20 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
                     snippet: raw.to_string(),
                 });
             }
+        }
+
+        // E004: no panicking extractors in resilient-solve-path library
+        // code (test modules keep their asserting idiom).
+        if no_panic_file
+            && !in_test
+            && (l.code.contains(".unwrap()") || l.code.contains(".expect("))
+        {
+            findings.push(LintFinding {
+                rule: Rule::PanicInSolvePath,
+                file: path.to_path_buf(),
+                line: ln + 1,
+                snippet: raw.to_string(),
+            });
         }
 
         if !ctx.kernel_crate() || in_test {
@@ -513,6 +553,73 @@ mod tests {
     fn raw_strings_and_nested_blocks_scrub_clean() {
         let src = "fn f() -> &'static str {\n    /* outer /* nested unsafe */ still comment */\n    r#\"thread::spawn in a raw string\"#\n}\n";
         assert!(findings(src, kernel_ctx()).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_solve_path_is_flagged() {
+        let src = "fn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/solver.rs"),
+            LintContext {
+                crate_name: "landau-core",
+                is_test_code: false,
+            },
+        );
+        assert_eq!(
+            fs.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            [Rule::PanicInSolvePath]
+        );
+        // `.expect(` is equally denied.
+        let src = "fn f(o: Option<u8>) -> u8 {\n    o.expect(\"x\")\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/quench/src/driver.rs"),
+            LintContext {
+                crate_name: "landau-quench",
+                is_test_code: false,
+            },
+        );
+        assert_eq!(
+            fs.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            [Rule::PanicInSolvePath]
+        );
+    }
+
+    #[test]
+    fn unwrap_in_solve_path_tests_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(o: Option<u8>) -> u8 { o.unwrap() }\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/batch.rs"),
+            LintContext {
+                crate_name: "landau-core",
+                is_test_code: false,
+            },
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+        // `.unwrap_or` family is not a panic and stays allowed.
+        let src = "fn f(o: Option<u8>) -> u8 {\n    o.unwrap_or(0)\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/recover.rs"),
+            LintContext {
+                crate_name: "landau-core",
+                is_test_code: false,
+            },
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+        // Other files keep their unwraps.
+        let src = "fn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/moments.rs"),
+            LintContext {
+                crate_name: "landau-core",
+                is_test_code: false,
+            },
+        );
+        assert!(fs.is_empty(), "{fs:?}");
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! §V throughput experiments (see the `throughput_real` bench binary).
 
 use crate::operator::{Backend, LandauOperator};
-use crate::solver::{StepStats, ThetaMethod, TimeIntegrator};
+use crate::recover::AdaptiveStepper;
+use crate::solver::{ThetaMethod, TimeIntegrator};
 use crate::species::SpeciesList;
 use crate::tensor_cache::{TensorTable, DEFAULT_BUDGET_BYTES};
 use landau_fem::FemSpace;
@@ -25,20 +26,47 @@ use std::time::Instant;
 /// `Arc<FemSpace>` (no per-vertex mesh clones) and one `Arc<TensorTable>`
 /// geometry cache streamed by every vertex's Jacobian builds.
 pub struct BatchedAdvance {
-    integrators: Vec<TimeIntegrator>,
+    steppers: Vec<AdaptiveStepper>,
     /// One state per vertex.
     pub states: Vec<Vec<f64>>,
 }
 
+/// Per-vertex outcome of a batched advance: the recovery layer isolates
+/// failures, so one pathological vertex reports here instead of taking
+/// down the fleet.
+#[derive(Clone, Copy, Debug)]
+pub struct VertexStats {
+    /// Newton iterations this vertex performed.
+    pub newton_iters: usize,
+    /// Failed step attempts that were recovered (damped retry or Δt
+    /// halving).
+    pub retried: usize,
+    /// Smallest successful substep, as a fraction of the nominal `Δt`
+    /// (1.0 when no subdivision was needed).
+    pub dt_fraction_min: f64,
+    /// True if the vertex exhausted its recovery budget and was left at
+    /// its last good state.
+    pub failed: bool,
+}
+
 /// Throughput measurement of a batched advance.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BatchStats {
     /// Total Newton iterations across the batch.
     pub newton_iters: usize,
     /// Wall-clock seconds.
     pub seconds: f64,
     /// Newton iterations per second (the paper's figure of merit).
+    /// Zero (not NaN) for zero-iteration runs.
     pub newton_per_sec: f64,
+    /// Vertices that exhausted their recovery budget.
+    pub failed: usize,
+    /// Recovered step attempts summed over vertices.
+    pub retried: usize,
+    /// Smallest successful substep fraction across the batch.
+    pub dt_fraction_min: f64,
+    /// Per-vertex breakdown (same order as [`BatchedAdvance::states`]).
+    pub per_vertex: Vec<VertexStats>,
 }
 
 impl BatchedAdvance {
@@ -73,7 +101,7 @@ impl BatchedAdvance {
     ) -> Self {
         assert!(n_vertices > 0);
         let mut table: Option<Arc<TensorTable>> = None;
-        let integrators: Vec<TimeIntegrator> = (0..n_vertices)
+        let steppers: Vec<AdaptiveStepper> = (0..n_vertices)
             .map(|_| {
                 let mut op = LandauOperator::new_shared(space.clone(), species.clone(), backend);
                 match &table {
@@ -82,41 +110,49 @@ impl BatchedAdvance {
                 }
                 let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
                 ti.rtol = 1e-6;
-                ti
+                AdaptiveStepper::new(ti)
             })
             .collect();
-        let states: Vec<Vec<f64>> = integrators
+        let states: Vec<Vec<f64>> = steppers
             .iter()
             .enumerate()
-            .map(|(v, ti)| {
-                let mut s = ti.op.initial_state();
+            .map(|(v, st)| {
+                let mut s = st.ti.op.initial_state();
                 // A mild spatial profile: vary the electron density ±10%.
                 let scale = 1.0 + 0.1 * ((v as f64 / n_vertices.max(1) as f64) - 0.5);
-                for x in s[..ti.op.n()].iter_mut() {
+                for x in s[..st.ti.op.n()].iter_mut() {
                     *x *= scale;
                 }
                 s
             })
             .collect();
-        BatchedAdvance {
-            integrators,
-            states,
-        }
+        BatchedAdvance { steppers, states }
     }
 
     /// Number of vertex problems.
     pub fn len(&self) -> usize {
-        self.integrators.len()
+        self.steppers.len()
     }
 
     /// The one shared finite-element space.
     pub fn space(&self) -> &Arc<FemSpace> {
-        &self.integrators[0].op.space
+        &self.steppers[0].ti.op.space
     }
 
     /// The one shared geometry cache.
     pub fn tensor_table(&self) -> Option<&Arc<TensorTable>> {
-        self.integrators[0].op.tensor_table()
+        self.steppers[0].ti.op.tensor_table()
+    }
+
+    /// The recovery wrapper for one vertex (tests and diagnostics).
+    pub fn stepper(&self, v: usize) -> &AdaptiveStepper {
+        &self.steppers[v]
+    }
+
+    /// Mutable access to one vertex's recovery wrapper (to tune policy or
+    /// tolerances per vertex).
+    pub fn stepper_mut(&mut self, v: usize) -> &mut AdaptiveStepper {
+        &mut self.steppers[v]
     }
 
     /// Heap bytes the shared-space design avoids relative to per-vertex
@@ -127,41 +163,72 @@ impl BatchedAdvance {
 
     /// True if the batch is empty (never for constructed batches).
     pub fn is_empty(&self) -> bool {
-        self.integrators.is_empty()
+        self.steppers.is_empty()
     }
 
     /// Advance every vertex by `steps` implicit steps of `dt` and measure
     /// aggregate throughput. Vertices run concurrently (the batch-level
-    /// parallelism the paper's conclusion calls for).
+    /// parallelism the paper's conclusion calls for), each behind its own
+    /// recovery wrapper: a vertex that exhausts its retry budget is left
+    /// at its last good state and reported in [`BatchStats::failed`]
+    /// instead of panicking the whole fleet.
     pub fn advance(&mut self, dt: f64, steps: usize, e_field: f64) -> BatchStats {
         let t0 = Instant::now();
-        let iters: usize = self
-            .integrators
+        let per_vertex: Vec<VertexStats> = self
+            .steppers
             .par_iter_mut()
             .zip(self.states.par_iter_mut())
-            .map(|(ti, state)| {
-                let mut total = StepStats::default();
+            .map(|(st, state)| {
+                let mut vs = VertexStats {
+                    newton_iters: 0,
+                    retried: 0,
+                    dt_fraction_min: 1.0,
+                    failed: false,
+                };
                 for _ in 0..steps {
-                    let s = ti.step(state, dt, e_field, None);
-                    total.newton_iters += s.newton_iters;
+                    match st.advance(state, dt, e_field, None) {
+                        Ok((stats, rec)) => {
+                            vs.newton_iters += stats.newton_iters;
+                            vs.retried += rec.retried;
+                            vs.dt_fraction_min = vs.dt_fraction_min.min(rec.dt_fraction_min);
+                        }
+                        Err(_) => {
+                            vs.failed = true;
+                            break;
+                        }
+                    }
                 }
-                total.newton_iters
+                vs
             })
-            .sum();
+            .collect();
         let seconds = t0.elapsed().as_secs_f64();
+        let iters: usize = per_vertex.iter().map(|v| v.newton_iters).sum();
         BatchStats {
             newton_iters: iters,
             seconds,
-            newton_per_sec: iters as f64 / seconds,
+            // 0/0 must read as idle, not NaN (zero-iteration runs feed
+            // throughput tables downstream).
+            newton_per_sec: if iters == 0 || seconds <= 0.0 {
+                0.0
+            } else {
+                iters as f64 / seconds
+            },
+            failed: per_vertex.iter().filter(|v| v.failed).count(),
+            retried: per_vertex.iter().map(|v| v.retried).sum(),
+            dt_fraction_min: per_vertex
+                .iter()
+                .map(|v| v.dt_fraction_min)
+                .fold(1.0, f64::min),
+            per_vertex,
         }
     }
 
     /// Electron temperature of each vertex (diagnostic).
     pub fn electron_temperatures(&self) -> Vec<f64> {
-        self.integrators
+        self.steppers
             .iter()
             .zip(&self.states)
-            .map(|(ti, s)| ti.moments.electron_temperature(s))
+            .map(|(st, s)| st.ti.moments.electron_temperature(s))
             .collect()
     }
 }
@@ -243,18 +310,49 @@ mod tests {
         let batch = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 4);
         let shared = batch.space();
         let table = batch.tensor_table().expect("cache on by default");
-        for ti in &batch.integrators {
+        for st in &batch.steppers {
             assert!(
-                Arc::ptr_eq(shared, &ti.op.space),
+                Arc::ptr_eq(shared, &st.ti.op.space),
                 "every vertex must hold the same FemSpace allocation"
             );
             assert!(
-                Arc::ptr_eq(table, ti.op.tensor_table().unwrap()),
+                Arc::ptr_eq(table, st.ti.op.tensor_table().unwrap()),
                 "every vertex must stream the same tensor table"
             );
         }
         // 4 vertices: 3 clones avoided.
         assert_eq!(batch.space_bytes_saved(), 3 * shared.approx_heap_bytes());
         assert!(shared.approx_heap_bytes() > 0);
+    }
+
+    #[test]
+    fn zero_iteration_run_reports_zero_throughput() {
+        let space = tiny_space();
+        let mut b = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 1);
+        let stats = b.advance(0.5, 0, 0.0);
+        assert_eq!(stats.newton_iters, 0);
+        assert_eq!(stats.newton_per_sec, 0.0, "0/0 must read as idle");
+        assert!(!stats.newton_per_sec.is_nan());
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn poisoned_vertex_fails_alone() {
+        let space = tiny_space();
+        let mut b = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 3);
+        // Corrupt vertex 1's state before the advance: its solve must fail
+        // (NonFinite at the state guard) without touching the other
+        // vertices' progress.
+        b.states[1][0] = f64::NAN;
+        let stats = b.advance(0.5, 2, 0.0);
+        assert_eq!(stats.failed, 1, "{stats:?}");
+        assert!(stats.per_vertex[1].failed);
+        assert!(!stats.per_vertex[0].failed);
+        assert!(!stats.per_vertex[2].failed);
+        // Healthy vertices still advanced and cooled.
+        assert!(stats.per_vertex[0].newton_iters > 0);
+        assert!(stats.per_vertex[2].newton_iters > 0);
+        let te = b.electron_temperatures();
+        assert!(te[0].is_finite() && te[2].is_finite());
     }
 }

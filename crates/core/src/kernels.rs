@@ -51,6 +51,34 @@ impl IpCoeffs {
         }
     }
 
+    /// Flat lane count (`5 · n`: two `G_K` and three `G_D` components per
+    /// point) — the buffer size fault injection draws its lane from.
+    pub fn lanes(&self) -> usize {
+        2 * self.gk.len() + 3 * self.gd.len()
+    }
+
+    /// Apply an injected fault to one flat lane (lanes `[0, 2n)` map to
+    /// `G_K`, `[2n, 5n)` to `G_D`). Called by the operator's kernel driver
+    /// only when a [`landau_vgpu::FaultPlan`] is armed and due.
+    pub fn apply_fault(&mut self, f: &landau_vgpu::InjectedFault) {
+        let n = self.gk.len();
+        if n == 0 {
+            return;
+        }
+        let flat = f.index % (5 * n);
+        let v: &mut f64 = if flat < 2 * n {
+            &mut self.gk[flat % n][flat / n]
+        } else {
+            let r = flat - 2 * n;
+            &mut self.gd[r % n][r / n]
+        };
+        match f.kind {
+            landau_vgpu::FaultKind::Nan => *v = f64::NAN,
+            landau_vgpu::FaultKind::Perturb { rel } => *v *= 1.0 + rel,
+            landau_vgpu::FaultKind::SingularBlock => {}
+        }
+    }
+
     /// Max absolute relative difference against another coefficient set.
     pub fn max_rel_diff(&self, other: &IpCoeffs) -> f64 {
         let mut scale = 1e-300f64;

@@ -22,7 +22,11 @@
 //! * [`moments`] — density, z-momentum, energy, current and temperature
 //!   functionals (the conserved quantities of the discretization);
 //! * [`solver`] — implicit time integration (backward Euler / θ-method)
-//!   with the paper's quasi-Newton iteration and banded-LU direct solves;
+//!   with the paper's quasi-Newton iteration and banded-LU direct solves,
+//!   transactional (`try_step`) with a typed failure taxonomy;
+//! * [`recover`] — the adaptive recovery policy over the transactional
+//!   step: damped retries, Δt halving with a bounded budget, and Δt
+//!   re-growth after the stiff phase passes;
 //! * [`multigrid`] — grid-per-species-group configurations (§III-H) with
 //!   cross-grid collisions and conservation;
 //! * [`batch`] — batched multi-vertex collision advance (the conclusion's
@@ -36,13 +40,23 @@ pub mod kernels;
 pub mod moments;
 pub mod multigrid;
 pub mod operator;
+pub mod recover;
 pub mod solver;
 pub mod species;
 pub mod tensor;
 pub mod tensor_cache;
 pub mod three_d;
 
+pub use landau_vgpu::fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
+
+/// Injection-site names understood by this crate's kernels and solver
+/// (re-exported so downstream crates can arm plans without a direct
+/// `landau-vgpu` dependency).
+pub mod fault_sites {
+    pub use landau_vgpu::fault::{SITE_LANDAU_JACOBIAN, SITE_LU_FACTOR};
+}
 pub use operator::{Backend, LandauOperator};
-pub use solver::{StepStats, ThetaMethod, TimeIntegrator};
+pub use recover::{AdaptiveStepper, RecoveryConfig, RecoveryFailure, RecoveryStats};
+pub use solver::{NonFiniteSite, SolveError, StepStats, ThetaMethod, TimeIntegrator};
 pub use species::{Species, SpeciesList};
 pub use tensor_cache::TensorTable;

@@ -193,7 +193,7 @@ impl LandauOperator {
     pub fn assemble(&mut self, state: &[f64], e_field: f64) -> AssembledOperator {
         assert_eq!(state.len(), self.n_total());
         self.ipdata.pack(&self.space, state);
-        let (coeffs, mut tally) = match (&self.tensor_table, self.backend) {
+        let (mut coeffs, mut tally) = match (&self.tensor_table, self.backend) {
             (None, Backend::Cpu) => kernels::inner_integral_cpu(&self.ipdata, &self.species),
             (None, Backend::CudaModel) => {
                 kernels::inner_integral_cuda_model(&self.ipdata, &self.species, self.dim_x)
@@ -218,6 +218,15 @@ impl LandauOperator {
                 &PlainFactory,
             ),
         };
+        // Seeded fault injection (resilience tests): corrupt one lane of
+        // the kernel output when a plan armed on this device is due. With
+        // no plan armed this is a single relaxed atomic load.
+        if let Some(f) = self
+            .device
+            .poll_fault(landau_vgpu::fault::SITE_LANDAU_JACOBIAN, coeffs.lanes())
+        {
+            coeffs.apply_fault(&f);
+        }
         let (ce, t2) =
             kernels::landau_element_matrices(&self.space, &self.species, &self.ipdata, &coeffs);
         tally.merge(&t2);

@@ -15,6 +15,8 @@ use landau_sparse::band::BlockBandSolver;
 use landau_sparse::csr::Csr;
 use landau_sparse::rcm::{bandwidth, rcm_order};
 use landau_sparse::vecops;
+use landau_vgpu::fault::{FaultKind, SITE_LU_FACTOR};
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,17 +31,125 @@ pub enum ThetaMethod {
     Theta(f64),
 }
 
+/// Error from [`ThetaMethod::theta_checked`]: θ outside `(0, 1]` (or not
+/// finite). Carried so configuration code can report the offending value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvalidTheta(pub f64);
+
+impl fmt::Display for InvalidTheta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "theta = {} outside the stable range (0, 1]", self.0)
+    }
+}
+
+impl std::error::Error for InvalidTheta {}
+
 impl ThetaMethod {
+    /// Validating constructor for an arbitrary θ: invalid values surface
+    /// here, at configuration time, instead of panicking mid-step.
+    pub fn theta_checked(t: f64) -> Result<Self, InvalidTheta> {
+        if t > 0.0 && t <= 1.0 {
+            Ok(ThetaMethod::Theta(t))
+        } else {
+            Err(InvalidTheta(t))
+        }
+    }
+
     fn theta(self) -> f64 {
         match self {
             ThetaMethod::BackwardEuler => 1.0,
             ThetaMethod::CrankNicolson => 0.5,
-            ThetaMethod::Theta(t) => {
-                assert!(t > 0.0 && t <= 1.0, "theta must be in (0,1]");
-                t
+            ThetaMethod::Theta(t) => t,
+        }
+    }
+}
+
+/// Where a non-finite value was first detected during a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NonFiniteSite {
+    /// The caller-supplied state `f^n` (before any iteration).
+    State,
+    /// The Newton residual `R(f_k)` (a NaN anywhere in the assembled
+    /// operator or state lands here through the norm).
+    Residual,
+    /// The Newton update `J⁻¹ R` after the triangular solves.
+    Solution,
+}
+
+/// Why an implicit step failed. Every failure of
+/// [`TimeIntegrator::try_step`] is one of these, and the failing step
+/// leaves `state` bitwise equal to the entry state `f^n` (the
+/// transactional guarantee the recovery layer builds on).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SolveError {
+    /// The banded LU hit a zero pivot: `block` is the species block,
+    /// `row` the pivot row within it.
+    SingularJacobian {
+        /// Species block index.
+        block: usize,
+        /// Pivot row within the block.
+        row: usize,
+    },
+    /// The residual grew past `divergence_ratio · r0`, or the Newton
+    /// budget was exhausted without any net contraction.
+    NewtonDiverged {
+        /// Iterations performed before the failure was declared.
+        iters: usize,
+        /// First residual norm.
+        r0: f64,
+        /// Residual norm at failure.
+        r_final: f64,
+    },
+    /// A NaN/Inf was detected at `site`.
+    NonFinite {
+        /// Where the non-finite value was first seen.
+        site: NonFiniteSite,
+    },
+    /// The residual stopped contracting (plateau) or the budget ran out
+    /// while still above tolerance despite net progress.
+    NewtonStalled {
+        /// Iterations performed before the failure was declared.
+        iters: usize,
+        /// Residual norm at failure.
+        r_final: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::SingularJacobian { block, row } => {
+                write!(
+                    f,
+                    "singular Jacobian (species block {block}, pivot row {row})"
+                )
+            }
+            SolveError::NewtonDiverged { iters, r0, r_final } => {
+                write!(
+                    f,
+                    "Newton diverged after {iters} iters (r0 {r0:.3e} -> {r_final:.3e})"
+                )
+            }
+            SolveError::NonFinite { site } => write!(f, "non-finite value in {site:?}"),
+            SolveError::NewtonStalled { iters, r_final } => {
+                write!(
+                    f,
+                    "Newton stalled after {iters} iters (residual {r_final:.3e})"
+                )
             }
         }
     }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Residual-reduction factor below which an iteration counts as "no
+/// progress" for stall detection (a converging quasi-Newton iteration
+/// contracts far faster than this every iteration).
+const STALL_REDUCTION: f64 = 0.999;
+
+fn all_finite(v: &[f64]) -> bool {
+    v.iter().all(|x| x.is_finite())
 }
 
 /// Per-step statistics: Newton counts and the component times that Table
@@ -63,14 +173,16 @@ pub struct StepStats {
 }
 
 impl StepStats {
-    /// Accumulate another step's stats (for run totals).
+    /// Accumulate another step's stats (for run totals). Counts and times
+    /// add; `residual` keeps the *worst* (max) residual seen across the
+    /// merged steps rather than whichever happened to merge last.
     pub fn merge(&mut self, o: &StepStats) {
         self.newton_iters += o.newton_iters;
         self.t_landau += o.t_landau;
         self.t_factor += o.t_factor;
         self.t_solve += o.t_solve;
         self.t_total += o.t_total;
-        self.residual = o.residual;
+        self.residual = self.residual.max(o.residual);
         self.converged &= o.converged;
     }
 }
@@ -87,6 +199,14 @@ pub struct TimeIntegrator {
     pub atol: f64,
     /// Newton iteration cap.
     pub max_newton: usize,
+    /// Residual growth factor over `r0` at which the iteration is declared
+    /// divergent ([`SolveError::NewtonDiverged`]) without waiting for the
+    /// full Newton budget.
+    pub divergence_ratio: f64,
+    /// Consecutive no-progress iterations (reduction worse than ×0.999)
+    /// before the iteration is declared stalled
+    /// ([`SolveError::NewtonStalled`]).
+    pub stall_window: usize,
     /// Moment functionals (shared with drivers/diagnostics).
     pub moments: Moments,
     perm: Vec<usize>,
@@ -98,10 +218,13 @@ pub struct TimeIntegrator {
 /// tensor-product-like meshes.
 fn geometric_order(op: &LandauOperator) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..op.n()).collect();
+    // `total_cmp` (not `partial_cmp().unwrap()`): a NaN coordinate from a
+    // corrupted mesh must not panic the ordering — it sorts last and the
+    // solve then fails through the normal non-finite guards.
     perm.sort_by(|&a, &b| {
         let (ra, za) = op.space.dof_positions[a];
         let (rb, zb) = op.space.dof_positions[b];
-        (za, ra).partial_cmp(&(zb, rb)).unwrap()
+        za.total_cmp(&zb).then(ra.total_cmp(&rb))
     });
     perm
 }
@@ -130,6 +253,8 @@ impl TimeIntegrator {
             rtol: 1e-8,
             atol: 1e-12,
             max_newton: 50,
+            divergence_ratio: 1e4,
+            stall_window: 8,
             moments,
             perm,
             block_bandwidth,
@@ -253,6 +378,11 @@ impl TimeIntegrator {
     /// Advance one implicit step of size `dt` at electric field `e_field`,
     /// with an optional source rate (species-major dof vector, `∂f/∂t`
     /// units). `state` is updated in place.
+    ///
+    /// Thin compatibility wrapper over [`Self::try_step`]: the returned
+    /// [`StepStats`] carries `converged: false` on failure, and — unlike
+    /// the pre-resilience integrator — `state` is restored to `f^n` rather
+    /// than left at a diverged Newton iterate.
     pub fn step(
         &mut self,
         state: &mut [f64],
@@ -260,15 +390,78 @@ impl TimeIntegrator {
         e_field: f64,
         source: Option<&[f64]>,
     ) -> StepStats {
+        self.step_guarded(state, dt, e_field, source, 0).0
+    }
+
+    /// Transactional implicit step: like [`Self::step`] but failures are
+    /// typed. Guards the entry state, the Newton residual and the solved
+    /// update for NaN/Inf, detects residual divergence and stagnation, and
+    /// maps LU zero pivots to [`SolveError::SingularJacobian`]. On *any*
+    /// `Err`, `state` is bitwise equal to the entry state `f^n`.
+    pub fn try_step(
+        &mut self,
+        state: &mut [f64],
+        dt: f64,
+        e_field: f64,
+        source: Option<&[f64]>,
+    ) -> Result<StepStats, SolveError> {
+        let (stats, failure) = self.step_guarded(state, dt, e_field, source, 0);
+        match failure {
+            None => Ok(stats),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// [`Self::try_step`] with backtracking line-search damping: each
+    /// Newton update `f ← f − λ J⁻¹R` halves `λ` up to `backtracks` times
+    /// until the damped candidate's residual actually decreases. This is
+    /// the recovery layer's cheap first retry — `backtracks == 0` is the
+    /// plain (bitwise-reference) iteration.
+    pub fn try_step_damped(
+        &mut self,
+        state: &mut [f64],
+        dt: f64,
+        e_field: f64,
+        source: Option<&[f64]>,
+        backtracks: usize,
+    ) -> Result<StepStats, SolveError> {
+        let (stats, failure) = self.step_guarded(state, dt, e_field, source, backtracks);
+        match failure {
+            None => Ok(stats),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The guarded Newton loop behind [`Self::step`] / [`Self::try_step`].
+    /// Always fills `StepStats`; on failure restores `state` to `f^n` and
+    /// returns the error alongside. With `backtracks == 0` the arithmetic
+    /// on the success path is identical to the historical `step`.
+    fn step_guarded(
+        &mut self,
+        state: &mut [f64],
+        dt: f64,
+        e_field: f64,
+        source: Option<&[f64]>,
+        backtracks: usize,
+    ) -> (StepStats, Option<SolveError>) {
         let t_start = Instant::now();
         let theta = self.method.theta();
         let n_total = self.op.n_total();
         assert_eq!(state.len(), n_total);
-        let fn_old = state.to_vec();
         let mut stats = StepStats {
             converged: false,
             ..Default::default()
         };
+        if !all_finite(state) {
+            stats.t_total = t_start.elapsed().as_secs_f64();
+            return (
+                stats,
+                Some(SolveError::NonFinite {
+                    site: NonFiniteSite::State,
+                }),
+            );
+        }
+        let fn_old = state.to_vec();
 
         // Explicit part for θ < 1: rhs_old = L(f^n) f^n + M s.
         let rhs_old: Option<Vec<f64>> = if theta < 1.0 {
@@ -291,6 +484,9 @@ impl TimeIntegrator {
 
         let mut r = vec![0.0; n_total];
         let mut r0_norm = None;
+        let mut prev_rnorm = f64::INFINITY;
+        let mut stall = 0usize;
+        let mut failure = None;
         for _it in 0..self.max_newton {
             // Assemble L(f_k) — recomputed every iteration (quasi-Newton).
             let t0 = Instant::now();
@@ -309,18 +505,53 @@ impl TimeIntegrator {
             );
             let rnorm = vecops::norm2(&r);
             stats.residual = rnorm;
+            if !rnorm.is_finite() {
+                failure = Some(SolveError::NonFinite {
+                    site: NonFiniteSite::Residual,
+                });
+                break;
+            }
             let r0 = *r0_norm.get_or_insert(rnorm);
             if rnorm <= self.atol + self.rtol * r0 {
                 stats.converged = true;
                 break;
             }
+            if rnorm > self.divergence_ratio * r0 {
+                failure = Some(SolveError::NewtonDiverged {
+                    iters: stats.newton_iters,
+                    r0,
+                    r_final: rnorm,
+                });
+                break;
+            }
+            if rnorm >= STALL_REDUCTION * prev_rnorm {
+                stall += 1;
+                if stall >= self.stall_window {
+                    failure = Some(SolveError::NewtonStalled {
+                        iters: stats.newton_iters,
+                        r_final: rnorm,
+                    });
+                    break;
+                }
+            } else {
+                stall = 0;
+            }
+            prev_rnorm = rnorm;
 
             // J = M − Δt θ L(f_k); factor per species block in parallel.
             let t1 = Instant::now();
             let mut solver = self.build_solver(&assembled.mats, dt * theta);
-            solver
-                .factor()
-                .expect("Landau Jacobian must be nonsingular (reduce dt?)");
+            // Seeded fault injection (resilience tests): poison one species
+            // block when an armed plan is due. Disarmed: one atomic load.
+            if let Some(f) = self.op.device.poll_fault(SITE_LU_FACTOR, solver.n_blocks()) {
+                if matches!(f.kind, FaultKind::SingularBlock) {
+                    solver.poison_block(f.index);
+                }
+            }
+            if let Err((block, row)) = solver.factor() {
+                failure = Some(SolveError::SingularJacobian { block, row });
+                break;
+            }
             stats.t_factor += t1.elapsed().as_secs_f64();
 
             let t2 = Instant::now();
@@ -328,14 +559,79 @@ impl TimeIntegrator {
             solver.solve_into(&mut delta);
             stats.t_solve += t2.elapsed().as_secs_f64();
 
-            // f ← f − J⁻¹ R.
+            // f ← f − λ J⁻¹ R.
             let mut d = vec![0.0; n_total];
             self.unpermute_into(&delta, &mut d);
-            vecops::axpy(-1.0, &d, state);
+            if !all_finite(&d) {
+                failure = Some(SolveError::NonFinite {
+                    site: NonFiniteSite::Solution,
+                });
+                break;
+            }
+            let mut lambda = 1.0;
+            if backtracks > 0 {
+                // Backtracking line search (recovery retries only): halve λ
+                // until the damped candidate's residual decreases. λ = 1
+                // reproduces the plain update, so an iteration that already
+                // contracts is unchanged.
+                let mut cand = vec![0.0; n_total];
+                let mut rt = vec![0.0; n_total];
+                for bt in 0..=backtracks {
+                    for (c, (s, dd)) in cand.iter_mut().zip(state.iter().zip(&d)) {
+                        *c = s - lambda * dd;
+                    }
+                    if all_finite(&cand) {
+                        let t0 = Instant::now();
+                        let trial = self.op.assemble(&cand, e_field);
+                        stats.t_landau += t0.elapsed().as_secs_f64();
+                        self.residual(
+                            &trial,
+                            &cand,
+                            &fn_old,
+                            source,
+                            rhs_old.as_deref(),
+                            dt,
+                            theta,
+                            &mut rt,
+                        );
+                        let rc = vecops::norm2(&rt);
+                        if rc.is_finite() && rc < rnorm {
+                            break;
+                        }
+                    }
+                    if bt < backtracks {
+                        lambda *= 0.5;
+                    }
+                }
+            }
+            vecops::axpy(-lambda, &d, state);
             stats.newton_iters += 1;
         }
+        if failure.is_none() && !stats.converged {
+            // Newton budget exhausted: classify by whether the residual
+            // ever contracted relative to its starting norm.
+            let r_final = stats.residual;
+            let r0 = r0_norm.unwrap_or(r_final);
+            failure = Some(if r_final >= r0 {
+                SolveError::NewtonDiverged {
+                    iters: stats.newton_iters,
+                    r0,
+                    r_final,
+                }
+            } else {
+                SolveError::NewtonStalled {
+                    iters: stats.newton_iters,
+                    r_final,
+                }
+            });
+        }
+        if failure.is_some() {
+            // Transactional guarantee: a failed step leaves state == f^n
+            // bitwise.
+            state.copy_from_slice(&fn_old);
+        }
         stats.t_total = t_start.elapsed().as_secs_f64();
-        stats
+        (stats, failure)
     }
 
     /// Run `nsteps` fixed steps, calling `each` after every step with

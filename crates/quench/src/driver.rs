@@ -13,10 +13,12 @@
 use crate::diagnostics::TailDiagnostics;
 use crate::spitzer::{connor_hastie_ec, spitzer_eta};
 use landau_core::operator::{Backend, LandauOperator};
+use landau_core::recover::{AdaptiveStepper, RecoveryConfig, RecoveryFailure, RecoveryStats};
 use landau_core::solver::{StepStats, ThetaMethod, TimeIntegrator};
 use landau_core::species::{maxwellian, Species, SpeciesList};
 use landau_fem::FemSpace;
 use landau_mesh::presets::MeshSpec;
+use std::fmt;
 
 /// Configuration of the quench experiment.
 #[derive(Clone, Debug)]
@@ -52,6 +54,10 @@ pub struct QuenchConfig {
     pub k_outer: f64,
     /// Kernel back-end.
     pub backend: Backend,
+    /// Newton iteration cap per step attempt.
+    pub max_newton: usize,
+    /// Recovery policy for failed steps (damped retry, Δt halving).
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for QuenchConfig {
@@ -72,6 +78,8 @@ impl Default for QuenchConfig {
             cells_per_vt: 1.2,
             k_outer: 3.0,
             backend: Backend::Cpu,
+            max_newton: 100,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -95,12 +103,49 @@ pub struct QuenchSample {
     pub quenching: bool,
 }
 
+/// Which driver phase a failure occurred in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuenchPhase {
+    /// Phase 1: constant-field Spitzer equilibration.
+    Equilibration,
+    /// Phase 2: cold pulse + circuit feedback.
+    Quench,
+}
+
+/// Structured failure of a quench run: the step that exhausted its
+/// recovery budget, with phase/step/time attribution. The driver's
+/// `samples` up to the failure are intact, so partial profiles remain
+/// usable for post-mortems.
+#[derive(Clone, Copy, Debug)]
+pub struct QuenchError {
+    /// Phase the failing step belonged to.
+    pub phase: QuenchPhase,
+    /// Step index within that phase.
+    pub step: usize,
+    /// Simulation time (collision times) at the failure.
+    pub time: f64,
+    /// The recovery layer's terminal error.
+    pub failure: RecoveryFailure,
+}
+
+impl fmt::Display for QuenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} phase step {} (t = {:.3}): {}",
+            self.phase, self.step, self.time, self.failure
+        )
+    }
+}
+
+impl std::error::Error for QuenchError {}
+
 /// The quench experiment driver.
 pub struct QuenchDriver {
     /// Configuration used.
     pub cfg: QuenchConfig,
-    /// The integrator (operator inside).
-    pub ti: TimeIntegrator,
+    /// The recovery-wrapped integrator (operator inside).
+    pub stepper: AdaptiveStepper,
     /// Current state.
     pub state: Vec<f64>,
     /// Recorded profiles.
@@ -109,6 +154,9 @@ pub struct QuenchDriver {
     pub tails: TailDiagnostics,
     /// Accumulated step statistics.
     pub stats: StepStats,
+    /// Accumulated recovery telemetry (retries, substeps, smallest
+    /// successful substep fraction).
+    pub recovery: RecoveryStats,
     time: f64,
 }
 
@@ -141,11 +189,12 @@ impl QuenchDriver {
         let op = LandauOperator::new(space, sl, cfg.backend);
         let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
         ti.rtol = 1e-7;
-        ti.max_newton = 100;
+        ti.max_newton = cfg.max_newton;
         let state = ti.op.initial_state();
+        let stepper = AdaptiveStepper::with_config(ti, cfg.recovery);
         QuenchDriver {
             cfg,
-            ti,
+            stepper,
             state,
             samples: Vec::new(),
             tails,
@@ -153,12 +202,26 @@ impl QuenchDriver {
                 converged: true,
                 ..Default::default()
             },
+            recovery: RecoveryStats {
+                dt_fraction_min: 1.0,
+                ..Default::default()
+            },
             time: 0.0,
         }
     }
 
-    fn sample(&mut self, e: f64, quenching: bool) {
-        let m = &self.ti.moments;
+    /// The wrapped integrator (operator, moments, tolerances).
+    pub fn ti(&self) -> &TimeIntegrator {
+        &self.stepper.ti
+    }
+
+    /// Mutable access to the wrapped integrator.
+    pub fn ti_mut(&mut self) -> &mut TimeIntegrator {
+        &mut self.stepper.ti
+    }
+
+    fn sample(&mut self, e: f64, quenching: bool) -> QuenchSample {
+        let m = &self.stepper.ti.moments;
         let s = QuenchSample {
             t: self.time,
             n_e: m.density(&self.state, 0),
@@ -169,27 +232,44 @@ impl QuenchDriver {
             quenching,
         };
         self.samples.push(s);
+        s
+    }
+
+    fn merge_recovery(&mut self, rec: &RecoveryStats) {
+        self.recovery.retried += rec.retried;
+        self.recovery.substeps += rec.substeps;
+        self.recovery.dt_fraction_min = self.recovery.dt_fraction_min.min(rec.dt_fraction_min);
     }
 
     /// Phase 1: drive with the constant field until quasi-equilibrium.
-    /// Returns the equilibrium field used.
-    pub fn run_equilibration(&mut self) -> f64 {
+    /// Returns the equilibrium field used. A step that exhausts the
+    /// recovery budget surfaces as a structured [`QuenchError`] with the
+    /// recorded samples intact.
+    pub fn run_equilibration(&mut self) -> Result<f64, QuenchError> {
         let e0 = self.cfg.e0_over_ec * connor_hastie_ec(self.cfg.t_e0_ev);
         self.sample(e0, false);
         let mut eta_prev = f64::INFINITY;
         for k in 0..self.cfg.max_equil_steps {
-            let st = self.ti.step(&mut self.state, self.cfg.dt, e0, None);
+            let (st, rec) = self
+                .stepper
+                .advance(&mut self.state, self.cfg.dt, e0, None)
+                .map_err(|failure| QuenchError {
+                    phase: QuenchPhase::Equilibration,
+                    step: k,
+                    time: self.time,
+                    failure,
+                })?;
             self.stats.merge(&st);
+            self.merge_recovery(&rec);
             self.time += self.cfg.dt;
-            self.sample(e0, false);
-            let j = self.samples.last().unwrap().j;
+            let j = self.sample(e0, false).j;
             let eta = e0 / j;
             if k > 2 && ((eta - eta_prev) / eta).abs() < self.cfg.eta_tol * self.cfg.dt {
                 break;
             }
             eta_prev = eta;
         }
-        e0
+        Ok(e0)
     }
 
     /// The cold-source rate vector at time `tau` after quench start.
@@ -202,20 +282,15 @@ impl QuenchDriver {
         // A sin(π τ/τ_p), ∫ = 2 A τ_p/π = mass_factor ⇒ A = π mf/(2 τ_p).
         let amp = core::f64::consts::PI * cfg.mass_factor / (2.0 * cfg.pulse_duration)
             * (core::f64::consts::PI * tau / cfg.pulse_duration).sin();
-        let n = self.ti.op.n();
-        let ns = self.ti.op.species.len();
+        let op = &self.stepper.ti.op;
+        let n = op.n();
+        let ns = op.species.len();
         let mut src = vec![0.0; n * ns];
         // Cold electrons (species 0) and quasineutral cold ions (species 1).
         let th_e = landau_math::constants::THETA_E_REF * cfg.t_cold;
         let th_i = landau_math::constants::THETA_E_REF * cfg.t_cold / cfg.ion_mass;
-        let e_part = self
-            .ti
-            .op
-            .space
-            .interpolate(|r, z| maxwellian(amp, th_e, r, z));
-        let i_part = self
-            .ti
-            .op
+        let e_part = op.space.interpolate(|r, z| maxwellian(amp, th_e, r, z));
+        let i_part = op
             .space
             .interpolate(|r, z| maxwellian(amp / cfg.z, th_i, r, z));
         src[..n].copy_from_slice(&e_part);
@@ -229,28 +304,40 @@ impl QuenchDriver {
     }
 
     /// Phase 2: switch to `E ← η_sp(T_e) J` and inject the cold pulse.
-    pub fn run_quench(&mut self) {
+    /// The pulse's stiff onset is the step most likely to need the
+    /// recovery path (damped retries, then Δt subdivision); an exhausted
+    /// budget surfaces as [`QuenchError`] rather than a silent
+    /// `converged: false` sample.
+    pub fn run_quench(&mut self) -> Result<(), QuenchError> {
         let t_quench_start = self.time;
-        for _ in 0..self.cfg.quench_steps {
-            let m = &self.ti.moments;
+        for k in 0..self.cfg.quench_steps {
+            let m = &self.stepper.ti.moments;
             let t_e = m.electron_temperature(&self.state).max(1e-3);
             let j = m.current_jz(&self.state);
             let e = spitzer_eta(self.z_eff(), t_e) * j;
             let tau = self.time - t_quench_start;
             let src = self.source_at(tau);
-            let st = self
-                .ti
-                .step(&mut self.state, self.cfg.dt, e, src.as_deref());
+            let (st, rec) = self
+                .stepper
+                .advance(&mut self.state, self.cfg.dt, e, src.as_deref())
+                .map_err(|failure| QuenchError {
+                    phase: QuenchPhase::Quench,
+                    step: k,
+                    time: self.time,
+                    failure,
+                })?;
             self.stats.merge(&st);
+            self.merge_recovery(&rec);
             self.time += self.cfg.dt;
             self.sample(e, true);
         }
+        Ok(())
     }
 
     /// Run both phases.
-    pub fn run(&mut self) {
-        self.run_equilibration();
-        self.run_quench();
+    pub fn run(&mut self) -> Result<(), QuenchError> {
+        self.run_equilibration()?;
+        self.run_quench()
     }
 }
 
@@ -277,7 +364,7 @@ mod tests {
     #[test]
     fn quench_produces_expected_dynamics() {
         let mut d = QuenchDriver::new(fast_cfg());
-        d.run();
+        d.run().expect("quench run failed");
         assert!(d.stats.converged, "a Newton solve failed");
         let pre = d.samples.iter().rfind(|s| !s.quenching).copied().unwrap();
         let last = *d.samples.last().unwrap();
@@ -320,7 +407,7 @@ mod tests {
             max_equil_steps: 40,
             ..fast_cfg()
         });
-        let e0 = d.run_equilibration();
+        let e0 = d.run_equilibration().expect("equilibration failed");
         assert!(e0 > 0.0);
         // Stopped before the cap (detector fired).
         let n_pre = d.samples.iter().filter(|s| !s.quenching).count();
@@ -340,7 +427,7 @@ mod tests {
             let tau = (i as f64 + 0.5) * taup / n as f64;
             if let Some(src) = d.source_at(tau) {
                 // Density rate = moment of the source.
-                let rate = d.ti.moments.density(&src, 0);
+                let rate = d.ti().moments.density(&src, 0);
                 total += rate * taup / n as f64;
             }
         }
@@ -349,5 +436,70 @@ mod tests {
             "injected {total} vs {}",
             d.cfg.mass_factor
         );
+    }
+
+    #[test]
+    fn quench_recovers_from_injected_faults() {
+        use landau_core::{FaultKind, FaultPlan};
+        let cfg = QuenchConfig {
+            max_equil_steps: 4,
+            quench_steps: 4,
+            ..fast_cfg()
+        };
+        let mut d = QuenchDriver::new(cfg);
+        // NaN the Landau coefficient kernel's output on assembly tallies
+        // 2–4: the affected steps fail their first attempts (NonFinite
+        // residual) and must come back through the recovery path.
+        d.ti()
+            .op
+            .device
+            .arm_faults(FaultPlan::seeded(41).with_repeated(
+                landau_core::fault_sites::SITE_LANDAU_JACOBIAN,
+                2,
+                3,
+                FaultKind::Nan,
+            ));
+        d.run().expect("driver must recover from transient faults");
+        d.ti().op.device.disarm_faults();
+        assert!(
+            d.recovery.retried > 0,
+            "faults were injected but nothing retried: {:?}",
+            d.recovery
+        );
+        assert!(
+            !d.ti().op.device.fault_log().is_empty(),
+            "fault plan never fired"
+        );
+        // Samples intact: one per completed step plus the initial sample.
+        assert!(d.samples.len() > d.cfg.max_equil_steps.min(4));
+        assert!(d.samples.iter().all(|s| s.n_e.is_finite()));
+    }
+
+    #[test]
+    fn hopeless_dt_returns_structured_error() {
+        let cfg = QuenchConfig {
+            // An absurd step on a coarse mesh: Newton cannot contract in
+            // 2 iterations even after aggressive Δt halving.
+            dt: 1e6,
+            max_newton: 2,
+            max_equil_steps: 3,
+            quench_steps: 3,
+            recovery: landau_core::RecoveryConfig {
+                max_retries: 3,
+                backtracks: 1,
+                min_dt_fraction: 0.25,
+                ..Default::default()
+            },
+            ..fast_cfg()
+        };
+        let mut d = QuenchDriver::new(cfg);
+        let err = d.run().expect_err("an absurd dt must fail structurally");
+        assert_eq!(err.phase, QuenchPhase::Equilibration);
+        // Samples stay usable: the initial sample exists, no panic on
+        // `samples.last()`.
+        assert!(!d.samples.is_empty());
+        assert!(d.samples.iter().all(|s| s.n_e.is_finite()));
+        // The failing state was rolled back to the entry state.
+        assert!(d.state.iter().all(|v| v.is_finite()));
     }
 }

@@ -265,6 +265,30 @@ impl BlockBandSolver {
             .for_each(|(b, s)| b.solve_into(s));
     }
 
+    /// Number of diagonal blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Fault-injection support: make block `b` exactly singular by zeroing
+    /// its first row, so [`BlockBandSolver::factor`] reports `Err((b, 0))`.
+    /// Used by the seeded resilience tests to prove the solve path maps a
+    /// zero pivot to the right error and recovers; never called on the
+    /// fault-free path.
+    pub fn poison_block(&mut self, b: usize) {
+        if self.blocks.is_empty() {
+            return;
+        }
+        let nb = self.blocks.len();
+        let m = &mut self.blocks[b % nb];
+        if m.n == 0 {
+            return;
+        }
+        for j in 0..=m.ubw.min(m.n - 1) {
+            m.set(0, j, 0.0);
+        }
+    }
+
     /// Max half-bandwidth across blocks.
     pub fn max_bandwidth(&self) -> usize {
         self.blocks.iter().map(|b| b.lbw).max().unwrap_or(0)
@@ -411,6 +435,24 @@ mod tests {
         for i in 0..8 {
             assert!((mono[i] - x[i]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn poisoned_block_reports_singular() {
+        // Two decoupled diagonal blocks; poisoning the second must surface
+        // as Err((1, 0)) from factor, leaving block 0 factorable.
+        let mut cols = vec![Vec::new(); 4];
+        for (i, c) in cols.iter_mut().enumerate() {
+            c.push(i);
+        }
+        let mut a = Csr::from_pattern(4, 4, &cols);
+        for i in 0..4 {
+            a.add_value(i, i, 2.0 + i as f64);
+        }
+        let mut s = BlockBandSolver::from_block_csr(&a, &[2, 2]);
+        assert_eq!(s.n_blocks(), 2);
+        s.poison_block(1);
+        assert_eq!(s.factor(), Err((1, 0)));
     }
 
     #[test]

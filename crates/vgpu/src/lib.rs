@@ -14,6 +14,10 @@
 //!   shuffle tallies, aggregated into named kernel counters on a
 //!   [`Device`]; these feed the roofline analysis (Table IV) and the
 //!   hardware throughput model in `landau-hwsim`;
+//! * [`fault`] — deterministic, seeded fault injection (NaN / perturbation
+//!   into kernel outputs, singular LU blocks) armed per [`Device`]; the
+//!   resilience tests use it to prove every defect class is detected and
+//!   recovered from while fault-free runs stay bitwise identical;
 //! * [`spec`] — device descriptions (V100, MI100, A64FX, POWER9, EPYC) with
 //!   published peak FP64 rates, memory bandwidths and feature flags (e.g.
 //!   the MI100's missing hardware f64 atomics, §V-D1), plus the
@@ -31,6 +35,7 @@
 #[cfg(feature = "checked")]
 pub mod checked;
 pub mod counters;
+pub mod fault;
 pub mod kokkos;
 pub mod reduce;
 pub mod spec;
@@ -38,6 +43,7 @@ pub mod spec;
 #[cfg(feature = "checked")]
 pub use checked::{CheckCtx, CheckedTeamMember, Finding, RaceKind};
 pub use counters::{Counters, KernelStats, Tally};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
 pub use kokkos::{PlainFactory, Reducer, ReducerCheck, ScratchBuf, Team, TeamFactory};
 pub use reduce::{cuda_strided_reduce, WarpAdd};
 pub use spec::{Device, DeviceSpec, GpuSpec};

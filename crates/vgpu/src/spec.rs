@@ -7,6 +7,7 @@
 //! (POWER9, EPYC "Rome") that run the factorization and solve in Table VII.
 
 use crate::counters::{KernelRegistry, KernelStats, Tally};
+use crate::fault::{FaultInjector, FaultPlan, InjectedFault};
 use std::sync::Arc;
 
 /// Static description of a compute device.
@@ -165,12 +166,14 @@ impl DeviceSpec {
     }
 }
 
-/// A device handle: spec plus named per-kernel counters.
+/// A device handle: spec plus named per-kernel counters and the (normally
+/// disarmed) fault injector used by resilience tests.
 #[derive(Debug)]
 pub struct Device {
     /// Static capabilities.
     pub spec: DeviceSpec,
     kernels: KernelRegistry,
+    faults: FaultInjector,
 }
 
 impl Device {
@@ -179,7 +182,32 @@ impl Device {
         Device {
             spec,
             kernels: KernelRegistry::default(),
+            faults: FaultInjector::default(),
         }
+    }
+
+    /// Arm a seeded [`FaultPlan`] on this device. Kernel drivers poll the
+    /// injector once per launch; with [`FaultPlan::none`] (or without
+    /// arming) the poll is a single relaxed atomic load and nothing is
+    /// injected, so fault-free results are bitwise unchanged.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        self.faults.arm(plan);
+    }
+
+    /// Disarm fault injection.
+    pub fn disarm_faults(&self) {
+        self.faults.disarm();
+    }
+
+    /// Count one tally at `site` and return the fault due now, if any
+    /// (see [`FaultInjector::poll`]).
+    pub fn poll_fault(&self, site: &str, lanes: usize) -> Option<InjectedFault> {
+        self.faults.poll(site, lanes)
+    }
+
+    /// Log of everything injected since the plan was armed.
+    pub fn fault_log(&self) -> Vec<InjectedFault> {
+        self.faults.log()
     }
 
     /// Record one launch of a named kernel.

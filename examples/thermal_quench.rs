@@ -26,10 +26,13 @@ fn main() {
     let mut d = QuenchDriver::new(cfg);
     println!(
         "mesh: {} Q3 cells, {} dofs/species\n",
-        d.ti.op.space.n_elements(),
-        d.ti.op.n()
+        d.ti().op.space.n_elements(),
+        d.ti().op.n()
     );
-    d.run();
+    if let Err(e) = d.run() {
+        eprintln!("quench run failed: {e}");
+        eprintln!("(samples up to the failure follow)");
+    }
     println!("   t    phase    n_e      J           E           T_e     tail(2v0)");
     for s in d.samples.iter().step_by(2) {
         println!(

@@ -22,7 +22,7 @@ fn miniature_quench() {
         ..Default::default()
     };
     let mut d = QuenchDriver::new(cfg);
-    d.run();
+    d.run().expect("quench run failed");
     assert!(d.stats.converged);
     let pre = d.samples.iter().rfind(|s| !s.quenching).unwrap();
     let last = d.samples.last().unwrap();
