@@ -21,13 +21,25 @@ cargo test -q
 echo "== workspace tests"
 cargo test -q --workspace
 
+echo "== landau-obs with recording compiled out"
+cargo test -q -p landau-obs --no-default-features
+
 echo "== bench build"
 cargo build --release -p landau-bench --benches
 
 echo "== tensor cache bench (quick gate: verify + 2x speedup)"
 cargo bench -q -p landau-bench --bench tensor_cache -- --quick
 
-echo "== resilience bench (quick gate: bitwise identity + recovery smoke)"
+echo "== resilience bench (quick gate: bitwise identity + recovery + obs overhead)"
 cargo bench -q -p landau-bench --bench resilience -- --quick
+
+echo "== bench regression gate (fresh BENCH_*.json vs baselines/)"
+cargo run -q --release -p landau-bench --bin bench_gate
+
+echo "== table smoke: roofline from the metric registry"
+cargo run -q --release -p landau-bench --bin table4 -- --quick
+
+echo "== table smoke: timing breakdown from recorded spans"
+cargo run -q --release -p landau-bench --bin table7 -- --quick
 
 echo "CI OK"

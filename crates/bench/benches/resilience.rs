@@ -1,7 +1,7 @@
 //! Recovery-overhead benchmark on the §V performance problem (Table II's
 //! 80-element Q3 mesh, 10 species).
 //!
-//! Three gates:
+//! Four gates:
 //!   1. *Bitwise* — the guarded paths (`try_step` with `FaultPlan::none()`
 //!      armed, and the full `AdaptiveStepper` fast path) must produce
 //!      bit-for-bit the same states as the plain `step`: the resilience
@@ -11,6 +11,10 @@
 //!      load per assemble; the recovery wrapper adds one branch per step).
 //!   3. *Recovery* — a seeded transient NaN burst must be survived, and
 //!      its cost (extra attempts) is reported.
+//!   4. *Observability* — span/metric recording must leave the state
+//!      bitwise unchanged, and its time cost (`obs_overhead_frac`,
+//!      min-of-3 ABAB interleave against recording-off runs) is reported
+//!      for the bench_gate's <2% ceiling.
 //!
 //! Plain timing harness (`harness = false`):
 //! `cargo bench -p landau-bench --bench resilience -- --quick`.
@@ -127,6 +131,48 @@ fn main() {
         100.0 * (t_faulty / t_guard - 1.0)
     );
 
+    // Gate 4: observability cost. Interleave recording-on and
+    // recording-off guarded runs (ABABAB) and keep the min of each, so a
+    // scheduler hiccup in either arm cannot masquerade as span overhead
+    // (the true per-span cost is ~100 ns against multi-second steps; the
+    // mins converge while single runs wander by several percent).
+    // The overhead may legitimately come out slightly negative.
+    let mut t_on = f64::INFINITY;
+    let mut t_off = f64::INFINITY;
+    let mut s_on = Vec::new();
+    let mut s_off = Vec::new();
+    for _ in 0..3 {
+        landau_obs::reset_spans();
+        landau_obs::set_recording(true);
+        let (s, _, t) = run_guarded(steps, dt);
+        t_on = t_on.min(t);
+        s_on = s;
+        landau_obs::set_recording(false);
+        let (s, _, t) = run_guarded(steps, dt);
+        t_off = t_off.min(t);
+        s_off = s;
+    }
+    landau_obs::set_recording(true);
+    let obs_overhead = if landau_obs::recording_compiled() {
+        t_on / t_off - 1.0
+    } else {
+        0.0
+    };
+    let obs_identical = s_on.len() == s_off.len()
+        && s_on
+            .iter()
+            .zip(&s_off)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        obs_identical,
+        "span/metric recording changed the computed state bitwise"
+    );
+    eprintln!(
+        "observability: recording on {t_on:.3}s, off {t_off:.3}s \
+         ({:+.2}% overhead, min of 3)",
+        100.0 * obs_overhead
+    );
+
     let entries = vec![
         ("steps".to_string(), steps as f64),
         ("newton_iters".to_string(), it_plain as f64),
@@ -136,6 +182,8 @@ fn main() {
         ("bitwise_identical".to_string(), 1.0),
         ("seconds_faulty".to_string(), t_faulty),
         ("retried_attempts".to_string(), retried as f64),
+        ("obs_overhead_frac".to_string(), obs_overhead),
+        ("obs_bitwise_identical".to_string(), 1.0),
     ];
     let path = write_bench_json("BENCH_resilience.json", &entries);
     eprintln!("wrote {}", path.display());

@@ -1,19 +1,24 @@
 //! Table IV: roofline data for the Jacobian and mass kernels (§V-A1).
 //!
-//! Runs the real kernels (CUDA model) on the utilization problem, reads the
-//! operation counters, and reports AI / % roofline / bottleneck under the
-//! V100 execution model. Paper: Jacobian AI 15.8, 53%, FP64 pipe (66.4%);
-//! mass AI 1.8, 17%, L1 (27%).
+//! Runs the real kernels (CUDA model) on the utilization problem, then
+//! reads the operation totals back from the *unified metric registry* —
+//! the virtual device publishes every launch as `kernel.<name>.*`
+//! counters, and `landau_hwsim::obs_bridge` reconstitutes them for the
+//! roofline model. Paper: Jacobian AI 15.8, 53%, FP64 pipe (66.4%); mass
+//! AI 1.8, 17%, L1 (27%).
 
 use landau_bench::{perf_operator, print_table};
 use landau_core::operator::Backend;
+use landau_hwsim::obs_bridge::kernel_stats_from_metrics;
 use landau_hwsim::roofline::{roofline_report, KernelModel};
+use landau_obs::MetricRegistry;
 use landau_vgpu::DeviceSpec;
 
 fn main() {
     // The paper uses a 320-cell version for utilization so the device is
     // fully occupied; scale down with --quick.
     let quick = std::env::args().any(|a| a == "--quick");
+    landau_obs::reset_global();
     let mut op = perf_operator(if quick { 80 } else { 320 }, Backend::CudaModel);
     println!(
         "utilization problem: {} Q3 elements, {} species, {} ip",
@@ -24,8 +29,15 @@ fn main() {
     let state = op.initial_state();
     let _ = op.assemble(&state, 0.0);
     let _ = op.assemble_shifted_mass(1.0);
-    let jac = op.device.kernel_stats("landau_jacobian");
-    let mass = op.device.kernel_stats("mass");
+    let snap = MetricRegistry::global().snapshot();
+    let jac = kernel_stats_from_metrics(&snap, "landau_jacobian")
+        .expect("Jacobian launch must be recorded in the metric registry");
+    let mass = kernel_stats_from_metrics(&snap, "mass")
+        .expect("mass launch must be recorded in the metric registry");
+    // The registry view must agree with the per-device counters exactly —
+    // one launch each, published push-style from `record_launch`.
+    assert_eq!(jac.flops, op.device.kernel_stats("landau_jacobian").flops);
+    assert_eq!(mass.flops, op.device.kernel_stats("mass").flops);
     let dev = DeviceSpec::v100();
     let rj = roofline_report(&jac, &KernelModel::jacobian(), &dev);
     let rm = roofline_report(&mass, &KernelModel::mass(), &dev);

@@ -1,13 +1,26 @@
 //! Table VII: component times (Total / Landau / Kernel / factor / solve)
 //! for the single-process-per-GPU cases, per machine/back-end, for the
 //! 100-step (~2,080 Newton iteration) run.
+//!
+//! Two kinds of rows:
+//!   * DES-simulated device rows (Summit/Spock/Fugaku), as the paper
+//!     measured them — driven by the real operation counts;
+//!   * a `measured host` row from an actual short solve on this machine,
+//!     with the same component breakdown derived from the recorded
+//!     `landau-obs` spans (`step` / `jacobian_build` / `kernel` /
+//!     `factor` / `solve`) rather than ad-hoc timers.
+//!
+//! The captured profile (spans + unified metrics) is always written to
+//! `profile.json` at the workspace root. `--quick` shortens the host run.
 
-use landau_bench::{measured_profile, perf_operator, print_table};
+use landau_bench::{measured_profile, perf_operator, print_table, workspace_root};
 use landau_core::operator::Backend;
+use landau_core::solver::{ThetaMethod, TimeIntegrator};
 use landau_hwsim::des::{simulate_cpu_node, simulate_node, PAPER_RUN_ITERS};
 use landau_hwsim::MachineConfig;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let mut op = perf_operator(80, Backend::CudaModel);
     let profile = measured_profile(&mut op);
     let iters = PAPER_RUN_ITERS;
@@ -43,11 +56,46 @@ fn main() {
             format!("{:.1}", rf.t_solve),
         ],
     ));
+
+    // Measured host row: a real short implicit solve with span recording,
+    // component times read back from the recorded span forest.
+    landau_obs::reset_global();
+    let steps = if quick { 1 } else { 2 };
+    let mut ti = TimeIntegrator::new(
+        perf_operator(80, Backend::CudaModel),
+        ThetaMethod::BackwardEuler,
+    );
+    ti.rtol = 1e-6;
+    let mut state = ti.op.initial_state();
+    ti.run(&mut state, 0.5, steps, 0.0, |_, _, _, _| {});
+    let captured = landau_obs::Profile::capture();
+    let c = captured.table7_components();
+    rows.push((
+        format!("host ({steps}-step)"),
+        vec![
+            format!("{:.2}", c.total),
+            format!("{:.2}", c.landau),
+            format!("{:.2}", c.kernel),
+            format!("{:.2}", c.factor),
+            format!("{:.2}", c.solve),
+        ],
+    ));
+
     print_table(
         "Table VII — component times (s) (paper: CUDA 14.3/3.3/2.9/8.4/0.8; \
          K-CUDA 15.4/4.1/3.2/8.7/0.8; K-HIP 23.1/10.9/10.2/5.9/0.5; Fugaku 250.7/215.1/209.5/16.1/1.5)",
         "device",
         &["Total".into(), "Landau".into(), "(Kernel)".into(), "factor".into(), "solve".into()],
         &rows,
+    );
+
+    let path = workspace_root().join("profile.json");
+    std::fs::write(&path, captured.to_json()).expect("write profile.json");
+    println!(
+        "wrote {} (schema {}, {} span roots, {} counters)",
+        path.display(),
+        landau_obs::PROFILE_SCHEMA,
+        captured.spans.roots.len(),
+        captured.metrics.counters.len(),
     );
 }

@@ -95,15 +95,21 @@ pub fn measure_newton_per_step(op: LandauOperator, steps: usize, dt: f64) -> f64
     iters as f64 / steps as f64
 }
 
+/// The workspace root (bench mains may run with the package directory as
+/// cwd, so outputs anchor here instead of relative paths).
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
 /// Write a flat `{"metric": value}` JSON map to `file_name` at the
 /// workspace root (bench mains run with the package directory as cwd).
 /// Returns the path written so mains can echo it for CI logs.
 pub fn write_bench_json(file_name: &str, entries: &[(String, f64)]) -> std::path::PathBuf {
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("bench crate lives two levels below the workspace root");
-    let path = root.join(file_name);
+    let path = workspace_root().join(file_name);
     let mut s = String::from("{\n");
     for (i, (name, value)) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };

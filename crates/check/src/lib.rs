@@ -1,7 +1,7 @@
 //! Workspace lint pass: textual source checks for the discipline the
 //! virtual-GPU execution model depends on.
 //!
-//! Three rules, all enforced by [`lint_source`] over comment- and
+//! Five rules, all enforced by [`lint_source`] over comment- and
 //! string-stripped source (so the patterns cannot match inside literals or
 //! prose):
 //!
@@ -23,6 +23,13 @@
 //!   not call `.unwrap()` / `.expect(` in library code: every failure
 //!   there is a typed `SolveError`/`RecoveryFailure`/`QuenchError`, and a
 //!   panic would void the transactional-step guarantee. Test code is
+//!   exempt.
+//! * **E005** — public solver-path functions ([`STATS_FILES`]) that build
+//!   a local stats struct (`Tally`, `StepStats`, `BatchStats`, …) must
+//!   show some integration with the unified observability layer — a
+//!   `landau_obs::` span, a `MetricRegistry` parameter, or the `span!`
+//!   macro — somewhere in the function. Private stats siloes are how
+//!   telemetry fragments back into per-module formats. Test code is
 //!   exempt.
 //!
 //! The `lint` binary walks every workspace crate and exits nonzero on any
@@ -50,6 +57,35 @@ pub const NO_PANIC_FILES: &[&str] = &[
     "crates/quench/src/driver.rs",
 ];
 
+/// Files on the instrumented solve path where a public function that
+/// allocates a local stats struct must also touch the shared
+/// observability layer (`E005`). The solve-path files plus the kernel
+/// entry points that produce `Tally`s.
+pub const STATS_FILES: &[&str] = &[
+    "crates/core/src/solver.rs",
+    "crates/core/src/recover.rs",
+    "crates/core/src/batch.rs",
+    "crates/quench/src/driver.rs",
+    "crates/core/src/kernels.rs",
+];
+
+/// Struct-literal / constructor tokens that mark a stats allocation
+/// (`E005`).
+const STATS_TOKENS: &[&str] = &[
+    "Tally::new(",
+    "Tally {",
+    "StepStats {",
+    "BatchStats {",
+    "VertexStats {",
+    "RecoveryStats {",
+    "KernelStats {",
+];
+
+/// Evidence that a function integrates with the unified observability
+/// layer (`E005`): an explicit span, the span macro, or a registry in
+/// the signature/body.
+const OBS_EVIDENCE_TOKENS: &[&str] = &["MetricRegistry", "landau_obs::", "span!("];
+
 /// Lint rule identifiers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rule {
@@ -61,6 +97,9 @@ pub enum Rule {
     SharedAccumulation,
     /// `.unwrap()`/`.expect(` in resilient-solve-path library code.
     PanicInSolvePath,
+    /// Public solver-path function allocating a local stats struct with no
+    /// visible tie to the shared observability layer.
+    LocalStatsStruct,
 }
 
 impl Rule {
@@ -71,6 +110,7 @@ impl Rule {
             Rule::BareThreadSpawn => "T002",
             Rule::SharedAccumulation => "R003",
             Rule::PanicInSolvePath => "E004",
+            Rule::LocalStatsStruct => "E005",
         }
     }
 
@@ -90,6 +130,11 @@ impl Rule {
             Rule::PanicInSolvePath => {
                 "`.unwrap()`/`.expect(` on the resilient solve path (return a \
                  typed SolveError/RecoveryFailure instead)"
+            }
+            Rule::LocalStatsStruct => {
+                "public solver-path fn allocates a local stats struct without \
+                 touching the shared observability layer (open a landau_obs \
+                 span or route through a MetricRegistry)"
             }
         }
     }
@@ -314,6 +359,81 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
 
     let path_str = path.to_string_lossy().replace('\\', "/");
     let no_panic_file = NO_PANIC_FILES.iter().any(|f| path_str.ends_with(f));
+    let stats_file = STATS_FILES.iter().any(|f| path_str.ends_with(f));
+
+    // E005: on the instrumented solve path, walk each `pub fn` (signature
+    // through the brace-matched end of its body, over scrubbed code so
+    // braces in strings/comments cannot skew the depth count) and require
+    // any stats-struct allocation to be accompanied by observability
+    // evidence somewhere in the same function.
+    if stats_file && !ctx.is_test_code {
+        let limit = lines.len().min(test_from);
+        let mut ln = 0;
+        while ln < limit {
+            if !lines[ln].code.trim_start().starts_with("pub fn ") {
+                ln += 1;
+                continue;
+            }
+            let sig_ln = ln;
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut body = String::new();
+            let mut end = lines.len();
+            'func: for (j, l) in lines.iter().enumerate().skip(sig_ln) {
+                body.push_str(&l.code);
+                body.push('\n');
+                for c in l.code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                end = j + 1;
+                                break 'func;
+                            }
+                        }
+                        // A bodyless declaration (trait method) ends at `;`.
+                        ';' if !opened => {
+                            end = j + 1;
+                            break 'func;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            // `-> StepStats {` is a return type followed by the body's
+            // opening brace, not an allocation; skip `->`-prefixed hits.
+            let allocates = STATS_TOKENS.iter().any(|t| {
+                let mut start = 0;
+                while let Some(pos) = body[start..].find(t) {
+                    let at = start + pos;
+                    if !body[..at].trim_end().ends_with("->") {
+                        return true;
+                    }
+                    start = at + t.len();
+                }
+                false
+            });
+            let observed = OBS_EVIDENCE_TOKENS.iter().any(|t| body.contains(t));
+            if allocates && !observed {
+                findings.push(LintFinding {
+                    rule: Rule::LocalStatsStruct,
+                    file: path.to_path_buf(),
+                    line: sig_ln + 1,
+                    snippet: raw_lines
+                        .get(sig_ln)
+                        .copied()
+                        .unwrap_or("")
+                        .trim()
+                        .to_string(),
+                });
+            }
+            ln = end.max(sig_ln + 1);
+        }
+    }
 
     for (ln, l) in lines.iter().enumerate() {
         let in_test = ctx.is_test_code || ln >= test_from;
@@ -620,6 +740,93 @@ mod tests {
             },
         );
         assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    fn solve_path_ctx() -> LintContext<'static> {
+        LintContext {
+            crate_name: "landau-core",
+            is_test_code: false,
+        }
+    }
+
+    #[test]
+    fn local_stats_without_obs_is_flagged() {
+        let src = "pub fn kernel(n: usize) -> Tally {\n    let mut t = Tally { flops: 0 };\n    t.flops += n as u64;\n    t\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/kernels.rs"),
+            solve_path_ctx(),
+        );
+        assert_eq!(
+            fs.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            [Rule::LocalStatsStruct]
+        );
+        assert_eq!(fs[0].line, 1);
+    }
+
+    #[test]
+    fn local_stats_with_obs_evidence_passes() {
+        // An explicit span is evidence…
+        let src = "pub fn kernel(n: usize) -> Tally {\n    let _sp = landau_obs::span(landau_obs::names::KERNEL);\n    Tally { flops: n as u64 }\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/kernels.rs"),
+            solve_path_ctx(),
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+        // …and so is a registry in the signature.
+        let src = "pub fn publish(reg: &MetricRegistry) -> StepStats {\n    let s = StepStats { newton_iters: 0 };\n    s\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/solver.rs"),
+            solve_path_ctx(),
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn local_stats_exemptions() {
+        // Private fns are constructor plumbing, not public API surface.
+        let src = "fn helper() -> Tally {\n    Tally { flops: 0 }\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/kernels.rs"),
+            solve_path_ctx(),
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+        // Files off the instrumented solve path keep their local stats.
+        let src = "pub fn helper() -> Tally {\n    Tally { flops: 0 }\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/moments.rs"),
+            solve_path_ctx(),
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+        // Test modules build stats structs freely.
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    pub fn g() -> Tally { Tally { flops: 1 } }\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/kernels.rs"),
+            solve_path_ctx(),
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn local_stats_brace_matching_scopes_the_function() {
+        // The evidence must be inside the *same* function: a span in a
+        // neighbouring fn does not excuse the bare one.
+        let src = "pub fn instrumented() {\n    let _sp = landau_obs::span(landau_obs::names::KERNEL);\n}\n\npub fn bare() -> Tally {\n    Tally { flops: 0 }\n}\n";
+        let fs = lint_source(
+            src,
+            Path::new("crates/core/src/kernels.rs"),
+            solve_path_ctx(),
+        );
+        assert_eq!(
+            fs.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            [Rule::LocalStatsStruct]
+        );
+        assert_eq!(fs[0].line, 5);
     }
 
     #[test]

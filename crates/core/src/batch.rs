@@ -18,6 +18,7 @@ use crate::solver::{ThetaMethod, TimeIntegrator};
 use crate::species::SpeciesList;
 use crate::tensor_cache::{TensorTable, DEFAULT_BUDGET_BYTES};
 use landau_fem::FemSpace;
+use landau_obs::MetricRegistry;
 use landau_par::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,6 +30,10 @@ pub struct BatchedAdvance {
     steppers: Vec<AdaptiveStepper>,
     /// One state per vertex.
     pub states: Vec<Vec<f64>>,
+    /// Shared metrics sink every [`Self::advance`] publishes into.
+    /// Defaults to the process-global registry; swap with
+    /// [`Self::set_metric_registry`] for isolated accounting.
+    metrics: Arc<MetricRegistry>,
 }
 
 /// Per-vertex outcome of a batched advance: the recovery layer isolates
@@ -67,6 +72,23 @@ pub struct BatchStats {
     pub dt_fraction_min: f64,
     /// Per-vertex breakdown (same order as [`BatchedAdvance::states`]).
     pub per_vertex: Vec<VertexStats>,
+}
+
+impl BatchStats {
+    /// Publish this advance's aggregate into `reg` under `batch.*`:
+    /// counters for iteration/advance/failure totals, a max-gauge for
+    /// throughput, and a histogram of per-vertex Newton work (the load
+    /// balance signal across the fleet).
+    pub fn publish(&self, reg: &MetricRegistry) {
+        reg.add("batch.newton_iters", self.newton_iters as u64);
+        reg.add("batch.advances", 1);
+        reg.add("batch.failed", self.failed as u64);
+        reg.add("batch.retried", self.retried as u64);
+        reg.gauge_max("batch.newton_per_sec", self.newton_per_sec);
+        for v in &self.per_vertex {
+            reg.observe("batch.vertex_newton_iters", v.newton_iters as u64);
+        }
+    }
 }
 
 impl BatchedAdvance {
@@ -126,7 +148,16 @@ impl BatchedAdvance {
                 s
             })
             .collect();
-        BatchedAdvance { steppers, states }
+        BatchedAdvance {
+            steppers,
+            states,
+            metrics: MetricRegistry::global_arc(),
+        }
+    }
+
+    /// Redirect this batch's metric publishing to `registry`.
+    pub fn set_metric_registry(&mut self, registry: Arc<MetricRegistry>) {
+        self.metrics = registry;
     }
 
     /// Number of vertex problems.
@@ -173,12 +204,14 @@ impl BatchedAdvance {
     /// at its last good state and reported in [`BatchStats::failed`]
     /// instead of panicking the whole fleet.
     pub fn advance(&mut self, dt: f64, steps: usize, e_field: f64) -> BatchStats {
+        let _sp = landau_obs::span(landau_obs::names::BATCH_ADVANCE);
         let t0 = Instant::now();
         let per_vertex: Vec<VertexStats> = self
             .steppers
             .par_iter_mut()
             .zip(self.states.par_iter_mut())
             .map(|(st, state)| {
+                let _sp_v = landau_obs::span(landau_obs::names::VERTEX_ADVANCE);
                 let mut vs = VertexStats {
                     newton_iters: 0,
                     retried: 0,
@@ -203,7 +236,7 @@ impl BatchedAdvance {
             .collect();
         let seconds = t0.elapsed().as_secs_f64();
         let iters: usize = per_vertex.iter().map(|v| v.newton_iters).sum();
-        BatchStats {
+        let stats = BatchStats {
             newton_iters: iters,
             seconds,
             // 0/0 must read as idle, not NaN (zero-iteration runs feed
@@ -220,7 +253,9 @@ impl BatchedAdvance {
                 .map(|v| v.dt_fraction_min)
                 .fold(1.0, f64::min),
             per_vertex,
-        }
+        };
+        stats.publish(&self.metrics);
+        stats
     }
 
     /// Electron temperature of each vertex (diagnostic).

@@ -132,6 +132,7 @@ fn pair_body(ri: f64, zi: f64, ip: &IpData, fk: &[f64], fd: &[f64], j: usize, ac
 /// Inner integral, plain CPU style (the "common CPU code" of §III-D):
 /// a parallel loop over test points, each scanning every field point.
 pub fn inner_integral_cpu(ip: &IpData, species: &SpeciesList) -> (IpCoeffs, Tally) {
+    let _sp = landau_obs::span(landau_obs::names::INNER_INTEGRAL);
     let fk = species.k_field_factors();
     let fd = species.d_field_factors();
     let n = ip.n;
@@ -173,6 +174,7 @@ pub fn inner_integral_cuda_model(
     species: &SpeciesList,
     dim_x: usize,
 ) -> (IpCoeffs, Tally) {
+    let _sp = landau_obs::span(landau_obs::names::INNER_INTEGRAL);
     let fk = species.k_field_factors();
     let fd = species.d_field_factors();
     let n = ip.n;
@@ -234,6 +236,7 @@ pub fn inner_integral_kokkos_with<F: TeamFactory>(
     vector_length: usize,
     factory: &F,
 ) -> (IpCoeffs, Tally) {
+    let _sp = landau_obs::span(landau_obs::names::INNER_INTEGRAL);
     let fk = species.k_field_factors();
     let fd = species.d_field_factors();
     let n = ip.n;
@@ -313,6 +316,7 @@ pub fn inner_integral_cpu_cached(
     species: &SpeciesList,
     table: &TensorTable,
 ) -> (IpCoeffs, Tally) {
+    let _sp = landau_obs::span(landau_obs::names::INNER_INTEGRAL);
     debug_assert!(table.matches(ip), "table geometry must match the ipdata");
     let fk = species.k_field_factors();
     let fd = species.d_field_factors();
@@ -359,6 +363,7 @@ pub fn inner_integral_cuda_model_cached(
     dim_x: usize,
     table: &TensorTable,
 ) -> (IpCoeffs, Tally) {
+    let _sp = landau_obs::span(landau_obs::names::INNER_INTEGRAL);
     debug_assert!(table.matches(ip), "table geometry must match the ipdata");
     let fk = species.k_field_factors();
     let fd = species.d_field_factors();
@@ -412,6 +417,7 @@ pub fn inner_integral_kokkos_cached<F: TeamFactory>(
     table: &TensorTable,
     factory: &F,
 ) -> (IpCoeffs, Tally) {
+    let _sp = landau_obs::span(landau_obs::names::INNER_INTEGRAL);
     debug_assert!(table.matches(ip), "table geometry must match the ipdata");
     let fk = species.k_field_factors();
     let fd = species.d_field_factors();
@@ -466,6 +472,7 @@ pub fn landau_element_matrices(
     ip: &IpData,
     coeffs: &IpCoeffs,
 ) -> (Vec<f64>, Tally) {
+    let _sp = landau_obs::span(landau_obs::names::ELEMENT_MATRICES);
     let ns = species.len();
     let nb = space.tab.nb;
     let nq = space.tab.nq;
@@ -534,6 +541,7 @@ pub fn mass_element_matrices(
     ip: &IpData,
     shift: f64,
 ) -> (Vec<f64>, Tally) {
+    let _sp = landau_obs::span(landau_obs::names::MASS_ELEMENTS);
     let nb = space.tab.nb;
     let nq = space.tab.nq;
     let block = ns * nb * nb;
@@ -573,6 +581,7 @@ pub fn mass_element_matrices(
 /// into per-species CSR matrices. Species are independent, so the scatter
 /// parallelizes over species without contention.
 pub fn assemble_setvalues(space: &FemSpace, ns: usize, ce: &[f64], mats: &mut [Csr]) {
+    let _sp = landau_obs::span(landau_obs::names::SCATTER);
     let nb = space.tab.nb;
     let block = ns * nb * nb;
     assert_eq!(mats.len(), ns);
@@ -597,6 +606,7 @@ pub fn assemble_colored(
     mats: &mut [Csr],
     batches: &[Vec<usize>],
 ) {
+    let _sp = landau_obs::span(landau_obs::names::SCATTER);
     let nb = space.tab.nb;
     let block = ns * nb * nb;
     assert_eq!(mats.len(), ns);
@@ -628,6 +638,7 @@ pub fn assemble_colored_checked(
     mats: &mut [Csr],
     batches: &[Vec<usize>],
 ) -> Result<Tally, ScatterConflict> {
+    let _sp = landau_obs::span(landau_obs::names::SCATTER);
     let nb = space.tab.nb;
     let block = ns * nb * nb;
     assert_eq!(mats.len(), ns);
@@ -687,6 +698,7 @@ pub fn assemble_colored_checked(
 /// adds. Returns the atomic-add count (charged a penalty on hardware
 /// without native f64 atomics, §V-D1).
 pub fn assemble_atomic(space: &FemSpace, ns: usize, ce: &[f64], mats: &mut [Csr]) -> Tally {
+    let _sp = landau_obs::span(landau_obs::names::SCATTER);
     let nb = space.tab.nb;
     let block = ns * nb * nb;
     assert_eq!(mats.len(), ns);

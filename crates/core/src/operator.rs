@@ -191,8 +191,10 @@ impl LandauOperator {
     /// field. Counters for the `landau_jacobian` kernel are recorded on the
     /// device.
     pub fn assemble(&mut self, state: &[f64], e_field: f64) -> AssembledOperator {
+        let _sp = landau_obs::span(landau_obs::names::JACOBIAN_BUILD);
         assert_eq!(state.len(), self.n_total());
         self.ipdata.pack(&self.space, state);
+        let sp_kernel = landau_obs::span(landau_obs::names::KERNEL);
         let (mut coeffs, mut tally) = match (&self.tensor_table, self.backend) {
             (None, Backend::Cpu) => kernels::inner_integral_cpu(&self.ipdata, &self.species),
             (None, Backend::CudaModel) => {
@@ -229,9 +231,11 @@ impl LandauOperator {
         }
         let (ce, t2) =
             kernels::landau_element_matrices(&self.space, &self.species, &self.ipdata, &coeffs);
+        drop(sp_kernel);
         tally.merge(&t2);
         let ns = self.species.len();
         let mut mats = vec![self.pattern.clone(); ns];
+        let sp_assembly = landau_obs::span(landau_obs::names::ASSEMBLY);
         match self.assembly {
             AssemblyPath::SetValues => kernels::assemble_setvalues(&self.space, ns, &ce, &mut mats),
             AssemblyPath::Atomic => {
@@ -246,6 +250,7 @@ impl LandauOperator {
                 kernels::assemble_colored(&self.space, ns, &ce, &mut mats, batches);
             }
         }
+        drop(sp_assembly);
         self.device
             .record_launch("landau_jacobian", &tally, self.space.n_elements() as u64);
         // Electric-field advection: RHS gets −(ẽ/m̃) Ẽ ∂_z f.
@@ -261,6 +266,7 @@ impl LandauOperator {
     /// roofline parity with the paper's two-kernel split). Returns the
     /// single-species matrix (identical across species).
     pub fn assemble_shifted_mass(&mut self, shift: f64) -> Csr {
+        let _sp = landau_obs::span(landau_obs::names::MASS_BUILD);
         let ns = self.species.len();
         let (ce, tally) = kernels::mass_element_matrices(&self.space, ns, &self.ipdata, shift);
         let mut mats = vec![self.pattern.clone()];

@@ -92,6 +92,21 @@ pub struct RecoveryStats {
     pub dt_fraction_min: f64,
 }
 
+impl RecoveryStats {
+    /// Publish this call's recovery accounting into the shared registry
+    /// under `prefix` (e.g. `"recovery"`): retried/substep counters plus a
+    /// min-tracking gauge (stored negated so `gauge_max` keeps the
+    /// smallest fraction — read back as `-gauge`).
+    pub fn publish(&self, reg: &landau_obs::MetricRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.retried"), self.retried as u64);
+        reg.add(&format!("{prefix}.substeps"), self.substeps as u64);
+        reg.gauge_max(
+            &format!("{prefix}.neg_dt_fraction_min"),
+            -self.dt_fraction_min,
+        );
+    }
+}
+
 /// The recovery wrapper: owns a [`TimeIntegrator`] and advances it with
 /// damped-retry / Δt-halving / Δt-regrowth policy. Scale state persists
 /// across calls, so a stiff phase detected at step `n` still benefits
@@ -110,7 +125,6 @@ pub struct AdaptiveStepper {
 }
 
 impl AdaptiveStepper {
-
     /// Wrap an integrator with the default recovery policy.
     pub fn new(ti: TimeIntegrator) -> Self {
         Self::with_config(ti, RecoveryConfig::default())
@@ -144,6 +158,9 @@ impl AdaptiveStepper {
         e_field: f64,
         source: Option<&[f64]>,
     ) -> Result<(StepStats, RecoveryStats), RecoveryFailure> {
+        // Span only — no arithmetic touches the state, so the fast path's
+        // bitwise guarantee below is unaffected by instrumentation.
+        let _sp = landau_obs::span(landau_obs::names::ADAPTIVE_ADVANCE);
         // Fast path: full-scale single step, first attempt converges.
         // This is the common case and must stay bitwise identical to a
         // bare `try_step` — no extra arithmetic touches the state.

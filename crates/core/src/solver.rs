@@ -173,6 +173,21 @@ pub struct StepStats {
 }
 
 impl StepStats {
+    /// Publish this step's counts into the shared registry under `prefix`
+    /// (e.g. `"step"`): Newton iterations and component times as
+    /// nanosecond counters, worst residual as a max-gauge. This is the
+    /// unified-metrics adapter — the struct stays the cheap per-call
+    /// return value, the registry carries the run-level aggregate.
+    pub fn publish(&self, reg: &landau_obs::MetricRegistry, prefix: &str) {
+        let ns = |s: f64| (s * 1e9) as u64;
+        reg.add(&format!("{prefix}.newton_iters"), self.newton_iters as u64);
+        reg.add(&format!("{prefix}.t_landau_ns"), ns(self.t_landau));
+        reg.add(&format!("{prefix}.t_factor_ns"), ns(self.t_factor));
+        reg.add(&format!("{prefix}.t_solve_ns"), ns(self.t_solve));
+        reg.add(&format!("{prefix}.t_total_ns"), ns(self.t_total));
+        reg.gauge_max(&format!("{prefix}.residual"), self.residual);
+    }
+
     /// Accumulate another step's stats (for run totals). Counts and times
     /// add; `residual` keeps the *worst* (max) residual seen across the
     /// merged steps rather than whichever happened to merge last.
@@ -444,6 +459,7 @@ impl TimeIntegrator {
         source: Option<&[f64]>,
         backtracks: usize,
     ) -> (StepStats, Option<SolveError>) {
+        let _sp = landau_obs::span(landau_obs::names::STEP);
         let t_start = Instant::now();
         let theta = self.method.theta();
         let n_total = self.op.n_total();
@@ -488,11 +504,13 @@ impl TimeIntegrator {
         let mut stall = 0usize;
         let mut failure = None;
         for _it in 0..self.max_newton {
+            let _sp_iter = landau_obs::span(landau_obs::names::NEWTON_ITER);
             // Assemble L(f_k) — recomputed every iteration (quasi-Newton).
             let t0 = Instant::now();
             let assembled = self.op.assemble(state, e_field);
             stats.t_landau += t0.elapsed().as_secs_f64();
 
+            let sp_res = landau_obs::span(landau_obs::names::RESIDUAL);
             self.residual(
                 &assembled,
                 state,
@@ -504,6 +522,7 @@ impl TimeIntegrator {
                 &mut r,
             );
             let rnorm = vecops::norm2(&r);
+            drop(sp_res);
             stats.residual = rnorm;
             if !rnorm.is_finite() {
                 failure = Some(SolveError::NonFinite {
@@ -539,6 +558,7 @@ impl TimeIntegrator {
             prev_rnorm = rnorm;
 
             // J = M − Δt θ L(f_k); factor per species block in parallel.
+            let sp_factor = landau_obs::span(landau_obs::names::FACTOR);
             let t1 = Instant::now();
             let mut solver = self.build_solver(&assembled.mats, dt * theta);
             // Seeded fault injection (resilience tests): poison one species
@@ -553,11 +573,14 @@ impl TimeIntegrator {
                 break;
             }
             stats.t_factor += t1.elapsed().as_secs_f64();
+            drop(sp_factor);
 
+            let sp_solve = landau_obs::span(landau_obs::names::SOLVE);
             let t2 = Instant::now();
             let mut delta = self.permute(&r);
             solver.solve_into(&mut delta);
             stats.t_solve += t2.elapsed().as_secs_f64();
+            drop(sp_solve);
 
             // f ← f − λ J⁻¹ R.
             let mut d = vec![0.0; n_total];
@@ -653,6 +676,7 @@ impl TimeIntegrator {
             total.merge(&s);
             each(k, (k + 1) as f64 * dt, state, &s);
         }
+        total.publish(landau_obs::MetricRegistry::global(), "step");
         total
     }
 }

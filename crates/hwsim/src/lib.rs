@@ -24,10 +24,12 @@
 
 pub mod des;
 pub mod machine;
+pub mod obs_bridge;
 pub mod profile;
 pub mod roofline;
 
 pub use des::{simulate_node, NodeThroughput};
 pub use machine::{MachineConfig, MpsQuality};
+pub use obs_bridge::{kernel_stats_from_metrics, roofline_from_metrics};
 pub use profile::IterationProfile;
 pub use roofline::{roofline_report, RooflineReport};

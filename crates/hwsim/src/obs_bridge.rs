@@ -1,0 +1,114 @@
+//! Bridge from recorded observability metrics to the hardware models.
+//!
+//! The virtual GPU publishes every kernel launch into the unified
+//! [`landau_obs::MetricRegistry`] as `kernel.<name>.<field>` counters (see
+//! `Device::record_launch`). This module reconstitutes those counters into
+//! the [`KernelStats`] totals the roofline analysis consumes, so Table IV
+//! can be produced directly from a captured profile — no ad-hoc counter
+//! plumbing between the solver and the model.
+
+use crate::roofline::{roofline_report, KernelModel, RooflineReport};
+use landau_obs::MetricSnapshot;
+use landau_vgpu::{DeviceSpec, KernelStats};
+
+/// Reassemble one kernel's counted totals from a metrics snapshot.
+///
+/// Returns `None` when the kernel never launched (no
+/// `kernel.<name>.launches` counter) — zero-valued fields were skipped at
+/// publish time, so absence of the launch counter is the only reliable
+/// "never ran" signal; any other missing counter reads as 0.
+pub fn kernel_stats_from_metrics(snap: &MetricSnapshot, kernel: &str) -> Option<KernelStats> {
+    let get = |field: &str| snap.counter(&format!("kernel.{kernel}.{field}"));
+    let launches = get("launches");
+    if launches == 0 {
+        return None;
+    }
+    Some(KernelStats {
+        flops: get("flops"),
+        dram_read: get("dram_read"),
+        dram_write: get("dram_write"),
+        shared_bytes: get("shared_bytes"),
+        atomics: get("atomics"),
+        shuffles: get("shuffles"),
+        cache_build_flops: get("cache_build_flops"),
+        cache_read: get("cache_read"),
+        cache_flops_saved: get("cache_flops_saved"),
+        launches,
+        blocks: get("blocks"),
+    })
+}
+
+/// Roofline analysis of a recorded kernel on `dev`: the Table IV path
+/// from a captured profile. `None` when the kernel never launched.
+pub fn roofline_from_metrics(
+    snap: &MetricSnapshot,
+    kernel: &str,
+    model: &KernelModel,
+    dev: &DeviceSpec,
+) -> Option<RooflineReport> {
+    kernel_stats_from_metrics(snap, kernel).map(|s| roofline_report(&s, model, dev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landau_obs::MetricRegistry;
+    use landau_vgpu::{Device, Tally};
+
+    #[test]
+    fn round_trips_through_device_publishing() {
+        let reg = std::sync::Arc::new(MetricRegistry::new());
+        let dev = Device::new(DeviceSpec::v100());
+        dev.set_metric_registry(reg.clone());
+        let tally = Tally {
+            flops: 1_000_000,
+            dram_read: 64_000,
+            dram_write: 8_000,
+            shared_bytes: 512,
+            atomics: 10,
+            shuffles: 20,
+            ..Default::default()
+        };
+        dev.record_launch("jacobian", &tally, 80);
+        dev.record_launch("jacobian", &tally, 80);
+        let snap = reg.snapshot();
+        let s = kernel_stats_from_metrics(&snap, "jacobian").expect("kernel launched");
+        assert_eq!(s.launches, 2);
+        assert_eq!(s.blocks, 160);
+        assert_eq!(s.flops, 2_000_000);
+        assert_eq!(s.dram_read, 128_000);
+        assert_eq!(s.atomics, 20);
+        // Matches the per-device registry view exactly.
+        let direct = dev.kernel_stats("jacobian");
+        assert_eq!(s.flops, direct.flops);
+        assert_eq!(s.dram_write, direct.dram_write);
+    }
+
+    #[test]
+    fn missing_kernel_is_none() {
+        let reg = MetricRegistry::new();
+        let snap = reg.snapshot();
+        assert!(kernel_stats_from_metrics(&snap, "nope").is_none());
+    }
+
+    #[test]
+    fn roofline_from_metrics_matches_direct_report() {
+        let reg = std::sync::Arc::new(MetricRegistry::new());
+        let dev = Device::new(DeviceSpec::v100());
+        dev.set_metric_registry(reg.clone());
+        let tally = Tally {
+            flops: 16_000_000_000,
+            dram_read: 1_000_000_000,
+            ..Default::default()
+        };
+        dev.record_launch("jac", &tally, 80);
+        let snap = reg.snapshot();
+        let model = KernelModel::jacobian();
+        let spec = DeviceSpec::v100();
+        let r = roofline_from_metrics(&snap, "jac", &model, &spec).unwrap();
+        let direct = roofline_report(&dev.kernel_stats("jac"), &model, &spec);
+        assert_eq!(r.compute_bound, direct.compute_bound);
+        assert!((r.ai - direct.ai).abs() < 1e-12);
+        assert!((r.achieved_flops - direct.achieved_flops).abs() < 1e-3);
+    }
+}

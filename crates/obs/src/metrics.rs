@@ -1,0 +1,414 @@
+//! The unified metric registry: counters, gauges, histograms.
+//!
+//! One [`MetricRegistry`] absorbs the workspace's previously scattered
+//! telemetry (`vgpu` kernel counters, solver `StepStats`, batch and
+//! recovery stats) behind a single typed API:
+//!
+//! - **counter** — monotonic `u64`; snapshot merge adds.
+//! - **gauge** — `f64` level; snapshot merge takes the max (associative,
+//!   so per-thread registries fold in any order).
+//! - **histogram** — log₂-bucketed `u64` samples with count/sum/min/max;
+//!   snapshot merge is element-wise.
+//!
+//! Handles are `Arc`-backed atomics: after the first name lookup a hot
+//! loop can hold a [`Counter`] and update it with one relaxed RMW, no
+//! map or lock in sight. The process-wide default sink is
+//! [`MetricRegistry::global`]; components that need isolation (tests,
+//! per-device accounting) take an `Arc<MetricRegistry>` of their own.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Map a `u64` sample to its log₂ bucket: bucket 0 holds the value 0,
+/// bucket `k ≥ 1` holds values in `[2^(k-1), 2^k)`.
+fn bucket_of(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Encode an `f64` so unsigned integer comparison matches IEEE total
+/// order (positives ascending, negatives descending) — lets gauges use
+/// `fetch_max` on bits.
+fn sortable_bits(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+fn from_sortable_bits(b: u64) -> f64 {
+    if b >> 63 == 1 {
+        f64::from_bits(b & !(1 << 63))
+    } else {
+        f64::from_bits(!b)
+    }
+}
+
+/// Handle to a monotonic counter (relaxed atomic adds).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct Gauge {
+    /// Sortable-encoded f64 (see [`sortable_bits`]).
+    bits: AtomicU64,
+}
+
+struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; 65],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v) as usize].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time histogram contents. `buckets` maps log₂ bucket index →
+/// sample count (empty buckets omitted).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty log₂ buckets.
+    pub buckets: BTreeMap<u32, u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Element-wise merge: counts and buckets add, min/max widen.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (&b, &n) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += n;
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry. Merging snapshots
+/// is associative and commutative, so partial snapshots from independent
+/// registries fold in any order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricSnapshot {
+    /// Counter name → accumulated value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → level.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram name → contents.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricSnapshot {
+    /// Fold `other` into `self`: counters add, gauges keep the max,
+    /// histograms merge element-wise.
+    pub fn merge(&mut self, other: &MetricSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges
+                .entry(k.clone())
+                .and_modify(|g| *g = g.max(v))
+                .or_insert(v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Counter value, treating absent as 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+}
+
+/// The typed metric registry. Cheap to share (`Arc`), cheap to update
+/// (atomic handles), deterministic to export (`BTreeMap` snapshots).
+#[derive(Default)]
+pub struct MetricRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricRegistry")
+            .field("counters", &lock(&self.counters).len())
+            .field("gauges", &lock(&self.gauges).len())
+            .field("histograms", &lock(&self.histograms).len())
+            .finish()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static GLOBAL: OnceLock<Arc<MetricRegistry>> = OnceLock::new();
+
+impl MetricRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricRegistry {
+        MetricRegistry::default()
+    }
+
+    /// The process-wide default registry (sink for components that were
+    /// not handed an explicit one).
+    pub fn global() -> &'static MetricRegistry {
+        GLOBAL.get_or_init(|| Arc::new(MetricRegistry::new()))
+    }
+
+    /// Shared handle to the process-wide default registry.
+    pub fn global_arc() -> Arc<MetricRegistry> {
+        MetricRegistry::global();
+        GLOBAL.get().expect("initialized above").clone()
+    }
+
+    /// Get (or create) a counter handle; hold it across a hot loop to
+    /// skip the name lookup.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = lock(&self.counters);
+        if let Some(c) = m.get(name) {
+            return Counter(c.clone());
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        m.insert(name.to_string(), c.clone());
+        Counter(c)
+    }
+
+    /// Add `v` to the named counter.
+    pub fn add(&self, name: &str, v: u64) {
+        self.counter(name).add(v);
+    }
+
+    /// Set the named gauge (last write wins within a registry).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.gauge_handle(name)
+            .bits
+            .store(sortable_bits(v), Ordering::Relaxed);
+    }
+
+    /// Raise the named gauge to at least `v` (monotonic max).
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        self.gauge_handle(name)
+            .bits
+            .fetch_max(sortable_bits(v), Ordering::Relaxed);
+    }
+
+    fn gauge_handle(&self, name: &str) -> Arc<Gauge> {
+        let mut m = lock(&self.gauges);
+        if let Some(g) = m.get(name) {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge {
+            bits: AtomicU64::new(sortable_bits(f64::NEG_INFINITY)),
+        });
+        m.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// Record a sample in the named histogram.
+    pub fn observe(&self, name: &str, v: u64) {
+        let h = {
+            let mut m = lock(&self.histograms);
+            if let Some(h) = m.get(name) {
+                h.clone()
+            } else {
+                let h = Arc::new(Histogram::new());
+                m.insert(name.to_string(), h.clone());
+                h
+            }
+        };
+        h.record(v);
+    }
+
+    /// Copy every metric out. Concurrent updates during the copy land in
+    /// either this snapshot or the next — each individual metric is read
+    /// atomically.
+    pub fn snapshot(&self) -> MetricSnapshot {
+        let mut snap = MetricSnapshot::default();
+        for (k, c) in lock(&self.counters).iter() {
+            snap.counters.insert(k.clone(), c.load(Ordering::Relaxed));
+        }
+        for (k, g) in lock(&self.gauges).iter() {
+            let v = from_sortable_bits(g.bits.load(Ordering::Relaxed));
+            if v.is_finite() {
+                snap.gauges.insert(k.clone(), v);
+            }
+        }
+        for (k, h) in lock(&self.histograms).iter() {
+            let count = h.count.load(Ordering::Relaxed);
+            let mut hs = HistogramSnapshot {
+                count,
+                sum: h.sum.load(Ordering::Relaxed),
+                min: if count == 0 {
+                    0
+                } else {
+                    h.min.load(Ordering::Relaxed)
+                },
+                max: h.max.load(Ordering::Relaxed),
+                buckets: BTreeMap::new(),
+            };
+            for (b, n) in h.buckets.iter().enumerate() {
+                let n = n.load(Ordering::Relaxed);
+                if n != 0 {
+                    hs.buckets.insert(b as u32, n);
+                }
+            }
+            snap.histograms.insert(k.clone(), hs);
+        }
+        snap
+    }
+
+    /// Drop every metric (names and values) from this registry.
+    pub fn reset(&self) {
+        lock(&self.counters).clear();
+        lock(&self.gauges).clear();
+        lock(&self.histograms).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let reg = MetricRegistry::new();
+        let c = reg.counter("k.flops");
+        c.add(10);
+        c.incr();
+        reg.add("k.flops", 5);
+        assert_eq!(reg.snapshot().counter("k.flops"), 16);
+        reg.reset();
+        assert_eq!(reg.snapshot().counter("k.flops"), 0);
+    }
+
+    #[test]
+    fn gauges_round_trip_including_negatives() {
+        let reg = MetricRegistry::new();
+        reg.gauge_set("g", -2.5);
+        assert_eq!(reg.snapshot().gauge("g"), Some(-2.5));
+        reg.gauge_max("g", -3.0);
+        assert_eq!(reg.snapshot().gauge("g"), Some(-2.5));
+        reg.gauge_max("g", 7.25);
+        assert_eq!(reg.snapshot().gauge("g"), Some(7.25));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        let reg = MetricRegistry::new();
+        for v in [0, 1, 3, 3, 9] {
+            reg.observe("h", v);
+        }
+        let h = &reg.snapshot().histograms["h"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 16);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 9);
+        assert_eq!(h.buckets[&0], 1);
+        assert_eq!(h.buckets[&2], 2);
+        assert_eq!(h.buckets[&4], 1);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative() {
+        let make = |c: u64, g: f64, h: &[u64]| {
+            let reg = MetricRegistry::new();
+            reg.add("c", c);
+            reg.gauge_set("g", g);
+            for &v in h {
+                reg.observe("h", v);
+            }
+            reg.snapshot()
+        };
+        let a = make(1, 0.5, &[1, 2]);
+        let b = make(2, 4.0, &[8]);
+        let c = make(4, 2.0, &[]);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.counter("c"), 7);
+        assert_eq!(ab_c.gauge("g"), Some(4.0));
+        assert_eq!(ab_c.histograms["h"].count, 3);
+    }
+}

@@ -1,0 +1,423 @@
+//! Profile capture and export.
+//!
+//! A [`Profile`] is one observability capture: the merged span forest
+//! plus a metric snapshot. It serializes to a stable-schema JSON
+//! document (`profile.json`, schema tag [`PROFILE_SCHEMA`]) and renders
+//! to a human-readable table; [`Profile::table7_components`] maps the
+//! span tree onto the paper's Table VII per-phase breakdown
+//! (Total / Landau / (Kernel) / factor / solve).
+
+use crate::json::{num_u64, Json};
+use crate::metrics::{HistogramSnapshot, MetricRegistry, MetricSnapshot};
+use crate::span::{spans_snapshot, SpanNode, SpanSnapshot};
+use crate::{names, span};
+use std::collections::BTreeMap;
+
+/// Schema tag written into (and required from) profile JSON documents.
+pub const PROFILE_SCHEMA: &str = "landau-obs-profile/1";
+
+/// One observability capture: span forest + metric snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Profile {
+    /// Merged span forest at capture time.
+    pub spans: SpanSnapshot,
+    /// Metric snapshot at capture time.
+    pub metrics: MetricSnapshot,
+}
+
+/// The paper's Table VII component breakdown, in seconds, derived from
+/// recorded spans (see [`Profile::table7_components`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Table7Components {
+    /// Total solve time: every `step` span.
+    pub total: f64,
+    /// Landau operator construction: every `jacobian_build` span.
+    pub landau: f64,
+    /// Device-kernel portion of construction: every `kernel` span.
+    pub kernel: f64,
+    /// Jacobian factorization: every `factor` span.
+    pub factor: f64,
+    /// Triangular solve: every `solve` span.
+    pub solve: f64,
+}
+
+impl Table7Components {
+    /// Rows in the paper's presentation order: `(label, seconds)`.
+    pub fn rows(&self) -> [(&'static str, f64); 5] {
+        [
+            ("Total", self.total),
+            ("Landau", self.landau),
+            ("(Kernel)", self.kernel),
+            ("factor", self.factor),
+            ("solve", self.solve),
+        ]
+    }
+}
+
+impl Profile {
+    /// Capture the global span forest and the global metric registry.
+    pub fn capture() -> Profile {
+        Profile::capture_from(MetricRegistry::global())
+    }
+
+    /// Capture the global span forest and an explicit registry (spans
+    /// are process-wide; registries may be per-component).
+    pub fn capture_from(registry: &MetricRegistry) -> Profile {
+        Profile {
+            spans: spans_snapshot(),
+            metrics: registry.snapshot(),
+        }
+    }
+
+    /// Derive the Table VII per-phase breakdown from the span forest.
+    /// Names are summed over every tree position, so per-vertex spans
+    /// recorded on worker threads contribute alongside driver-thread
+    /// spans.
+    pub fn table7_components(&self) -> Table7Components {
+        Table7Components {
+            total: self.spans.total_seconds_of(names::STEP),
+            landau: self.spans.total_seconds_of(names::JACOBIAN_BUILD),
+            kernel: self.spans.total_seconds_of(names::KERNEL),
+            factor: self.spans.total_seconds_of(names::FACTOR),
+            solve: self.spans.total_seconds_of(names::SOLVE),
+        }
+    }
+
+    /// Serialize to the stable `profile.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut doc = vec![("schema".to_string(), Json::Str(PROFILE_SCHEMA.to_string()))];
+        doc.push((
+            "spans".to_string(),
+            Json::Arr(self.spans.roots.iter().map(span_to_json).collect()),
+        ));
+        let mut metrics = vec![(
+            "counters".to_string(),
+            Json::Obj(
+                self.metrics
+                    .counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), num_u64(v)))
+                    .collect(),
+            ),
+        )];
+        metrics.push((
+            "gauges".to_string(),
+            Json::Obj(
+                self.metrics
+                    .gauges
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Json::Num(v)))
+                    .collect(),
+            ),
+        ));
+        metrics.push((
+            "histograms".to_string(),
+            Json::Obj(
+                self.metrics
+                    .histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), hist_to_json(h)))
+                    .collect(),
+            ),
+        ));
+        doc.push(("metrics".to_string(), Json::Obj(metrics)));
+        let mut text = Json::Obj(doc).to_text();
+        text.push('\n');
+        text
+    }
+
+    /// Parse a document produced by [`Profile::to_json`]. Rejects
+    /// documents without the expected schema tag.
+    pub fn from_json(text: &str) -> Result<Profile, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != PROFILE_SCHEMA {
+            return Err(format!(
+                "schema mismatch: got {schema:?}, expected {PROFILE_SCHEMA:?}"
+            ));
+        }
+        let mut roots = doc
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or("missing spans array")?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        roots.sort_by(|a, b| a.name.cmp(&b.name));
+        let metrics_doc = doc.get("metrics").ok_or("missing metrics object")?;
+        let mut metrics = MetricSnapshot::default();
+        for (k, v) in obj_fields(metrics_doc, "counters")? {
+            metrics
+                .counters
+                .insert(k.clone(), v.as_u64().ok_or("counter not a u64")?);
+        }
+        for (k, v) in obj_fields(metrics_doc, "gauges")? {
+            metrics
+                .gauges
+                .insert(k.clone(), v.as_f64().ok_or("gauge not a number")?);
+        }
+        for (k, v) in obj_fields(metrics_doc, "histograms")? {
+            metrics.histograms.insert(k.clone(), hist_from_json(v)?);
+        }
+        Ok(Profile {
+            spans: SpanSnapshot { roots },
+            metrics,
+        })
+    }
+
+    /// Render a human-readable report: indented span tree with counts
+    /// and times, then counters, gauges, and histograms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>10} {:>14} {:>12}\n",
+            "span", "count", "total [s]", "mean [ms]"
+        ));
+        for r in &self.spans.roots {
+            render_span(r, 0, &mut out);
+        }
+        if self.spans.roots.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+        }
+        if !self.metrics.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.metrics.counters {
+                out.push_str(&format!("  {k:<50} {v:>18}\n"));
+            }
+        }
+        if !self.metrics.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.metrics.gauges {
+                out.push_str(&format!("  {k:<50} {v:>18.6}\n"));
+            }
+        }
+        if !self.metrics.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.metrics.histograms {
+                out.push_str(&format!(
+                    "  {:<50} count {} mean {:.2} min {} max {}\n",
+                    k,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Reset the global span accumulator and the global metric registry —
+/// the usual preamble before a measured run that will be captured.
+pub fn reset_global() {
+    span::reset_spans();
+    MetricRegistry::global().reset();
+}
+
+fn render_span(node: &SpanNode, depth: usize, out: &mut String) {
+    let label = format!("{:indent$}{}", "", node.name, indent = depth * 2);
+    let mean_ms = if node.count == 0 {
+        0.0
+    } else {
+        node.total_ns as f64 / node.count as f64 * 1e-6
+    };
+    out.push_str(&format!(
+        "{:<44} {:>10} {:>14.6} {:>12.3}\n",
+        label,
+        node.count,
+        node.total_seconds(),
+        mean_ms
+    ));
+    for c in &node.children {
+        render_span(c, depth + 1, out);
+    }
+}
+
+fn span_to_json(node: &SpanNode) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(node.name.clone())),
+        ("count".to_string(), num_u64(node.count)),
+        ("total_ns".to_string(), num_u64(node.total_ns)),
+        (
+            "children".to_string(),
+            Json::Arr(node.children.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+fn span_from_json(doc: &Json) -> Result<SpanNode, String> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("span missing name")?
+        .to_string();
+    let count = doc
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or("span missing count")?;
+    let total_ns = doc
+        .get("total_ns")
+        .and_then(Json::as_u64)
+        .ok_or("span missing total_ns")?;
+    let mut children = doc
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or("span missing children")?
+        .iter()
+        .map(span_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    children.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(SpanNode {
+        name,
+        count,
+        total_ns,
+        children,
+    })
+}
+
+fn hist_to_json(h: &HistogramSnapshot) -> Json {
+    Json::Obj(vec![
+        ("count".to_string(), num_u64(h.count)),
+        ("sum".to_string(), num_u64(h.sum)),
+        ("min".to_string(), num_u64(h.min)),
+        ("max".to_string(), num_u64(h.max)),
+        (
+            "buckets".to_string(),
+            Json::Obj(
+                h.buckets
+                    .iter()
+                    .map(|(&b, &n)| (b.to_string(), num_u64(n)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn hist_from_json(doc: &Json) -> Result<HistogramSnapshot, String> {
+    let field = |name: &str| doc.get(name).and_then(Json::as_u64);
+    let mut buckets = BTreeMap::new();
+    for (k, v) in doc
+        .get("buckets")
+        .and_then(Json::as_obj)
+        .ok_or("histogram missing buckets")?
+    {
+        let b: u32 = k.parse().map_err(|_| "bad bucket index".to_string())?;
+        buckets.insert(b, v.as_u64().ok_or("bad bucket count")?);
+    }
+    Ok(HistogramSnapshot {
+        count: field("count").ok_or("histogram missing count")?,
+        sum: field("sum").ok_or("histogram missing sum")?,
+        min: field("min").ok_or("histogram missing min")?,
+        max: field("max").ok_or("histogram missing max")?,
+        buckets,
+    })
+}
+
+fn obj_fields<'a>(metrics: &'a Json, key: &str) -> Result<&'a [(String, Json)], String> {
+    metrics
+        .get(key)
+        .and_then(Json::as_obj)
+        .ok_or_else(|| format!("missing metrics.{key} object"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> Profile {
+        let mut metrics = MetricSnapshot::default();
+        metrics
+            .counters
+            .insert("kernel.landau_jacobian.flops".to_string(), 123456);
+        metrics
+            .gauges
+            .insert("batch.newton_per_sec".to_string(), 1.25);
+        metrics.histograms.insert(
+            "batch.vertex_newton_iters".to_string(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 9,
+                min: 2,
+                max: 4,
+                buckets: [(2u32, 1u64), (3, 2)].into_iter().collect(),
+            },
+        );
+        Profile {
+            spans: SpanSnapshot {
+                roots: vec![SpanNode {
+                    name: "step".to_string(),
+                    count: 2,
+                    total_ns: 4_000_000_000,
+                    children: vec![
+                        SpanNode {
+                            name: "factor".to_string(),
+                            count: 7,
+                            total_ns: 500_000_000,
+                            children: vec![],
+                        },
+                        SpanNode {
+                            name: "jacobian_build".to_string(),
+                            count: 7,
+                            total_ns: 3_000_000_000,
+                            children: vec![SpanNode {
+                                name: "kernel".to_string(),
+                                count: 7,
+                                total_ns: 2_500_000_000,
+                                children: vec![],
+                            }],
+                        },
+                        SpanNode {
+                            name: "solve".to_string(),
+                            count: 7,
+                            total_ns: 100_000_000,
+                            children: vec![],
+                        },
+                    ],
+                }],
+            },
+            metrics,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let p = sample_profile();
+        let text = p.to_json();
+        let q = Profile::from_json(&text).unwrap();
+        assert_eq!(p, q);
+        // Schema is stable: re-serialization is byte-identical.
+        assert_eq!(q.to_json(), text);
+    }
+
+    #[test]
+    fn schema_tag_is_enforced() {
+        let p = sample_profile();
+        let text = p.to_json().replace(PROFILE_SCHEMA, "landau-obs-profile/0");
+        assert!(Profile::from_json(&text).is_err());
+        assert!(Profile::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn table7_components_read_the_span_tree() {
+        let t = sample_profile().table7_components();
+        assert!((t.total - 4.0).abs() < 1e-12);
+        assert!((t.landau - 3.0).abs() < 1e-12);
+        assert!((t.kernel - 2.5).abs() < 1e-12);
+        assert!((t.factor - 0.5).abs() < 1e-12);
+        assert!((t.solve - 0.1).abs() < 1e-12);
+        assert_eq!(t.rows()[0].0, "Total");
+    }
+
+    #[test]
+    fn render_mentions_each_section() {
+        let text = sample_profile().render();
+        assert!(text.contains("jacobian_build"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms:"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration tests for the observability layer: live span recording
+//! (nesting, runtime toggle, determinism across the persistent
+//! `landau-par` worker pool) and profile capture.
+//!
+//! Spans accumulate into process-global state, so every test that
+//! records serializes on [`lock`] and resets the accumulator first.
+
+use landau_obs::{
+    recording_compiled, reset_spans, set_recording, span, spans_snapshot, MetricRegistry, Profile,
+    SpanSnapshot,
+};
+use landau_par::prelude::*;
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn spans_nest_by_scope() {
+    let _l = lock();
+    reset_spans();
+    {
+        let _step = span("step");
+        for _ in 0..3 {
+            let _it = span("newton_iter");
+            let _k = span("kernel");
+        }
+        let _f = span("factor");
+    }
+    let snap = spans_snapshot();
+    if !recording_compiled() {
+        assert!(snap.is_empty());
+        return;
+    }
+    assert_eq!(
+        snap.shape(),
+        vec![
+            ("step".to_string(), 1),
+            ("step/factor".to_string(), 1),
+            ("step/newton_iter".to_string(), 3),
+            ("step/newton_iter/kernel".to_string(), 3),
+        ]
+    );
+    let step = snap.root("step").unwrap();
+    assert!(step.total_ns >= step.child("newton_iter").unwrap().total_ns);
+}
+
+#[test]
+fn runtime_toggle_stops_recording() {
+    let _l = lock();
+    reset_spans();
+    set_recording(false);
+    {
+        let _sp = span("invisible");
+    }
+    set_recording(true);
+    assert!(spans_snapshot().is_empty());
+    {
+        let _sp = span("visible");
+    }
+    if recording_compiled() {
+        assert_eq!(spans_snapshot().count_of("visible"), 1);
+    } else {
+        assert!(spans_snapshot().is_empty());
+    }
+}
+
+/// The tree shape recorded for a pooled sweep must be a pure function of
+/// the input size — independent of worker scheduling and repeatable run
+/// to run. Per-item spans opened on worker threads land as roots of the
+/// merged forest; items of part 0 (always executed inline on the calling
+/// thread) nest under that sweep's `par_sweep` span.
+#[test]
+fn pool_span_shape_is_deterministic() {
+    let _l = lock();
+    let run_workload = || {
+        reset_spans();
+        let mut v = vec![0f64; 4096];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| {
+            let _sp = span("vertex_work");
+            *x = (i as f64).sqrt();
+        });
+        spans_snapshot()
+    };
+    let first = run_workload();
+    if !recording_compiled() {
+        assert!(first.is_empty());
+        return;
+    }
+    for round in 0..4 {
+        let again = run_workload();
+        assert_eq!(
+            first.shape(),
+            again.shape(),
+            "span shape diverged on round {round}"
+        );
+    }
+    // Every item recorded exactly one span, wherever it was scheduled.
+    assert_eq!(first.count_of("vertex_work"), 4096);
+    assert_eq!(first.count_of("par_sweep"), 1);
+}
+
+#[test]
+fn snapshot_merge_matches_incremental_recording() {
+    let _l = lock();
+    reset_spans();
+    {
+        let _a = span("step");
+        let _b = span("factor");
+    }
+    let part1 = spans_snapshot();
+    reset_spans();
+    {
+        let _a = span("step");
+        let _b = span("solve");
+    }
+    let part2 = spans_snapshot();
+    reset_spans();
+    if !recording_compiled() {
+        return;
+    }
+    let mut merged = SpanSnapshot::default();
+    merged.merge(&part1);
+    merged.merge(&part2);
+    assert_eq!(merged.count_of("step"), 2);
+    assert_eq!(merged.count_of("factor"), 1);
+    assert_eq!(merged.count_of("solve"), 1);
+    // Times add exactly.
+    let step = merged.root("step").unwrap();
+    assert_eq!(
+        step.total_ns,
+        part1.root("step").unwrap().total_ns + part2.root("step").unwrap().total_ns
+    );
+}
+
+#[test]
+fn profile_capture_round_trips_through_json() {
+    let _l = lock();
+    reset_spans();
+    let reg = MetricRegistry::new();
+    reg.add("kernel.landau_jacobian.flops", 42_000_000);
+    reg.gauge_set("batch.newton_per_sec", 37.5);
+    reg.observe("batch.vertex_newton_iters", 3);
+    reg.observe("batch.vertex_newton_iters", 5);
+    {
+        let _step = span("step");
+        let _jac = span("jacobian_build");
+    }
+    let profile = Profile::capture_from(&reg);
+    reset_spans();
+    let round = Profile::from_json(&profile.to_json()).expect("valid profile json");
+    assert_eq!(round, profile);
+    assert_eq!(
+        round.metrics.counter("kernel.landau_jacobian.flops"),
+        42_000_000
+    );
+    if recording_compiled() {
+        assert_eq!(round.spans.count_of("jacobian_build"), 1);
+        assert!(round.table7_components().total > 0.0);
+    }
+}
+
+#[test]
+fn registry_updates_from_pool_threads_are_complete() {
+    let _l = lock();
+    let reg = MetricRegistry::new();
+    let counter = reg.counter("sweep.items");
+    let v: Vec<u64> = (0..10_000).collect();
+    let s: u64 = v
+        .par_iter()
+        .map(|&x| {
+            counter.incr();
+            reg.observe("sweep.value", x);
+            x
+        })
+        .reduce(|| 0, |a, b| a + b);
+    assert_eq!(s, (0..10_000u64).sum());
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("sweep.items"), 10_000);
+    assert_eq!(snap.histograms["sweep.value"].count, 10_000);
+    assert_eq!(snap.histograms["sweep.value"].max, 9_999);
+}

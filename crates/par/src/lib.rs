@@ -548,6 +548,10 @@ where
     R: Send,
     W: Fn(I) -> R + Sync,
 {
+    // One span per sweep, opened on the calling thread before the split:
+    // whether parts then run on the pool or inline is a scheduling detail
+    // the recorded tree shape must not depend on.
+    let _sweep = landau_obs::span(landau_obs::names::PAR_SWEEP);
     let n = iter.len();
     let k = current_num_threads().min(n.max(1));
     if k <= 1 {

@@ -18,7 +18,9 @@ use landau_core::solver::{StepStats, ThetaMethod, TimeIntegrator};
 use landau_core::species::{maxwellian, Species, SpeciesList};
 use landau_fem::FemSpace;
 use landau_mesh::presets::MeshSpec;
+use landau_obs::MetricRegistry;
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of the quench experiment.
 #[derive(Clone, Debug)]
@@ -157,6 +159,10 @@ pub struct QuenchDriver {
     /// Accumulated recovery telemetry (retries, substeps, smallest
     /// successful substep fraction).
     pub recovery: RecoveryStats,
+    /// Shared metrics sink [`Self::publish_metrics`] writes into (and the
+    /// profile export reads from). Defaults to the process-global
+    /// registry.
+    pub metrics: Arc<MetricRegistry>,
     time: f64,
 }
 
@@ -206,6 +212,7 @@ impl QuenchDriver {
                 dt_fraction_min: 1.0,
                 ..Default::default()
             },
+            metrics: MetricRegistry::global_arc(),
             time: 0.0,
         }
     }
@@ -246,6 +253,7 @@ impl QuenchDriver {
     /// recovery budget surfaces as a structured [`QuenchError`] with the
     /// recorded samples intact.
     pub fn run_equilibration(&mut self) -> Result<f64, QuenchError> {
+        let _sp = landau_obs::span(landau_obs::names::EQUILIBRATION);
         let e0 = self.cfg.e0_over_ec * connor_hastie_ec(self.cfg.t_e0_ev);
         self.sample(e0, false);
         let mut eta_prev = f64::INFINITY;
@@ -309,6 +317,7 @@ impl QuenchDriver {
     /// budget surfaces as [`QuenchError`] rather than a silent
     /// `converged: false` sample.
     pub fn run_quench(&mut self) -> Result<(), QuenchError> {
+        let _sp = landau_obs::span(landau_obs::names::QUENCH);
         let t_quench_start = self.time;
         for k in 0..self.cfg.quench_steps {
             let m = &self.stepper.ti.moments;
@@ -334,10 +343,26 @@ impl QuenchDriver {
         Ok(())
     }
 
-    /// Run both phases.
+    /// Run both phases. On success the accumulated step/recovery
+    /// telemetry is published into [`Self::metrics`], so a subsequent
+    /// profile capture sees the whole run under `quench.*`.
     pub fn run(&mut self) -> Result<(), QuenchError> {
         self.run_equilibration()?;
-        self.run_quench()
+        let out = self.run_quench();
+        if out.is_ok() {
+            self.publish_metrics();
+        }
+        out
+    }
+
+    /// Publish the run-level aggregates into the shared registry:
+    /// [`StepStats`] under `quench.step.*`, [`RecoveryStats`] under
+    /// `quench.recovery.*`, plus the recorded sample count.
+    pub fn publish_metrics(&self) {
+        self.stats.publish(&self.metrics, "quench.step");
+        self.recovery.publish(&self.metrics, "quench.recovery");
+        self.metrics
+            .add("quench.samples", self.samples.len() as u64);
     }
 }
 
@@ -396,6 +421,34 @@ mod tests {
         for w in d.samples.windows(2) {
             assert!(w[1].n_e >= w[0].n_e - 1e-6, "density must never drop");
         }
+    }
+
+    #[test]
+    fn recording_leaves_quench_bitwise_identical() {
+        // Tentpole acceptance gate: a fault-free instrumented quench must
+        // be bitwise identical to an uninstrumented one — spans and metric
+        // publication never touch the arithmetic. Kept tiny (3+3 steps on
+        // the coarse test mesh); the resilience bench covers the full-size
+        // version in release mode.
+        let cfg = QuenchConfig {
+            max_equil_steps: 3,
+            quench_steps: 3,
+            ..fast_cfg()
+        };
+        let run = |record: bool| -> Vec<f64> {
+            landau_obs::set_recording(record);
+            let mut d = QuenchDriver::new(cfg.clone());
+            d.run().expect("quench run failed");
+            d.state.clone()
+        };
+        let on = run(true);
+        let off = run(false);
+        landau_obs::set_recording(true);
+        assert_eq!(on.len(), off.len());
+        assert!(
+            on.iter().zip(&off).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "span/metric recording changed the quench state bitwise"
+        );
     }
 
     #[test]

@@ -238,6 +238,7 @@ impl BlockBandSolver {
     /// Factor every block (parallel over blocks). Returns `Err((block, row))`
     /// on a zero pivot.
     pub fn factor(&mut self) -> Result<(), (usize, usize)> {
+        let _sp = landau_obs::span(landau_obs::names::LU_FACTOR);
         let results: Vec<Result<(), usize>> =
             self.blocks.par_iter_mut().map(|b| b.factor()).collect();
         for (bi, r) in results.into_iter().enumerate() {
@@ -250,6 +251,7 @@ impl BlockBandSolver {
 
     /// Solve in place (parallel over blocks).
     pub fn solve_into(&self, x: &mut [f64]) {
+        let _sp = landau_obs::span(landau_obs::names::TRI_SOLVE);
         assert_eq!(x.len(), *self.offsets.last().unwrap());
         // Split the solution vector at the block boundaries.
         let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.blocks.len());

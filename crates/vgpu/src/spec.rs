@@ -8,7 +8,8 @@
 
 use crate::counters::{KernelRegistry, KernelStats, Tally};
 use crate::fault::{FaultInjector, FaultPlan, InjectedFault};
-use std::sync::Arc;
+use landau_obs::MetricRegistry;
+use std::sync::{Arc, Mutex};
 
 /// Static description of a compute device.
 #[derive(Clone, Debug, PartialEq)]
@@ -174,16 +175,35 @@ pub struct Device {
     pub spec: DeviceSpec,
     kernels: KernelRegistry,
     faults: FaultInjector,
+    /// Unified metrics sink: every recorded launch is also published as
+    /// `kernel.<name>.*` counters. Defaults to the process-global
+    /// registry; swappable for isolated accounting (tests, per-batch).
+    metrics: Mutex<Arc<MetricRegistry>>,
 }
 
 impl Device {
-    /// New device with fresh counters.
+    /// New device with fresh counters, publishing into the global
+    /// [`MetricRegistry`].
     pub fn new(spec: DeviceSpec) -> Self {
         Device {
             spec,
             kernels: KernelRegistry::default(),
             faults: FaultInjector::default(),
+            metrics: Mutex::new(MetricRegistry::global_arc()),
         }
+    }
+
+    /// Redirect this device's metric publishing to `registry`.
+    pub fn set_metric_registry(&self, registry: Arc<MetricRegistry>) {
+        *self.metrics.lock().unwrap_or_else(|e| e.into_inner()) = registry;
+    }
+
+    /// The registry this device currently publishes into.
+    pub fn metric_registry(&self) -> Arc<MetricRegistry> {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Arm a seeded [`FaultPlan`] on this device. Kernel drivers poll the
@@ -210,9 +230,27 @@ impl Device {
         self.faults.log()
     }
 
-    /// Record one launch of a named kernel.
+    /// Record one launch of a named kernel, both into the per-device
+    /// counter registry and as `kernel.<name>.*` metrics.
     pub fn record_launch(&self, kernel: &str, tally: &Tally, blocks: u64) {
         self.kernels.kernel(kernel).record_launch(tally, blocks);
+        let reg = self.metric_registry();
+        let add = |field: &str, v: u64| {
+            if v != 0 {
+                reg.add(&format!("kernel.{kernel}.{field}"), v);
+            }
+        };
+        add("launches", 1);
+        add("blocks", blocks);
+        add("flops", tally.flops);
+        add("dram_read", tally.dram_read);
+        add("dram_write", tally.dram_write);
+        add("shared_bytes", tally.shared_bytes);
+        add("atomics", tally.atomics);
+        add("shuffles", tally.shuffles);
+        add("cache_build_flops", tally.cache_build_flops);
+        add("cache_read", tally.cache_read);
+        add("cache_flops_saved", tally.cache_flops_saved);
     }
 
     /// Counter handle for a kernel (for repeated recording).
