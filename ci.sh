@@ -30,8 +30,11 @@ cargo build --release -p landau-bench --benches
 echo "== tensor cache bench (quick gate: verify + 2x speedup)"
 cargo bench -q -p landau-bench --bench tensor_cache -- --quick
 
-echo "== resilience bench (quick gate: bitwise identity + recovery + obs overhead)"
+echo "== resilience bench (quick gate: bitwise identity + recovery + obs/monitor overhead)"
 cargo bench -q -p landau-bench --bench resilience -- --quick
+
+echo "== invariants bench (quick gate: conservation drift ceilings + entropy floor)"
+cargo bench -q -p landau-bench --bench invariants -- --quick
 
 echo "== bench regression gate (fresh BENCH_*.json vs baselines/)"
 cargo run -q --release -p landau-bench --bin bench_gate
@@ -41,5 +44,14 @@ cargo run -q --release -p landau-bench --bin table4 -- --quick
 
 echo "== table smoke: timing breakdown from recorded spans"
 cargo run -q --release -p landau-bench --bin table7 -- --quick
+
+echo "== figure smoke: quench conductivity sweep + timeseries artifact"
+cargo run -q --release -p landau-bench --bin fig4 -- --quick
+
+echo "== figure smoke: monitored quench evolution + timeseries artifact"
+cargo run -q --release -p landau-bench --bin fig5 -- --quick
+
+echo "== trace export (Chrome trace + folded stacks)"
+cargo run -q --release -p landau-bench --bin trace_export
 
 echo "CI OK"

@@ -1,0 +1,98 @@
+//! Invariant-drift benchmark: the quick thermal quench (§IV-C) with a
+//! Record-mode [`ConservationMonitor`] installed, emitting the measured
+//! per-run drift maxima for the bench_gate's ceilings.
+//!
+//! The gate is the physics acceptance criterion of the telemetry layer:
+//! per-species mass and total momentum/energy *accounted* drift stay at
+//! roundoff (< 1e-10 relative) through equilibration, the cold pulse and
+//! the Spitzer feedback, and the collisional entropy production (source
+//! flux accounted) never goes negative beyond eps.
+//!
+//! Plain timing harness (`harness = false`):
+//! `cargo bench -p landau-bench --bench invariants -- --quick`.
+//! Results land in `BENCH_invariants.json` at the workspace root.
+
+use landau_bench::write_bench_json;
+use landau_core::operator::Backend;
+use landau_core::Watchdog;
+use landau_obs::timeseries::SeriesSink;
+use landau_obs::MetricRegistry;
+use landau_quench::{QuenchConfig, QuenchDriver};
+use std::sync::Arc;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = QuenchConfig {
+        ion_mass: 16.0,
+        cells_per_vt: 0.75,
+        k_outer: 2.2,
+        domain: 4.5,
+        t_cold: 0.15,
+        mass_factor: 3.0,
+        pulse_duration: 3.0,
+        max_equil_steps: 16,
+        quench_steps: if quick { 20 } else { 40 },
+        backend: Backend::Cpu,
+        ..Default::default()
+    };
+    let mut d = QuenchDriver::new(cfg);
+    // Private registry/sink: the numbers below must come from this run
+    // alone, not whatever else the process recorded.
+    d.metrics = Arc::new(MetricRegistry::new());
+    d.series = Arc::new(SeriesSink::new());
+    d.enable_monitoring(Watchdog::recording());
+    d.run().expect("monitored quick quench failed");
+
+    let snap = d.metrics.snapshot();
+    let gauge = |name: &str| {
+        snap.gauge(name)
+            .unwrap_or_else(|| panic!("monitor never published {name}"))
+    };
+    let ts = d.series.snapshot();
+    let sigma_min = ts
+        .records()
+        .iter()
+        .filter_map(|r| r.values.get("invariant.entropy_production"))
+        .fold(f64::INFINITY, |m, &v| m.min(v));
+    assert!(
+        sigma_min.is_finite() && sigma_min >= -1e-9,
+        "entropy production went negative: {sigma_min:.3e}"
+    );
+
+    let steps = snap.counter("invariant.steps");
+    eprintln!(
+        "monitored {steps} steps: mass {:.2e}, momentum {:.2e}, energy {:.2e} \
+         (max rel drift); min entropy production {:.3e}",
+        gauge("invariant.mass.drift_max"),
+        gauge("invariant.momentum.drift_max"),
+        gauge("invariant.energy.drift_max"),
+        sigma_min
+    );
+
+    let entries = vec![
+        ("invariant.steps".to_string(), steps as f64),
+        (
+            "invariant.mass.drift_max".to_string(),
+            gauge("invariant.mass.drift_max"),
+        ),
+        (
+            "invariant.momentum.drift_max".to_string(),
+            gauge("invariant.momentum.drift_max"),
+        ),
+        (
+            "invariant.energy.drift_max".to_string(),
+            gauge("invariant.energy.drift_max"),
+        ),
+        (
+            "invariant.entropy.production_drop_max".to_string(),
+            gauge("invariant.entropy.production_drop_max"),
+        ),
+        ("entropy_production_min".to_string(), sigma_min),
+        (
+            "invariant.violations".to_string(),
+            snap.counter("invariant.violations") as f64,
+        ),
+    ];
+    let path = write_bench_json("BENCH_invariants.json", &entries);
+    eprintln!("wrote {}", path.display());
+}

@@ -15,6 +15,11 @@
 //!      bitwise unchanged, and its time cost (`obs_overhead_frac`,
 //!      min-of-3 ABAB interleave against recording-off runs) is reported
 //!      for the bench_gate's <2% ceiling.
+//!   5. *Invariant monitoring* — a Record-mode [`ConservationMonitor`]
+//!      must also leave the state bitwise unchanged (it only *reads*
+//!      moments, residual and entropy), and its cost
+//!      (`monitor_overhead_frac`, same ABAB min-of-3 protocol) sits
+//!      under the same 2% ceiling.
 //!
 //! Plain timing harness (`harness = false`):
 //! `cargo bench -p landau-bench --bench resilience -- --quick`.
@@ -24,7 +29,9 @@ use landau_bench::{perf_operator, write_bench_json};
 use landau_core::fault_sites::SITE_LANDAU_JACOBIAN;
 use landau_core::operator::Backend;
 use landau_core::solver::{ThetaMethod, TimeIntegrator};
-use landau_core::{AdaptiveStepper, FaultKind, FaultPlan};
+use landau_core::{AdaptiveStepper, ConservationMonitor, FaultKind, FaultPlan, Watchdog};
+use landau_obs::MetricRegistry;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn make_ti() -> TimeIntegrator {
@@ -59,6 +66,28 @@ fn run_guarded(steps: usize, dt: f64) -> (Vec<f64>, usize, f64) {
             .advance(&mut state, dt, 0.0, None)
             .expect("fault-free run must not fail");
         assert_eq!(rec.retried, 0, "fault-free run must not retry");
+        iters += st.newton_iters;
+    }
+    (state, iters, t0.elapsed().as_secs_f64())
+}
+
+/// Guarded run with a Record-mode conservation monitor installed
+/// (private registry, so repeated runs don't accumulate globally).
+fn run_monitored(steps: usize, dt: f64) -> (Vec<f64>, usize, f64) {
+    let mut ti = make_ti();
+    let mon = ConservationMonitor::new(&ti.op, Watchdog::recording())
+        .with_registry(Arc::new(MetricRegistry::new()));
+    ti.monitor = Some(mon);
+    let mut stepper = AdaptiveStepper::new(ti);
+    stepper.ti.op.device.arm_faults(FaultPlan::none());
+    let mut state = stepper.ti.op.initial_state();
+    let t0 = Instant::now();
+    let mut iters = 0;
+    for _ in 0..steps {
+        let (st, rec) = stepper
+            .advance(&mut state, dt, 0.0, None)
+            .expect("monitored fault-free run must not fail");
+        assert_eq!(rec.retried, 0, "monitored fault-free run must not retry");
         iters += st.newton_iters;
     }
     (state, iters, t0.elapsed().as_secs_f64())
@@ -173,6 +202,36 @@ fn main() {
         100.0 * obs_overhead
     );
 
+    // Gate 5: invariant-monitor cost and bitwise transparency, with the
+    // same ABAB min-of-3 protocol as Gate 4.
+    let mut t_mon = f64::INFINITY;
+    let mut t_base = f64::INFINITY;
+    let mut s_mon = Vec::new();
+    let mut s_base = Vec::new();
+    for _ in 0..3 {
+        let (s, _, t) = run_monitored(steps, dt);
+        t_mon = t_mon.min(t);
+        s_mon = s;
+        let (s, _, t) = run_guarded(steps, dt);
+        t_base = t_base.min(t);
+        s_base = s;
+    }
+    let monitor_overhead = t_mon / t_base - 1.0;
+    let monitor_identical = s_mon.len() == s_base.len()
+        && s_mon
+            .iter()
+            .zip(&s_base)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        monitor_identical,
+        "record-mode conservation monitoring changed the state bitwise"
+    );
+    eprintln!(
+        "invariants: monitored {t_mon:.3}s, unmonitored {t_base:.3}s \
+         ({:+.2}% overhead, min of 3)",
+        100.0 * monitor_overhead
+    );
+
     let entries = vec![
         ("steps".to_string(), steps as f64),
         ("newton_iters".to_string(), it_plain as f64),
@@ -184,6 +243,8 @@ fn main() {
         ("retried_attempts".to_string(), retried as f64),
         ("obs_overhead_frac".to_string(), obs_overhead),
         ("obs_bitwise_identical".to_string(), 1.0),
+        ("monitor_overhead_frac".to_string(), monitor_overhead),
+        ("monitor_bitwise_identical".to_string(), 1.0),
     ];
     let path = write_bench_json("BENCH_resilience.json", &entries);
     eprintln!("wrote {}", path.display());

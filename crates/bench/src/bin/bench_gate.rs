@@ -45,6 +45,8 @@ fn rule_for(name: &str) -> Rule {
         "steps"
         | "bitwise_identical"
         | "obs_bitwise_identical"
+        | "monitor_bitwise_identical"
+        | "invariant.violations"
         | "table_bytes"
         | "space_heap_bytes"
         | "batch256_bytes_saved" => Rule::Exact,
@@ -52,9 +54,18 @@ fn rule_for(name: &str) -> Rule {
         // Recovered-attempt counts track Newton behaviour, which shifts
         // with FP association across hosts; the bench itself asserts > 0.
         "retried_attempts" => Rule::RelTol(1.0),
-        // The tentpole acceptance gate: span/metric recording must cost
-        // under 2% on the guarded solve (min-of-3 ABAB measurement).
-        "obs_overhead_frac" => Rule::Ceiling(0.02),
+        // The quench step count depends on the quasi-equilibrium detector,
+        // which can fire a step early/late across hosts.
+        "invariant.steps" => Rule::RelTol(0.25),
+        // The span/metric recording and the conservation monitor must each
+        // cost under 2% on the guarded solve (min-of-3 ABAB measurement).
+        "obs_overhead_frac" | "monitor_overhead_frac" => Rule::Ceiling(0.02),
+        // Physics telemetry acceptance: accounted mass/momentum/energy
+        // drift through the monitored quick quench stays at roundoff.
+        n if n.starts_with("invariant.") && n.ends_with(".drift_max") => Rule::Ceiling(1e-10),
+        // Entropy production (σ, source flux accounted) is asserted
+        // non-negative inside the bench; its magnitude is informational.
+        "invariant.entropy.production_drop_max" | "entropy_production_min" => Rule::Info,
         "overhead_frac" => Rule::Ceiling(0.25),
         "speedup" => Rule::Floor(2.0),
         n if n.starts_with("verify_rel_diff_") => Rule::Ceiling(1e-13),
@@ -138,6 +149,7 @@ fn main() {
     let pairs = [
         ("BENCH_resilience.json", "resilience"),
         ("BENCH_tensor_cache.json", "tensor_cache"),
+        ("BENCH_invariants.json", "invariants"),
     ];
     let mut failures = 0;
     for (file, name) in pairs {

@@ -1,6 +1,10 @@
 //! Figure 5: thermal-quench profiles n_e, J, E, T_e vs time (CSV to stdout
-//! plus a summary).
+//! plus a summary), exported as a step-level timeseries artifact
+//! (`FIG5_timeseries.json`) carrying the physics channels *and* the
+//! conservation-monitor drift channels for every step.
 
+use landau_bench::workspace_root;
+use landau_core::invariants::Watchdog;
 use landau_core::operator::Backend;
 use landau_quench::{QuenchConfig, QuenchDriver};
 
@@ -27,7 +31,10 @@ fn main() {
             ..Default::default()
         }
     };
-    let mut d = QuenchDriver::new(cfg);
+    let mut d = QuenchDriver::new(QuenchConfig {
+        monitor: Some(Watchdog::recording()),
+        ..cfg
+    });
     eprintln!(
         "mesh: {} Q3 cells, {} dofs/species",
         d.ti().op.space.n_elements(),
@@ -37,6 +44,15 @@ fn main() {
         eprintln!("quench run failed: {e}");
         eprintln!("(samples up to the failure follow)");
     }
+    let ts = d.series.snapshot();
+    let out = workspace_root().join("FIG5_timeseries.json");
+    std::fs::write(&out, ts.to_json_text()).expect("write FIG5_timeseries.json");
+    eprintln!(
+        "wrote {} ({} records, {} channels)",
+        out.display(),
+        ts.len(),
+        ts.channels().len()
+    );
     println!("t,n_e,J,E,T_e,tail_2v,phase");
     for s in &d.samples {
         println!(

@@ -1,0 +1,59 @@
+//! Export the merged span forest of an instrumented solver workload as
+//! a Chrome Trace Format document (`trace.json`, loadable in
+//! `chrome://tracing` or Perfetto) plus folded flamegraph stacks
+//! (`trace.folded`, `flamegraph.pl`-compatible).
+//!
+//! By default the export is *deterministic*: every timestamp is
+//! synthetic (derived from the forest shape) and wall-clock totals are
+//! zeroed, so two runs of the same workload produce byte-identical
+//! artifacts. Pass `--wall` to carry the measured aggregate nanoseconds
+//! in each event's `args.total_ns` instead.
+
+use landau_bench::{perf_operator, workspace_root};
+use landau_core::operator::Backend;
+use landau_core::solver::{ThetaMethod, TimeIntegrator};
+
+fn main() {
+    let wall = std::env::args().any(|a| a == "--wall");
+    landau_obs::set_recording(true);
+    landau_obs::reset_spans();
+
+    // A small but representative workload: a few implicit steps so the
+    // full span hierarchy (step → newton_iter → residual/factor/solve,
+    // jacobian_build → kernel/assembly) appears in the forest.
+    let op = perf_operator(60, Backend::Cpu);
+    let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
+    ti.rtol = 1e-6;
+    let mut state = ti.op.initial_state();
+    for k in 0..3 {
+        ti.try_step(&mut state, 0.2, 0.0, None)
+            .unwrap_or_else(|e| panic!("workload step {k} failed: {e}"));
+    }
+
+    let snap = landau_obs::spans_snapshot();
+    let trace = if wall {
+        landau_obs::chrome_trace(&snap)
+    } else {
+        landau_obs::chrome_trace_deterministic(&snap)
+    };
+    let root = workspace_root();
+    let trace_path = root.join("trace.json");
+    let folded_path = root.join("trace.folded");
+    std::fs::write(&trace_path, trace.to_text()).expect("write trace.json");
+    std::fs::write(&folded_path, landau_obs::folded_stacks(&snap)).expect("write trace.folded");
+
+    let events = trace
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .map_or(0, |a| a.len());
+    eprintln!(
+        "wrote {} ({events} events{}) and {}",
+        trace_path.display(),
+        if wall {
+            ", wall-clock args"
+        } else {
+            ", deterministic"
+        },
+        folded_path.display()
+    );
+}

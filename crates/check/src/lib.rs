@@ -1,7 +1,7 @@
 //! Workspace lint pass: textual source checks for the discipline the
 //! virtual-GPU execution model depends on.
 //!
-//! Five rules, all enforced by [`lint_source`] over comment- and
+//! Six rules, all enforced by [`lint_source`] over comment- and
 //! string-stripped source (so the patterns cannot match inside literals or
 //! prose):
 //!
@@ -31,6 +31,11 @@
 //!   macro — somewhere in the function. Private stats siloes are how
 //!   telemetry fragments back into per-module formats. Test code is
 //!   exempt.
+//! * **E006** — library crates ([`LIBRARY_CRATES`]) must not print to
+//!   stdout/stderr (`println!` / `eprintln!`) outside test code: all
+//!   telemetry goes through the observability layer (metrics, spans,
+//!   timeseries), where it is structured, mergeable and redirectable.
+//!   Binaries and benches (the presentation layer) print freely.
 //!
 //! The `lint` binary walks every workspace crate and exits nonzero on any
 //! finding; `ci.sh` runs it alongside rustfmt and clippy.
@@ -69,6 +74,20 @@ pub const STATS_FILES: &[&str] = &[
     "crates/core/src/kernels.rs",
 ];
 
+/// Crates whose `src/` trees are libraries consumed by other crates;
+/// direct stdout/stderr printing there bypasses the observability layer
+/// (`E006`). The bench/check/testkit crates are presentation or tooling
+/// layers and stay free to print.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "landau-core",
+    "landau-fem",
+    "landau-sparse",
+    "landau-quench",
+    "landau-obs",
+    "landau-par",
+    "landau-vgpu",
+];
+
 /// Struct-literal / constructor tokens that mark a stats allocation
 /// (`E005`).
 const STATS_TOKENS: &[&str] = &[
@@ -100,6 +119,9 @@ pub enum Rule {
     /// Public solver-path function allocating a local stats struct with no
     /// visible tie to the shared observability layer.
     LocalStatsStruct,
+    /// `println!`/`eprintln!` in library-crate code (telemetry must go
+    /// through the observability layer).
+    PrintInLibrary,
 }
 
 impl Rule {
@@ -111,6 +133,7 @@ impl Rule {
             Rule::SharedAccumulation => "R003",
             Rule::PanicInSolvePath => "E004",
             Rule::LocalStatsStruct => "E005",
+            Rule::PrintInLibrary => "E006",
         }
     }
 
@@ -135,6 +158,11 @@ impl Rule {
                 "public solver-path fn allocates a local stats struct without \
                  touching the shared observability layer (open a landau_obs \
                  span or route through a MetricRegistry)"
+            }
+            Rule::PrintInLibrary => {
+                "`println!`/`eprintln!` in library-crate code (publish through \
+                 the observability layer — metrics, spans or the timeseries \
+                 sink — and let binaries do the printing)"
             }
         }
     }
@@ -467,6 +495,21 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
             });
         }
 
+        // E006: no stdout/stderr printing from library-crate code — all
+        // telemetry flows through the observability layer. Scrubbed code
+        // is checked, so occurrences inside strings or comments don't trip.
+        if LIBRARY_CRATES.contains(&ctx.crate_name)
+            && !in_test
+            && (l.code.contains("println!(") || l.code.contains("eprintln!("))
+        {
+            findings.push(LintFinding {
+                rule: Rule::PrintInLibrary,
+                file: path.to_path_buf(),
+                line: ln + 1,
+                snippet: raw.to_string(),
+            });
+        }
+
         if !ctx.kernel_crate() || in_test {
             continue;
         }
@@ -660,6 +703,60 @@ mod tests {
         // Tally bookkeeping named *_bytes is not lane data.
         let ok = "fn f(t: &mut T, n: u64) {\n    t.shared_bytes += n;\n}\n";
         assert!(findings(ok, kernel_ctx()).is_empty());
+    }
+
+    #[test]
+    fn println_in_library_crate_is_flagged() {
+        let src =
+            "fn f(x: f64) {\n    println!(\"x = {x}\");\n    eprintln!(\"also stderr\");\n}\n";
+        let ctx = LintContext {
+            crate_name: "landau-core",
+            is_test_code: false,
+        };
+        assert_eq!(
+            findings(src, ctx),
+            [Rule::PrintInLibrary, Rule::PrintInLibrary]
+        );
+    }
+
+    #[test]
+    fn println_in_library_test_code_is_exempt() {
+        // Inline #[cfg(test)] module.
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"dbg\"); }\n}\n";
+        let ctx = LintContext {
+            crate_name: "landau-obs",
+            is_test_code: false,
+        };
+        assert!(findings(src, ctx).is_empty());
+        // Integration test / bench file.
+        let src = "fn g() { eprintln!(\"bench progress\"); }\n";
+        let ctx = LintContext {
+            crate_name: "landau-quench",
+            is_test_code: true,
+        };
+        assert!(findings(src, ctx).is_empty());
+    }
+
+    #[test]
+    fn println_in_presentation_crates_is_allowed() {
+        let src = "fn f() { println!(\"table row\"); }\n";
+        for name in ["landau-bench", "landau-hwsim", "landau-check"] {
+            let ctx = LintContext {
+                crate_name: name,
+                is_test_code: false,
+            };
+            assert!(findings(src, ctx).is_empty(), "{name} should print freely");
+        }
+    }
+
+    #[test]
+    fn println_in_string_or_comment_is_ignored() {
+        let src = "fn f() -> &'static str {\n    // println!(\"commented out\")\n    \"println!(in a string)\"\n}\n";
+        let ctx = LintContext {
+            crate_name: "landau-fem",
+            is_test_code: false,
+        };
+        assert!(findings(src, ctx).is_empty());
     }
 
     #[test]

@@ -1,0 +1,572 @@
+//! Conservation and entropy monitoring: the physics health signal.
+//!
+//! The discretization conserves density per species and mass-weighted
+//! total z-momentum/energy *by construction* (weak-form symmetry of the
+//! Landau tensors) and dissipates entropy (discrete H-theorem). A
+//! [`ConservationMonitor`] checks this after every successful implicit
+//! step, publishing drift into the shared [`MetricRegistry`]
+//! (`invariant.*`) and, optionally, a per-step [`SeriesSink`] record.
+//!
+//! **What "drift" means here.** A θ-step satisfies (per species α)
+//! `M(f¹−f⁰) = Δt[θ(L¹f¹ + Ms) + (1−θ)(L⁰f⁰ + Ms)] + R` exactly, with
+//! `R` the terminal Newton residual and `L = C − (e/m)E·D_z`. Taking a
+//! moment functional `c` (all-ones, the z interpolant, or the `r²+z²`
+//! interpolant) and subtracting the *accounted* physics — E-field
+//! advection at both time levels, the mass source, and `cᵀR` — leaves
+//! `Δt[θ cᵀ(C¹f¹) + (1−θ) cᵀ(C⁰f⁰)]`: exactly the collision operator's
+//! conservation defect, which the scheme drives to roundoff. The
+//! monitor therefore reports genuine discretization breakage (a wrong
+//! kernel, a broken scatter, an asymmetric tensor) rather than the
+//! physical inflow it sits on top of, and stays ≤ 1e-10 relative even
+//! mid-quench with a cold-plasma source and Spitzer feedback running.
+//!
+//! Mass drift is gated per species; momentum and energy drifts are
+//! mass-weighted totals (collisions exchange both between species —
+//! only the totals are conserved). Entropy `H = 2π ∫ r f ln f` is
+//! evaluated by quadrature ([`landau_fem::pointwise_integral`]) and its
+//! production `σ = H⁰ − H¹ + Δt⟨(1 + ln f) s⟩` — the source's entropy
+//! flux is accounted like the moment drifts, so σ reads the
+//! *collisional* production even mid-pulse — must be non-negative up to
+//! a tolerance (discrete advection can cause eps-level excursions).
+//!
+//! The monitor only *reads* the state (dot products, `D_z` matvecs,
+//! quadrature): monitored runs are bitwise identical to unmonitored
+//! runs in [`WatchdogMode::Record`]. [`WatchdogMode::Fail`] turns a
+//! violation into [`SolveError::InvariantViolated`], which rolls the
+//! step back transactionally like any other solve failure.
+
+use crate::moments::Moments;
+use crate::operator::LandauOperator;
+use crate::solver::SolveError;
+use landau_fem::{pointwise_integral, pointwise_integral2};
+use landau_obs::timeseries::{Record, SeriesSink};
+use landau_obs::MetricRegistry;
+use std::fmt;
+use std::sync::Arc;
+
+const TWO_PI: f64 = 2.0 * core::f64::consts::PI;
+
+/// Which conserved quantity (or the entropy inequality) a watchdog
+/// check refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// Per-species density.
+    Mass,
+    /// Mass-weighted total z-momentum.
+    ZMomentum,
+    /// Mass-weighted total kinetic energy.
+    Energy,
+    /// Entropy production non-negativity (H-theorem).
+    Entropy,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Invariant::Mass => "mass",
+            Invariant::ZMomentum => "z-momentum",
+            Invariant::Energy => "energy",
+            Invariant::Entropy => "entropy",
+        })
+    }
+}
+
+/// What the watchdog does when a tolerance is exceeded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WatchdogMode {
+    /// Publish the drift (registry + timeseries) and keep stepping.
+    Record,
+    /// Fail the step with [`SolveError::InvariantViolated`]; the
+    /// transactional guard restores `f^n` bitwise.
+    Fail,
+}
+
+/// Tolerances for the invariant checks, all relative to the natural
+/// scale of each quantity (density, `m·n·v_rms`, total energy, `|H|`).
+#[derive(Clone, Copy, Debug)]
+pub struct Watchdog {
+    /// Record-only or hard-fail.
+    pub mode: WatchdogMode,
+    /// Relative per-species mass-drift tolerance.
+    pub mass_tol: f64,
+    /// Relative total z-momentum drift tolerance.
+    pub momentum_tol: f64,
+    /// Relative total energy drift tolerance.
+    pub energy_tol: f64,
+    /// Tolerated relative entropy-production *deficit* (σ may dip this
+    /// far below zero before it counts as a violation).
+    pub entropy_tol: f64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            mode: WatchdogMode::Record,
+            mass_tol: 1e-8,
+            momentum_tol: 1e-8,
+            energy_tol: 1e-8,
+            entropy_tol: 1e-6,
+        }
+    }
+}
+
+impl Watchdog {
+    /// Record-mode watchdog with default tolerances.
+    pub fn recording() -> Watchdog {
+        Watchdog::default()
+    }
+
+    /// Hard-fail watchdog with default tolerances.
+    pub fn failing() -> Watchdog {
+        Watchdog {
+            mode: WatchdogMode::Fail,
+            ..Watchdog::default()
+        }
+    }
+}
+
+/// Everything the monitor needs about one completed step. Borrowed from
+/// the integrator's step state — the monitor never copies or mutates it.
+pub struct StepContext<'a> {
+    /// Entry state `f^n`.
+    pub f_old: &'a [f64],
+    /// Converged state `f^{n+1}`.
+    pub f_new: &'a [f64],
+    /// Step size.
+    pub dt: f64,
+    /// θ of the method (1 for backward Euler).
+    pub theta: f64,
+    /// Applied electric field.
+    pub e_field: f64,
+    /// Source rate (species-major), if any.
+    pub source: Option<&'a [f64]>,
+    /// Terminal Newton residual `R(f^{n+1})` (species-major).
+    pub residual: &'a [f64],
+}
+
+/// One step's invariant measurements (the monitor's last report).
+#[derive(Clone, Debug, Default)]
+pub struct InvariantReport {
+    /// Monitored step index (0-based).
+    pub step: u64,
+    /// Simulation time after the step.
+    pub t: f64,
+    /// Step size.
+    pub dt: f64,
+    /// Relative per-species mass drift.
+    pub mass_rel: Vec<f64>,
+    /// Relative mass-weighted total z-momentum drift.
+    pub momentum_rel: f64,
+    /// Relative mass-weighted total energy drift.
+    pub energy_rel: f64,
+    /// Entropy production `σ = H⁰ − H¹` (≥ 0 expected).
+    pub entropy_production: f64,
+    /// Total `H = 2π ∫ r f ln f` after the step.
+    pub entropy_h: f64,
+}
+
+/// Watches the conserved moments and the entropy across steps. Install
+/// on a [`crate::solver::TimeIntegrator`] (its `monitor` field or
+/// [`crate::solver::TimeIntegrator::enable_monitoring`]); every
+/// successful `try_step` is then checked before it commits.
+pub struct ConservationMonitor {
+    watchdog: Watchdog,
+    registry: Arc<MetricRegistry>,
+    sink: Option<Arc<SeriesSink>>,
+    /// All-ones mass test vector.
+    ones: Vec<f64>,
+    /// Interpolant of `z` (momentum test vector).
+    zvec: Vec<f64>,
+    /// Interpolant of `r² + z²` (energy test vector).
+    evec: Vec<f64>,
+    steps: u64,
+    time: f64,
+    last: Option<InvariantReport>,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl ConservationMonitor {
+    /// Build a monitor for one operator's space, publishing into the
+    /// process-global registry (use [`Self::with_registry`] /
+    /// [`Self::with_sink`] to redirect).
+    pub fn new(op: &LandauOperator, watchdog: Watchdog) -> ConservationMonitor {
+        ConservationMonitor {
+            watchdog,
+            registry: MetricRegistry::global_arc(),
+            sink: None,
+            ones: vec![1.0; op.n()],
+            zvec: op.space.interpolate(|_r, z| z),
+            evec: op.space.interpolate(|r, z| r * r + z * z),
+            steps: 0,
+            time: 0.0,
+            last: None,
+        }
+    }
+
+    /// Publish metrics into `reg` instead of the global registry.
+    pub fn with_registry(mut self, reg: Arc<MetricRegistry>) -> ConservationMonitor {
+        self.registry = reg;
+        self
+    }
+
+    /// Also append one timeseries record per step into `sink`.
+    pub fn with_sink(mut self, sink: Arc<SeriesSink>) -> ConservationMonitor {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Steps monitored so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Accumulated simulation time over the monitored steps.
+    pub fn sim_time(&self) -> f64 {
+        self.time
+    }
+
+    /// The watchdog configuration.
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
+    /// The most recent step's measurements.
+    pub fn last_report(&self) -> Option<&InvariantReport> {
+        self.last.as_ref()
+    }
+
+    /// Entropy `H = 2π Σ_α ∫ r f_α ln f_α` of a state (quadrature, with
+    /// `f ln f → 0` where the FE field is non-positive).
+    pub fn entropy(&self, op: &LandauOperator, state: &[f64]) -> f64 {
+        let n = op.n();
+        let mut h = 0.0;
+        for a in 0..op.species.len() {
+            h += pointwise_integral(&op.space, &state[a * n..(a + 1) * n], |_r, _z, f| {
+                if f > 0.0 {
+                    f * f.ln()
+                } else {
+                    0.0
+                }
+            });
+        }
+        TWO_PI * h
+    }
+
+    /// Check one completed step, publish, and (in
+    /// [`WatchdogMode::Fail`]) report the first violated invariant.
+    pub fn after_step(
+        &mut self,
+        op: &LandauOperator,
+        moments: &Moments,
+        ctx: &StepContext<'_>,
+    ) -> Result<(), SolveError> {
+        let n = op.n();
+        let ns = op.species.len();
+        let (dt, theta) = (ctx.dt, ctx.theta);
+        let step = self.steps;
+        self.steps += 1;
+        self.time += dt;
+
+        let h0 = self.entropy(op, ctx.f_old);
+        let h1 = self.entropy(op, ctx.f_new);
+        // Entropy production σ = H⁰ − H¹ + (accounted source flux). The
+        // cold source carries entropy with its mass at rate
+        // `∫ r (1 + ln f) s` (chain rule on f ln f); θ-mixing the two
+        // time levels matches the stepped dynamics to the same order as
+        // the scheme, so mid-pulse σ still reads the *collisional*
+        // production, which the H-theorem keeps non-negative. Without a
+        // source the correction is exactly zero.
+        let mut src_flux = 0.0;
+        if let Some(s) = ctx.source {
+            let flux = |f: &[f64], sv: &[f64]| {
+                pointwise_integral2(&op.space, f, sv, |_r, _z, fv, svv| {
+                    if fv > 0.0 {
+                        (1.0 + fv.ln()) * svv
+                    } else {
+                        0.0
+                    }
+                })
+            };
+            for a in 0..op.species.len() {
+                let sa = &s[a * n..(a + 1) * n];
+                src_flux += ctx.theta * flux(&ctx.f_new[a * n..(a + 1) * n], sa)
+                    + (1.0 - ctx.theta) * flux(&ctx.f_old[a * n..(a + 1) * n], sa);
+            }
+        }
+        let sigma = h0 - h1 + ctx.dt * TWO_PI * src_flux;
+
+        let mut rec = Record::new(step, self.time, dt);
+        let mut report = InvariantReport {
+            step,
+            t: self.time,
+            dt,
+            mass_rel: Vec::with_capacity(ns),
+            momentum_rel: 0.0,
+            energy_rel: 0.0,
+            entropy_production: sigma,
+            entropy_h: h1,
+        };
+
+        let mut p_drift = 0.0;
+        let mut p_scale = 0.0;
+        let mut e_drift = 0.0;
+        for a in 0..ns {
+            let sp = &op.species.list[a];
+            let f1 = &ctx.f_new[a * n..(a + 1) * n];
+            let f0 = &ctx.f_old[a * n..(a + 1) * n];
+            let r = &ctx.residual[a * n..(a + 1) * n];
+            let src = ctx.source.map(|s| &s[a * n..(a + 1) * n]);
+            // The E-advection moment `2π cᵀ(−(e/m)E·D_z f)` at both time
+            // levels, θ-combined into one per-c factor below.
+            let coef = -(sp.charge / sp.mass) * ctx.e_field * TWO_PI;
+            let dzf1 = op.dz.matvec(f1);
+            let dzf0 = op.dz.matvec(f0);
+            let theta_mix = |c: &[f64]| theta * dot(c, &dzf1) + (1.0 - theta) * dot(c, &dzf0);
+
+            // Mass: Δn − accounted, relative to the density.
+            let n1 = dot(&moments.m0, f1);
+            let acc = dt * coef * theta_mix(&self.ones)
+                + src.map_or(0.0, |s| dt * dot(&moments.m0, s))
+                + TWO_PI * dot(&self.ones, r);
+            let drift = (n1 - dot(&moments.m0, f0)) - acc;
+            let rel = drift.abs() / n1.abs().max(1e-30);
+            report.mass_rel.push(rel);
+            rec.set_species("invariant.mass_drift", a, rel);
+
+            // Momentum and energy: per-species pieces of the
+            // mass-weighted totals (published raw; gated as totals).
+            let p1 = sp.mass * dot(&moments.mz, f1);
+            let acc_p = sp.mass
+                * (dt * coef * theta_mix(&self.zvec)
+                    + src.map_or(0.0, |s| dt * dot(&moments.mz, s))
+                    + TWO_PI * dot(&self.zvec, r));
+            p_drift += (p1 - sp.mass * dot(&moments.mz, f0)) - acc_p;
+
+            let x2_1 = dot(&moments.m2, f1);
+            let acc_e = 0.5
+                * sp.mass
+                * (dt * coef * theta_mix(&self.evec)
+                    + src.map_or(0.0, |s| dt * dot(&moments.m2, s))
+                    + TWO_PI * dot(&self.evec, r));
+            e_drift += 0.5 * sp.mass * (x2_1 - dot(&moments.m2, f0)) - acc_e;
+
+            // Robust momentum scale even when total p ≈ 0: Σ m·n·v_rms.
+            p_scale += sp.mass * (n1 * x2_1).max(0.0).sqrt();
+            rec.set_species("mass", a, n1);
+            rec.set_species("momentum", a, p1);
+            rec.set_species("energy", a, 0.5 * sp.mass * x2_1);
+        }
+        let e_scale = moments.total_energy(ctx.f_new).abs();
+        report.momentum_rel = p_drift.abs() / p_scale.max(1e-30);
+        report.energy_rel = e_drift.abs() / e_scale.max(1e-30);
+
+        let h_scale = h0.abs().max(1.0);
+        let sigma_rel_drop = (-sigma).max(0.0) / h_scale;
+
+        rec.set("invariant.momentum_drift", report.momentum_rel);
+        rec.set("invariant.energy_drift", report.energy_rel);
+        rec.set("invariant.entropy_h", h1);
+        rec.set("invariant.entropy_production", sigma);
+
+        let reg = &self.registry;
+        reg.add("invariant.steps", 1);
+        let mass_max = report.mass_rel.iter().fold(0.0f64, |m, &v| m.max(v));
+        reg.gauge_max("invariant.mass.drift_max", mass_max);
+        reg.gauge_max("invariant.momentum.drift_max", report.momentum_rel);
+        reg.gauge_max("invariant.energy.drift_max", report.energy_rel);
+        reg.gauge_max("invariant.entropy.production_drop_max", sigma_rel_drop);
+
+        let violation = if mass_max > self.watchdog.mass_tol {
+            Some((Invariant::Mass, mass_max))
+        } else if report.momentum_rel > self.watchdog.momentum_tol {
+            Some((Invariant::ZMomentum, report.momentum_rel))
+        } else if report.energy_rel > self.watchdog.energy_tol {
+            Some((Invariant::Energy, report.energy_rel))
+        } else if sigma_rel_drop > self.watchdog.entropy_tol {
+            Some((Invariant::Entropy, sigma_rel_drop))
+        } else {
+            None
+        };
+        if violation.is_some() {
+            reg.add("invariant.violations", 1);
+        }
+
+        if let Some(sink) = &self.sink {
+            sink.push(rec);
+        }
+        self.last = Some(report);
+
+        match (violation, self.watchdog.mode) {
+            (Some((which, drift)), WatchdogMode::Fail) => {
+                Err(SolveError::InvariantViolated { which, drift, step })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::Backend;
+    use crate::solver::{ThetaMethod, TimeIntegrator};
+    use crate::species::{Species, SpeciesList};
+    use landau_fem::FemSpace;
+    use landau_mesh::presets::{MeshSpec, RefineShell};
+
+    fn integrator(t_ion: f64) -> TimeIntegrator {
+        let sl = SpeciesList::new(vec![
+            Species::electron(),
+            Species {
+                name: "i+".into(),
+                mass: 2.0,
+                charge: 1.0,
+                density: 1.0,
+                temperature: t_ion,
+            },
+        ]);
+        let spec = MeshSpec {
+            domain_radius: 4.0,
+            base_level: 1,
+            shells: vec![RefineShell {
+                radius: 2.0,
+                max_cell_size: 0.5,
+            }],
+            tail_box: None,
+        };
+        let op = LandauOperator::new(FemSpace::new(spec.build(), 3), sl, Backend::Cpu);
+        TimeIntegrator::new(op, ThetaMethod::BackwardEuler)
+    }
+
+    #[test]
+    fn record_mode_is_bitwise_identical_with_roundoff_drift() {
+        // Reference: unmonitored relaxation run.
+        let mut plain = integrator(0.5);
+        let mut s_ref = plain.op.initial_state();
+        for _ in 0..3 {
+            plain.try_step(&mut s_ref, 0.2, 0.0, None).unwrap();
+        }
+
+        // Monitored run with a private registry + sink.
+        let mut ti = integrator(0.5);
+        let reg = Arc::new(MetricRegistry::new());
+        let sink = Arc::new(SeriesSink::new());
+        let mon = ConservationMonitor::new(&ti.op, Watchdog::recording())
+            .with_registry(Arc::clone(&reg))
+            .with_sink(Arc::clone(&sink));
+        ti.monitor = Some(mon);
+        let mut s = ti.op.initial_state();
+        for _ in 0..3 {
+            ti.try_step(&mut s, 0.2, 0.0, None).unwrap();
+        }
+        assert_eq!(s, s_ref, "record-mode monitoring changed the state");
+
+        let mon = ti.monitor.as_ref().unwrap();
+        assert_eq!(mon.steps(), 3);
+        let rep = mon.last_report().unwrap();
+        // Collision conservation defect is roundoff-level.
+        for (a, &m) in rep.mass_rel.iter().enumerate() {
+            assert!(m <= 1e-10, "species {a} mass drift {m:.3e}");
+        }
+        assert!(
+            rep.momentum_rel <= 1e-10,
+            "p drift {:.3e}",
+            rep.momentum_rel
+        );
+        assert!(rep.energy_rel <= 1e-10, "E drift {:.3e}", rep.energy_rel);
+        // Relaxation toward equal temperatures produces entropy.
+        assert!(
+            rep.entropy_production >= -1e-9,
+            "σ = {:.3e}",
+            rep.entropy_production
+        );
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("invariant.steps"), 3);
+        assert_eq!(snap.counter("invariant.violations"), 0);
+        assert!(snap.gauge("invariant.mass.drift_max").unwrap() <= 1e-10);
+        let ts = sink.snapshot();
+        assert_eq!(ts.len(), 3);
+        let last = ts.records().last().unwrap();
+        assert!(last.values.contains_key("invariant.mass_drift.s0"));
+        assert!(last.values.contains_key("invariant.entropy_production"));
+    }
+
+    #[test]
+    fn drift_accounting_removes_field_and_source_terms() {
+        // With an E field and a mass source the *raw* moment changes are
+        // large, but the accounted drift must stay at roundoff.
+        let mut ti = integrator(1.0);
+        let reg = Arc::new(MetricRegistry::new());
+        let mon =
+            ConservationMonitor::new(&ti.op, Watchdog::recording()).with_registry(Arc::clone(&reg));
+        ti.monitor = Some(mon);
+        let mut s = ti.op.initial_state();
+        let n = ti.op.n();
+        let cold = Species {
+            name: "cold".into(),
+            mass: 1.0,
+            charge: -1.0,
+            density: 0.5,
+            temperature: 0.2,
+        };
+        let mut src = vec![0.0; s.len()];
+        let v = ti.op.space.interpolate(|r, z| cold.maxwellian(r, z, 0.0));
+        src[..n].copy_from_slice(&v);
+        for _ in 0..2 {
+            ti.try_step(&mut s, 0.2, 0.05, Some(&src)).unwrap();
+        }
+        let rep = ti.monitor.as_ref().unwrap().last_report().unwrap().clone();
+        for (a, &m) in rep.mass_rel.iter().enumerate() {
+            assert!(m <= 1e-10, "species {a} mass drift {m:.3e}");
+        }
+        assert!(
+            rep.momentum_rel <= 1e-10,
+            "p drift {:.3e}",
+            rep.momentum_rel
+        );
+        assert!(rep.energy_rel <= 1e-10, "E drift {:.3e}", rep.energy_rel);
+    }
+
+    #[test]
+    fn fail_mode_rolls_the_step_back_bitwise() {
+        let mut ti = integrator(0.5);
+        // Impossible tolerance: every step violates.
+        let wd = Watchdog {
+            mode: WatchdogMode::Fail,
+            mass_tol: -1.0,
+            ..Watchdog::default()
+        };
+        let reg = Arc::new(MetricRegistry::new());
+        ti.monitor = Some(ConservationMonitor::new(&ti.op, wd).with_registry(Arc::clone(&reg)));
+        let mut s = ti.op.initial_state();
+        let before = s.clone();
+        let err = ti.try_step(&mut s, 0.2, 0.0, None).unwrap_err();
+        match err {
+            SolveError::InvariantViolated { which, step, .. } => {
+                assert_eq!(which, Invariant::Mass);
+                assert_eq!(step, 0);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert_eq!(s, before, "failed step must restore f^n bitwise");
+        assert_eq!(reg.snapshot().counter("invariant.violations"), 1);
+        // The error formats with the invariant name.
+        assert!(err.to_string().contains("mass invariant violated"));
+    }
+
+    #[test]
+    fn entropy_of_maxwellian_matches_quadrature_sanity() {
+        // H must be finite and negative for a sub-unity Maxwellian peak
+        // spread over the domain, and reproducible.
+        let ti = integrator(1.0);
+        let mon = ConservationMonitor::new(&ti.op, Watchdog::recording());
+        let s = ti.op.initial_state();
+        let h = mon.entropy(&ti.op, &s);
+        assert!(h.is_finite());
+        assert_eq!(h, mon.entropy(&ti.op, &s));
+    }
+}

@@ -35,6 +35,7 @@
 //!   supports (eq. 3 tensor, GMRES-based implicit advance).
 
 pub mod batch;
+pub mod invariants;
 pub mod ipdata;
 pub mod kernels;
 pub mod moments;
@@ -55,6 +56,9 @@ pub use landau_vgpu::fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
 pub mod fault_sites {
     pub use landau_vgpu::fault::{SITE_LANDAU_JACOBIAN, SITE_LU_FACTOR};
 }
+pub use invariants::{
+    ConservationMonitor, Invariant, InvariantReport, StepContext, Watchdog, WatchdogMode,
+};
 pub use operator::{Backend, LandauOperator};
 pub use recover::{AdaptiveStepper, RecoveryConfig, RecoveryFailure, RecoveryStats};
 pub use solver::{NonFiniteSite, SolveError, StepStats, ThetaMethod, TimeIntegrator};

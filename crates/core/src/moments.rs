@@ -84,6 +84,22 @@ impl Moments {
         (0..self.species.len()).map(|s| self.energy(state, s)).sum()
     }
 
+    /// The conserved triple `(density, z-momentum, kinetic energy)` for
+    /// every species, in species order. This is the quantity the
+    /// collision operator preserves by construction (§II-C) and the one
+    /// [`crate::invariants::ConservationMonitor`] tracks step to step.
+    pub fn conserved_triple(&self, state: &[f64]) -> Vec<(f64, f64, f64)> {
+        (0..self.species.len())
+            .map(|s| {
+                (
+                    self.density(state, s),
+                    self.z_momentum(state, s),
+                    self.energy(state, s),
+                )
+            })
+            .collect()
+    }
+
     /// Current density `J̃_z = Σ_α ẽ_α ∫ x_z f_α` (§IV-B).
     pub fn current_jz(&self, state: &[f64]) -> f64 {
         self.species
@@ -195,6 +211,28 @@ mod tests {
                 (got - want).abs() < 1e-3 * want.max(1e-3),
                 "s={s}: {got} vs {want}"
             );
+        }
+    }
+
+    #[test]
+    fn conserved_triple_matches_analytic_maxwellian_values() {
+        let (_space, sl, m, state) = setup();
+        let triples = m.conserved_triple(&state);
+        assert_eq!(triples.len(), 2);
+        for (s, &(n, p, e)) in triples.iter().enumerate() {
+            let sp = &sl.list[s];
+            // Stationary Maxwellian: n = n_s, p = 0, E = ½ m (3/2 θ) n.
+            assert!((n - sp.density).abs() < 1e-4, "s={s}: n = {n}");
+            assert!(p.abs() < 1e-8, "s={s}: p = {p}");
+            let want_e = 0.5 * sp.mass * 1.5 * sp.theta() * sp.density;
+            assert!(
+                (e - want_e).abs() < 1e-3 * want_e,
+                "s={s}: E = {e} vs {want_e}"
+            );
+            // And the triple agrees with the individual functionals.
+            assert_eq!(n, m.density(&state, s));
+            assert_eq!(p, m.z_momentum(&state, s));
+            assert_eq!(e, m.energy(&state, s));
         }
     }
 

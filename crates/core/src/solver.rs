@@ -8,6 +8,7 @@
 //! species' block solves independently with the banded LU after RCM
 //! reordering (§III-G) — the paper's linearly converging, robust iteration.
 
+use crate::invariants::{ConservationMonitor, StepContext, Watchdog};
 use crate::moments::Moments;
 use crate::operator::{AssembledOperator, LandauOperator};
 use crate::tensor_cache::TensorTable;
@@ -113,6 +114,18 @@ pub enum SolveError {
         /// Residual norm at failure.
         r_final: f64,
     },
+    /// A [`crate::invariants::ConservationMonitor`] in hard-fail mode
+    /// found a conserved quantity (or the entropy inequality) drifting
+    /// past its watchdog tolerance. The step is rolled back like any
+    /// other failure.
+    InvariantViolated {
+        /// Which invariant drifted.
+        which: crate::invariants::Invariant,
+        /// The measured relative drift (or entropy-production deficit).
+        drift: f64,
+        /// Monitored step index at which it drifted.
+        step: u64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -135,6 +148,12 @@ impl fmt::Display for SolveError {
                 write!(
                     f,
                     "Newton stalled after {iters} iters (residual {r_final:.3e})"
+                )
+            }
+            SolveError::InvariantViolated { which, drift, step } => {
+                write!(
+                    f,
+                    "{which} invariant violated at monitored step {step} (relative drift {drift:.3e})"
                 )
             }
         }
@@ -224,6 +243,9 @@ pub struct TimeIntegrator {
     pub stall_window: usize,
     /// Moment functionals (shared with drivers/diagnostics).
     pub moments: Moments,
+    /// Optional conservation/entropy monitor, consulted after every
+    /// successful step (see [`crate::invariants::ConservationMonitor`]).
+    pub monitor: Option<ConservationMonitor>,
     perm: Vec<usize>,
     /// Half-bandwidth of the reordered single-species block.
     pub block_bandwidth: usize,
@@ -271,6 +293,7 @@ impl TimeIntegrator {
             divergence_ratio: 1e4,
             stall_window: 8,
             moments,
+            monitor: None,
             perm,
             block_bandwidth,
         }
@@ -288,6 +311,15 @@ impl TimeIntegrator {
     /// amortizes over the whole transient.
     pub fn enable_tensor_cache(&mut self, budget_bytes: usize) -> Arc<TensorTable> {
         self.op.enable_tensor_cache(budget_bytes)
+    }
+
+    /// Install a [`ConservationMonitor`] with watchdog `wd`, publishing
+    /// into the process-global registry. For a private registry or a
+    /// timeseries sink, build the monitor directly and assign
+    /// `self.monitor`.
+    pub fn enable_monitoring(&mut self, wd: Watchdog) -> &mut ConservationMonitor {
+        let mon = ConservationMonitor::new(&self.op, wd);
+        self.monitor.insert(mon)
     }
 
     /// Build the block solver for `J = M − γ L` across species (permuted).
@@ -647,6 +679,31 @@ impl TimeIntegrator {
                     r_final,
                 }
             });
+        }
+        if failure.is_none() && stats.converged {
+            // Invariant watchdog: read-only over (f^n, f^{n+1}, R), so a
+            // Record-mode monitor leaves the state bitwise untouched; a
+            // Fail-mode violation routes into the transactional restore
+            // below like any other solve failure.
+            if let Some(mut mon) = self.monitor.take() {
+                let checked = mon.after_step(
+                    &self.op,
+                    &self.moments,
+                    &StepContext {
+                        f_old: &fn_old,
+                        f_new: state,
+                        dt,
+                        theta,
+                        e_field,
+                        source,
+                        residual: &r,
+                    },
+                );
+                self.monitor = Some(mon);
+                if let Err(e) = checked {
+                    failure = Some(e);
+                }
+            }
         }
         if failure.is_some() {
             // Transactional guarantee: a failed step leaves state == f^n

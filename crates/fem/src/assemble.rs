@@ -134,6 +134,84 @@ pub fn weighted_functional(space: &FemSpace, g: impl Fn(f64, f64) -> f64) -> Vec
     out
 }
 
+/// Nonlinear pointwise functional: `∫ r g(r, z, f_h(r, z)) dr dz` by
+/// quadrature, where `f_h` is the FE field with coefficients `coeffs`
+/// (constraints expanded through the node terms; no 2π). Unlike
+/// [`weighted_functional`] the integrand may depend nonlinearly on the
+/// field value — this is what the discrete entropy `∫ f ln f` uses.
+pub fn pointwise_integral(
+    space: &FemSpace,
+    coeffs: &[f64],
+    g: impl Fn(f64, f64, f64) -> f64,
+) -> f64 {
+    debug_assert_eq!(coeffs.len(), space.n_dofs);
+    let nb = space.tab.nb;
+    let mut local = vec![0.0; nb];
+    let mut total = 0.0;
+    for el in &space.elements {
+        for (bi, ni) in el.nodes.iter().enumerate() {
+            let mut v = 0.0;
+            for &(d, w) in &ni.terms {
+                v += w * coeffs[d];
+            }
+            local[bi] = v;
+        }
+        for q in 0..space.tab.nq {
+            let (xi, eta) = space.tab.quad.points[q];
+            let (r, z) = el.map_point(xi, eta);
+            let bq = &space.tab.b[q * nb..(q + 1) * nb];
+            let mut fq = 0.0;
+            for bi in 0..nb {
+                fq += bq[bi] * local[bi];
+            }
+            total += space.tab.quad.weights[q] * el.det_j() * r * g(r, z, fq);
+        }
+    }
+    total
+}
+
+/// Two-field variant of [`pointwise_integral`]:
+/// `∫ r g(r, z, a_h, b_h) dr dz` with both FE fields evaluated at the
+/// same quadrature points. Used for entropy-flux accounting,
+/// `∫ r (1 + ln f) s`, where `f` and `s` are different fields on one
+/// space.
+pub fn pointwise_integral2(
+    space: &FemSpace,
+    a: &[f64],
+    b: &[f64],
+    g: impl Fn(f64, f64, f64, f64) -> f64,
+) -> f64 {
+    debug_assert_eq!(a.len(), space.n_dofs);
+    debug_assert_eq!(b.len(), space.n_dofs);
+    let nb = space.tab.nb;
+    let mut local_a = vec![0.0; nb];
+    let mut local_b = vec![0.0; nb];
+    let mut total = 0.0;
+    for el in &space.elements {
+        for (bi, ni) in el.nodes.iter().enumerate() {
+            let (mut va, mut vb) = (0.0, 0.0);
+            for &(d, w) in &ni.terms {
+                va += w * a[d];
+                vb += w * b[d];
+            }
+            local_a[bi] = va;
+            local_b[bi] = vb;
+        }
+        for q in 0..space.tab.nq {
+            let (xi, eta) = space.tab.quad.points[q];
+            let (r, z) = el.map_point(xi, eta);
+            let bq = &space.tab.b[q * nb..(q + 1) * nb];
+            let (mut aq, mut bq_val) = (0.0, 0.0);
+            for bi in 0..nb {
+                aq += bq[bi] * local_a[bi];
+                bq_val += bq[bi] * local_b[bi];
+            }
+            total += space.tab.quad.weights[q] * el.det_j() * r * g(r, z, aq, bq_val);
+        }
+    }
+    total
+}
+
 /// L2-projection (with the r weight) of an analytic function onto the space:
 /// solves `M c = b` with `b_i = ∫ r ψ_i g`.
 pub fn l2_project(space: &FemSpace, g: impl Fn(f64, f64) -> f64) -> Vec<f64> {
@@ -206,6 +284,48 @@ mod tests {
         // Our uniform_mesh(2.0, 2) is [0,2]x[-2,2]: recompute:
         // ∫_0^2 r² dr ∫_{-2}^2 z² dz = (8/3)(16/3).
         assert!((got - 128.0 / 9.0).abs() < 1e-10, "{got}");
+    }
+
+    #[test]
+    fn pointwise_integral_matches_weighted_functional_for_linear_g() {
+        // With g(r, z, f) = z·f the nonlinear quadrature must agree with
+        // the linear moment functional, hanging nodes included.
+        let s = hanging_space(2);
+        let coeffs = s.interpolate(|r, z| 1.0 + 0.3 * r - 0.2 * z + 0.1 * r * z);
+        let f = weighted_functional(&s, |_, z| z);
+        let want: f64 = f.iter().zip(&coeffs).map(|(a, b)| a * b).sum();
+        let got = pointwise_integral(&s, &coeffs, |_, z, fv| z * fv);
+        assert!((got - want).abs() < 1e-11, "{got} vs {want}");
+    }
+
+    #[test]
+    fn pointwise_integral_evaluates_nonlinear_integrands() {
+        // ∫ r f² with f = z on [0,2]x[-2,2]: ∫_0^2 r dr ∫_{-2}^2 z² dz
+        // = 2 · 16/3.
+        let s = FemSpace::new(uniform_mesh(2.0, 2), 3);
+        let coeffs = s.interpolate(|_r, z| z);
+        let got = pointwise_integral(&s, &coeffs, |_, _, fv| fv * fv);
+        assert!((got - 32.0 / 3.0).abs() < 1e-10, "{got}");
+    }
+
+    #[test]
+    fn pointwise_integral2_couples_two_fields() {
+        // With b ≡ 1 the two-field quadrature reduces to the one-field
+        // one; with a = z, b = r it evaluates ∫ r (z²·r) analytically:
+        // ∫_0^2 r² dr ∫_{-2}^2 z² dz = (8/3)(16/3), hanging nodes too.
+        let s = hanging_space(2);
+        let a = s.interpolate(|r, z| 0.5 + 0.2 * r * z);
+        let ones = s.interpolate(|_, _| 1.0);
+        let got = pointwise_integral2(&s, &a, &ones, |_, _, av, bv| av * av * bv);
+        let want = pointwise_integral(&s, &a, |_, _, fv| fv * fv);
+        assert!((got - want).abs() < 1e-11, "{got} vs {want}");
+
+        let s = FemSpace::new(uniform_mesh(2.0, 2), 3);
+        let za = s.interpolate(|_r, z| z);
+        let rb = s.interpolate(|r, _z| r);
+        let got = pointwise_integral2(&s, &za, &rb, |_, _, av, bv| av * av * bv);
+        let want = (8.0 / 3.0) * (16.0 / 3.0);
+        assert!((got - want).abs() < 1e-10, "{got} vs {want}");
     }
 
     #[test]

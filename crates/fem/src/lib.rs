@@ -17,8 +17,8 @@ pub mod space;
 pub mod tabulation;
 
 pub use assemble::{
-    assemble_dz_matrix, assemble_mass_matrix, csr_pattern, l2_project, scatter_element_matrix,
-    scatter_element_vector, weighted_functional,
+    assemble_dz_matrix, assemble_mass_matrix, csr_pattern, l2_project, pointwise_integral,
+    pointwise_integral2, scatter_element_matrix, scatter_element_vector, weighted_functional,
 };
 pub use space::{Element, FemSpace, NodeExpansion};
 pub use tabulation::Tabulation;

@@ -16,6 +16,12 @@
 //!   snapshot, exportable as stable-schema JSON (`profile.json`) or a
 //!   human-readable table, with a direct mapping onto the paper's
 //!   Table VII component breakdown ([`Profile::table7_components`]).
+//! - **Timeseries** ([`TimeSeries`], [`SeriesSink`]): step-level physics
+//!   records (step index, sim time, Δt, named channels) with a stable
+//!   JSON/CSV schema; pure data, available in every build configuration.
+//! - **Trace export** ([`chrome_trace`], [`folded_stacks`]): the merged
+//!   span forest rendered as a Chrome-Trace/Perfetto-loadable timeline
+//!   (deterministic synthetic timestamps) or folded flamegraph stacks.
 //!
 //! Recording is feature-gated (`record`, on by default) and runtime-
 //! switchable ([`set_recording`]). With the feature off every call site
@@ -28,12 +34,16 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod span;
+pub mod timeseries;
+pub mod trace;
 
 pub use metrics::{Counter, HistogramSnapshot, MetricRegistry, MetricSnapshot};
 pub use profile::{reset_global, Profile, Table7Components, PROFILE_SCHEMA};
 pub use span::{
     recording, reset_spans, set_recording, span, spans_snapshot, SpanGuard, SpanNode, SpanSnapshot,
 };
+pub use timeseries::{Record, SeriesSink, TimeSeries, TIMESERIES_SCHEMA};
+pub use trace::{chrome_trace, chrome_trace_deterministic, folded_stacks};
 
 /// Well-known span names used across the workspace, so call sites and
 /// consumers (table renderers, tests) agree on spelling.

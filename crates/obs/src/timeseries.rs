@@ -1,0 +1,397 @@
+//! Step-level physics timeseries: an append-only record sink with a
+//! stable schema ([`TIMESERIES_SCHEMA`]).
+//!
+//! Each [`Record`] is one time step — step index, simulation time, Δt,
+//! and a sorted map of named `f64` channels (per-species channels use a
+//! `name.s<idx>` suffix, see [`Record::set_species`]). A [`TimeSeries`]
+//! keeps records sorted by step index and merges record-wise, so
+//! snapshots from different producers fold associatively just like
+//! [`crate::MetricRegistry`] snapshots. [`SeriesSink`] is the shared
+//! (thread-safe, injectable or process-global) collection point the
+//! solver and drivers publish into.
+//!
+//! Unlike spans, the timeseries is pure data — it exists and records in
+//! every build configuration, including `--no-default-features`.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Schema identifier written into every exported timeseries document.
+pub const TIMESERIES_SCHEMA: &str = "landau-obs-timeseries/1";
+
+/// One time step's worth of named channels.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Record {
+    /// Step index (the merge key).
+    pub step: u64,
+    /// Simulation time at the *end* of the step.
+    pub t: f64,
+    /// Step size taken.
+    pub dt: f64,
+    /// Named channels, sorted by name.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl Record {
+    /// A record with no channels yet.
+    pub fn new(step: u64, t: f64, dt: f64) -> Record {
+        Record {
+            step,
+            t,
+            dt,
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Set (or overwrite) one channel.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Set a per-species channel: stored as `name.s<species>`, so species
+    /// columns of one quantity sort together.
+    pub fn set_species(&mut self, name: &str, species: usize, value: f64) {
+        self.values.insert(format!("{name}.s{species}"), value);
+    }
+
+    /// Builder-style [`Record::set`].
+    pub fn with(mut self, name: &str, value: f64) -> Record {
+        self.set(name, value);
+        self
+    }
+
+    /// Fold another record for the same step into this one: incoming
+    /// channels overwrite same-named ones, `t`/`dt` take the incoming
+    /// values. Overwrite-on-conflict keeps the fold associative.
+    fn merge_from(&mut self, other: &Record) {
+        self.t = other.t;
+        self.dt = other.dt;
+        for (k, v) in &other.values {
+            self.values.insert(k.clone(), *v);
+        }
+    }
+}
+
+/// An append-only sequence of [`Record`]s, sorted by step index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    records: Vec<Record>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Number of distinct steps recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, sorted by step index.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The record for one step index, if present.
+    pub fn record(&self, step: u64) -> Option<&Record> {
+        self.records
+            .binary_search_by_key(&step, |r| r.step)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Append a record, folding it into an existing record with the same
+    /// step index (channel union, incoming values win).
+    pub fn push(&mut self, rec: Record) {
+        match self.records.binary_search_by_key(&rec.step, |r| r.step) {
+            Ok(i) => self.records[i].merge_from(&rec),
+            Err(i) => self.records.insert(i, rec),
+        }
+    }
+
+    /// Fold another series into this one record-wise. Associative, like
+    /// [`crate::MetricSnapshot::merge`].
+    pub fn merge(&mut self, other: &TimeSeries) {
+        for r in &other.records {
+            self.push(r.clone());
+        }
+    }
+
+    /// Sorted union of all channel names across the series.
+    pub fn channels(&self) -> Vec<String> {
+        let mut set = std::collections::BTreeSet::new();
+        for r in &self.records {
+            for k in r.values.keys() {
+                set.insert(k.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Export as a schema-tagged JSON document.
+    pub fn to_json(&self) -> Json {
+        let channels = Json::Arr(self.channels().into_iter().map(Json::Str).collect());
+        let records = Json::Arr(
+            self.records
+                .iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("step".to_string(), Json::Num(r.step as f64)),
+                        ("t".to_string(), Json::Num(r.t)),
+                        ("dt".to_string(), Json::Num(r.dt)),
+                        (
+                            "values".to_string(),
+                            Json::Obj(
+                                r.values
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            (
+                "schema".to_string(),
+                Json::Str(TIMESERIES_SCHEMA.to_string()),
+            ),
+            ("channels".to_string(), channels),
+            ("records".to_string(), records),
+        ])
+    }
+
+    /// Serialized JSON text (byte-stable: sorted channel maps, sorted
+    /// records, shortest-roundtrip numbers).
+    pub fn to_json_text(&self) -> String {
+        self.to_json().to_text()
+    }
+
+    /// Parse a document produced by [`TimeSeries::to_json`], validating
+    /// the schema tag.
+    pub fn from_json(doc: &Json) -> Result<TimeSeries, String> {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != TIMESERIES_SCHEMA {
+            return Err(format!("unsupported schema {schema:?}"));
+        }
+        let recs = doc
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or("missing records array")?;
+        let mut out = TimeSeries::new();
+        for (i, r) in recs.iter().enumerate() {
+            let step = r
+                .get("step")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("record {i}: bad step"))?;
+            let t = r
+                .get("t")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("record {i}: bad t"))?;
+            let dt = r
+                .get("dt")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("record {i}: bad dt"))?;
+            let mut rec = Record::new(step, t, dt);
+            let vals = r
+                .get("values")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("record {i}: bad values"))?;
+            for (k, v) in vals {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("record {i}: channel {k} is not a number"))?;
+                rec.set(k, v);
+            }
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    /// Parse serialized JSON text (see [`TimeSeries::from_json`]).
+    pub fn parse(text: &str) -> Result<TimeSeries, String> {
+        let doc = Json::parse(text).map_err(|e| format!("{e:?}"))?;
+        TimeSeries::from_json(&doc)
+    }
+
+    /// Export as CSV: `step,t,dt,<channels…>` with channels in sorted
+    /// order and empty cells for channels a record does not carry.
+    pub fn to_csv(&self) -> String {
+        let channels = self.channels();
+        let mut out = String::from("step,t,dt");
+        for c in &channels {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&format!("{},{},{}", r.step, r.t, r.dt));
+            for c in &channels {
+                out.push(',');
+                if let Some(v) = r.values.get(c) {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Thread-safe collection point for timeseries records. Producers are
+/// handed an `Arc<SeriesSink>` (or fall back to [`SeriesSink::global`]);
+/// consumers take a [`SeriesSink::snapshot`] and export it.
+#[derive(Debug, Default)]
+pub struct SeriesSink {
+    inner: Mutex<TimeSeries>,
+}
+
+impl SeriesSink {
+    /// A fresh, empty sink.
+    pub fn new() -> SeriesSink {
+        SeriesSink::default()
+    }
+
+    /// Append one record (folding by step index, see [`TimeSeries::push`]).
+    pub fn push(&self, rec: Record) {
+        lock(&self.inner).push(rec);
+    }
+
+    /// Point-in-time copy of the collected series.
+    pub fn snapshot(&self) -> TimeSeries {
+        lock(&self.inner).clone()
+    }
+
+    /// Clear all collected records.
+    pub fn reset(&self) {
+        *lock(&self.inner) = TimeSeries::new();
+    }
+
+    /// The process-wide default sink.
+    pub fn global() -> &'static SeriesSink {
+        GLOBAL.get_or_init(|| Arc::new(SeriesSink::new()))
+    }
+
+    /// Shared handle to the process-wide default sink.
+    pub fn global_arc() -> Arc<SeriesSink> {
+        SeriesSink::global();
+        GLOBAL.get().expect("initialized above").clone()
+    }
+}
+
+static GLOBAL: OnceLock<Arc<SeriesSink>> = OnceLock::new();
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(specs: &[(u64, &[(&str, f64)])]) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for &(step, chans) in specs {
+            let mut r = Record::new(step, step as f64 * 0.25, 0.25);
+            for &(name, v) in chans {
+                r.set(name, v);
+            }
+            ts.push(r);
+        }
+        ts
+    }
+
+    #[test]
+    fn push_merges_by_step_index() {
+        let mut ts = TimeSeries::new();
+        ts.push(Record::new(3, 0.75, 0.25).with("a", 1.0));
+        ts.push(Record::new(1, 0.25, 0.25).with("a", 2.0));
+        ts.push(Record::new(3, 0.75, 0.25).with("b", 4.0));
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.records()[0].step, 1);
+        let r3 = ts.record(3).unwrap();
+        assert_eq!(r3.values["a"], 1.0);
+        assert_eq!(r3.values["b"], 4.0);
+        assert_eq!(ts.channels(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn species_channels_get_suffixed_names() {
+        let mut r = Record::new(0, 0.0, 0.1);
+        r.set_species("mass", 0, 1.0);
+        r.set_species("mass", 1, 0.5);
+        assert_eq!(r.values["mass.s0"], 1.0);
+        assert_eq!(r.values["mass.s1"], 0.5);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = series(&[(0, &[("x", 1.0)]), (1, &[("x", 2.0)])]);
+        let b = series(&[(1, &[("y", 3.0)]), (2, &[("x", 4.0)])]);
+        let c = series(&[(2, &[("y", 5.0)])]);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.len(), 3);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_and_byte_stable() {
+        let mut ts = series(&[
+            (0, &[("T_e", 100.0)]),
+            (7, &[("T_e", 0.05), ("J_z", 1.5e-3)]),
+        ]);
+        let mut r = Record::new(7, 1.75, 0.25);
+        r.set_species("mass_drift", 1, 1.25e-12);
+        ts.push(r);
+        let text = ts.to_json_text();
+        let back = TimeSeries::parse(&text).unwrap();
+        assert_eq!(back, ts);
+        assert_eq!(back.to_json_text(), text);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        assert!(TimeSeries::parse("{\"schema\":\"nope/9\",\"records\":[]}").is_err());
+        assert!(TimeSeries::parse("{\"records\":[]}").is_err());
+    }
+
+    #[test]
+    fn csv_has_header_and_empty_cells_for_missing_channels() {
+        let ts = series(&[(0, &[("a", 1.5)]), (1, &[("b", 2.0)])]);
+        let csv = ts.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "step,t,dt,a,b");
+        assert_eq!(lines[1], "0,0,0.25,1.5,");
+        assert_eq!(lines[2], "1,0.25,0.25,,2");
+    }
+
+    #[test]
+    fn sink_is_shared_and_resettable() {
+        let sink = SeriesSink::new();
+        sink.push(Record::new(0, 0.0, 0.1).with("n", 1.0));
+        sink.push(Record::new(0, 0.0, 0.1).with("m", 2.0));
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.records()[0].values.len(), 2);
+        sink.reset();
+        assert!(sink.snapshot().is_empty());
+    }
+}

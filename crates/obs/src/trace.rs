@@ -1,0 +1,215 @@
+//! Trace exporters: Chrome Trace Format JSON and folded-stack flamegraph
+//! text, built from the merged span forest.
+//!
+//! The span forest is *aggregated* — each [`SpanNode`] is a (name, count,
+//! total wall-clock) rollup, not an event log — so a faithful per-event
+//! timeline cannot be reconstructed. Instead the Chrome export
+//! synthesizes **deterministic** timestamps purely from the forest's
+//! shape and counts: a node's duration is `count + Σ child durations`
+//! (so children always fit strictly inside their parent) and siblings
+//! pack sequentially in name order. Two runs of the same workload that
+//! produce the same forest shape therefore export byte-identical traces,
+//! which is what the determinism gate diffs. Real wall-clock totals ride
+//! along in each event's `args.total_ns` where they do not perturb the
+//! layout, and are zeroed by [`chrome_trace_deterministic`].
+//!
+//! Load the JSON in `chrome://tracing` or Perfetto ("Open trace file");
+//! feed the folded text to any flamegraph renderer.
+
+use crate::json::{num_u64, Json};
+use crate::span::{SpanNode, SpanSnapshot};
+
+/// Synthetic duration of a node: its close count plus everything nested
+/// under it. `count ≥ 1` for every recorded node, so a parent is always
+/// strictly longer than its children packed end to end.
+fn synthetic_dur(node: &SpanNode) -> u64 {
+    node.count.max(1) + node.children.iter().map(synthetic_dur).sum::<u64>()
+}
+
+fn emit_events(node: &SpanNode, ts: u64, wall_ns: bool, out: &mut Vec<Json>) {
+    let dur = synthetic_dur(node);
+    out.push(Json::Obj(vec![
+        ("name".to_string(), Json::Str(node.name.clone())),
+        ("ph".to_string(), Json::Str("X".to_string())),
+        ("ts".to_string(), num_u64(ts)),
+        ("dur".to_string(), num_u64(dur)),
+        ("pid".to_string(), num_u64(1)),
+        ("tid".to_string(), num_u64(1)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![
+                ("count".to_string(), num_u64(node.count)),
+                (
+                    "total_ns".to_string(),
+                    num_u64(if wall_ns { node.total_ns } else { 0 }),
+                ),
+            ]),
+        ),
+    ]));
+    let mut child_ts = ts;
+    for c in &node.children {
+        emit_events(c, child_ts, wall_ns, out);
+        child_ts += synthetic_dur(c);
+    }
+}
+
+fn chrome_trace_with(snap: &SpanSnapshot, wall_ns: bool) -> Json {
+    let mut events = Vec::new();
+    let mut ts = 0;
+    for r in &snap.roots {
+        emit_events(r, ts, wall_ns, &mut events);
+        ts += synthetic_dur(r);
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ns".to_string())),
+    ])
+}
+
+/// Export the span forest as a Chrome Trace Format document: one
+/// `"ph":"X"` complete event per forest node (event count ==
+/// `snap.shape().len()`), nested via synthetic timestamps, with the real
+/// aggregate wall-clock carried in `args.total_ns`.
+pub fn chrome_trace(snap: &SpanSnapshot) -> Json {
+    chrome_trace_with(snap, true)
+}
+
+/// [`chrome_trace`] with the wall-clock `args.total_ns` zeroed: every
+/// field is then a function of the forest *shape*, so two runs of the
+/// same workload export byte-identical documents.
+pub fn chrome_trace_deterministic(snap: &SpanSnapshot) -> Json {
+    chrome_trace_with(snap, false)
+}
+
+/// Export the span forest as folded-stack flamegraph text: one line per
+/// forest node, `root;child;leaf count`, weighted by close count (the
+/// deterministic weight; wall-clock totals are aggregate and live in the
+/// Chrome export's `args`).
+pub fn folded_stacks(snap: &SpanSnapshot) -> String {
+    fn walk(node: &SpanNode, prefix: &str, out: &mut String) {
+        let path = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        out.push_str(&format!("{path} {}\n", node.count));
+        for c in &node.children {
+            walk(c, &path, out);
+        }
+    }
+    let mut out = String::new();
+    for r in &snap.roots {
+        walk(r, "", &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, count: u64, ns: u64, children: Vec<SpanNode>) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            count,
+            total_ns: ns,
+            children,
+        }
+    }
+
+    fn sample() -> SpanSnapshot {
+        SpanSnapshot {
+            roots: vec![
+                node(
+                    "step",
+                    3,
+                    9_000,
+                    vec![
+                        node("factor", 3, 2_000, vec![node("lu", 3, 1_500, vec![])]),
+                        node("kernel", 6, 5_000, vec![]),
+                    ],
+                ),
+                node("quench", 1, 100, vec![]),
+            ],
+        }
+    }
+
+    #[test]
+    fn one_event_per_forest_node() {
+        let snap = sample();
+        let doc = chrome_trace(&snap);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), snap.shape().len());
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("name").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn children_nest_inside_parents_and_siblings_do_not_overlap() {
+        let doc = chrome_trace(&sample());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let span_of = |name: &str| {
+            let e = events
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(name))
+                .unwrap();
+            let ts = e.get("ts").unwrap().as_u64().unwrap();
+            let dur = e.get("dur").unwrap().as_u64().unwrap();
+            (ts, ts + dur)
+        };
+        let (s0, s1) = span_of("step");
+        let (f0, f1) = span_of("factor");
+        let (k0, k1) = span_of("kernel");
+        let (l0, l1) = span_of("lu");
+        assert!(s0 <= f0 && f1 <= s1, "factor outside step");
+        assert!(s0 <= k0 && k1 <= s1, "kernel outside step");
+        assert!(f0 <= l0 && l1 <= f1, "lu outside factor");
+        assert!(f1 <= k0, "name-ordered siblings must pack sequentially");
+        let (q0, _) = span_of("quench");
+        assert!(q0 >= s1, "second root starts after the first ends");
+    }
+
+    #[test]
+    fn deterministic_export_is_shape_only() {
+        let mut warm = sample();
+        // Same shape, different wall-clock: timings differ between runs.
+        warm.roots[0].total_ns = 1;
+        warm.roots[0].children[1].total_ns = 2;
+        let a = chrome_trace_deterministic(&sample()).to_text();
+        let b = chrome_trace_deterministic(&warm).to_text();
+        assert_eq!(a, b);
+        // The wall-clock variant does see the difference (in args only).
+        let c = chrome_trace(&sample()).to_text();
+        let d = chrome_trace(&warm).to_text();
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn exported_trace_round_trips_through_the_parser() {
+        let text = chrome_trace(&sample()).to_text();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("traceEvents").unwrap().as_arr().unwrap().len(),
+            sample().shape().len()
+        );
+        assert_eq!(doc.to_text(), text);
+    }
+
+    #[test]
+    fn folded_stacks_list_every_path_with_counts() {
+        let folded = folded_stacks(&sample());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "step 3",
+                "step;factor 3",
+                "step;factor;lu 3",
+                "step;kernel 6",
+                "quench 1",
+            ]
+        );
+    }
+}

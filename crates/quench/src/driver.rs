@@ -10,14 +10,16 @@
 //! rise of `E`, the slower decay of `J` and the eventual Ohmic re-heating
 //! are the expected dynamics (Figure 5).
 
-use crate::diagnostics::TailDiagnostics;
+use crate::diagnostics::{directed_tail_flux, TailDiagnostics};
 use crate::spitzer::{connor_hastie_ec, spitzer_eta};
+use landau_core::invariants::{ConservationMonitor, Watchdog};
 use landau_core::operator::{Backend, LandauOperator};
 use landau_core::recover::{AdaptiveStepper, RecoveryConfig, RecoveryFailure, RecoveryStats};
 use landau_core::solver::{StepStats, ThetaMethod, TimeIntegrator};
 use landau_core::species::{maxwellian, Species, SpeciesList};
 use landau_fem::FemSpace;
 use landau_mesh::presets::MeshSpec;
+use landau_obs::timeseries::{Record, SeriesSink};
 use landau_obs::MetricRegistry;
 use std::fmt;
 use std::sync::Arc;
@@ -60,6 +62,11 @@ pub struct QuenchConfig {
     pub max_newton: usize,
     /// Recovery policy for failed steps (damped retry, Δt halving).
     pub recovery: RecoveryConfig,
+    /// Install a [`ConservationMonitor`] with this watchdog on the
+    /// integrator: every successful step is checked for mass/momentum/
+    /// energy drift and entropy production, published under
+    /// `invariant.*` and into the driver's timeseries.
+    pub monitor: Option<Watchdog>,
 }
 
 impl Default for QuenchConfig {
@@ -82,6 +89,7 @@ impl Default for QuenchConfig {
             backend: Backend::Cpu,
             max_newton: 100,
             recovery: RecoveryConfig::default(),
+            monitor: None,
         }
     }
 }
@@ -163,7 +171,14 @@ pub struct QuenchDriver {
     /// profile export reads from). Defaults to the process-global
     /// registry.
     pub metrics: Arc<MetricRegistry>,
+    /// Step-level physics timeseries: one record per completed step
+    /// carrying `t_e`, `j_z`, `n_e`, `e_field`, the 2v₀ tail channels
+    /// and the phase flag — plus the `invariant.*` drift channels when a
+    /// monitor is installed (the records merge by step index). The
+    /// initial `t = 0` sample lives only in [`Self::samples`].
+    pub series: Arc<SeriesSink>,
     time: f64,
+    rec_steps: u64,
 }
 
 impl QuenchDriver {
@@ -198,7 +213,7 @@ impl QuenchDriver {
         ti.max_newton = cfg.max_newton;
         let state = ti.op.initial_state();
         let stepper = AdaptiveStepper::with_config(ti, cfg.recovery);
-        QuenchDriver {
+        let mut driver = QuenchDriver {
             cfg,
             stepper,
             state,
@@ -213,8 +228,26 @@ impl QuenchDriver {
                 ..Default::default()
             },
             metrics: MetricRegistry::global_arc(),
+            series: Arc::new(SeriesSink::new()),
             time: 0.0,
+            rec_steps: 0,
+        };
+        if let Some(wd) = driver.cfg.monitor {
+            driver.enable_monitoring(wd);
         }
+        driver
+    }
+
+    /// Install (or replace) a [`ConservationMonitor`] on the integrator,
+    /// publishing into the driver's current [`Self::metrics`] registry
+    /// and [`Self::series`] sink. Called automatically by [`Self::new`]
+    /// when [`QuenchConfig::monitor`] is set; call it manually after
+    /// swapping `metrics`/`series` to redirect the invariant streams.
+    pub fn enable_monitoring(&mut self, wd: Watchdog) {
+        let mon = ConservationMonitor::new(&self.stepper.ti.op, wd)
+            .with_registry(Arc::clone(&self.metrics))
+            .with_sink(Arc::clone(&self.series));
+        self.stepper.ti.monitor = Some(mon);
     }
 
     /// The wrapped integrator (operator, moments, tolerances).
@@ -238,7 +271,30 @@ impl QuenchDriver {
             tail_2v: self.tails.tail_density(&self.state, 0)[0],
             quenching,
         };
+        let initial = self.samples.is_empty();
         self.samples.push(s);
+        if !initial {
+            // One timeseries record per completed driver step. With a
+            // monitor installed the record index is the last *monitored*
+            // step's (substeps included), so the physics channels land in
+            // the same record as that step's `invariant.*` drifts.
+            let step = match &self.stepper.ti.monitor {
+                Some(mon) => mon.steps().saturating_sub(1),
+                None => self.rec_steps,
+            };
+            self.rec_steps += 1;
+            let op = &self.stepper.ti.op;
+            let j_par = directed_tail_flux(&op.space, &self.state, 0, self.tails.thresholds()[0]);
+            let rec = Record::new(step, s.t, self.cfg.dt)
+                .with("t_e", s.t_e)
+                .with("j_z", s.j)
+                .with("n_e", s.n_e)
+                .with("e_field", s.e)
+                .with("current_parallel", j_par)
+                .with("runaway_fraction", s.tail_2v / s.n_e.max(1e-30))
+                .with("phase", if s.quenching { 1.0 } else { 0.0 });
+            self.series.push(rec);
+        }
         s
     }
 
@@ -449,6 +505,71 @@ mod tests {
             on.iter().zip(&off).all(|(a, b)| a.to_bits() == b.to_bits()),
             "span/metric recording changed the quench state bitwise"
         );
+    }
+
+    #[test]
+    fn monitored_quench_is_bitwise_identical_and_fills_the_timeseries() {
+        let cfg = QuenchConfig {
+            max_equil_steps: 3,
+            quench_steps: 3,
+            ..fast_cfg()
+        };
+        let mut plain = QuenchDriver::new(cfg.clone());
+        plain.run().expect("unmonitored run failed");
+
+        let mut d = QuenchDriver::new(QuenchConfig {
+            monitor: Some(Watchdog::recording()),
+            ..cfg
+        });
+        d.metrics = Arc::new(MetricRegistry::new());
+        d.series = Arc::new(SeriesSink::new());
+        d.enable_monitoring(Watchdog::recording());
+        d.run().expect("monitored run failed");
+
+        // Record-mode monitoring never touches the arithmetic.
+        assert!(
+            d.state
+                .iter()
+                .zip(&plain.state)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "monitoring changed the quench state bitwise"
+        );
+
+        // One merged record per step: physics channels + invariant drifts.
+        let ts = d.series.snapshot();
+        let steps = d.samples.len() - 1; // initial sample is not a step
+        assert_eq!(ts.len(), steps, "{} records", ts.len());
+        for rec in ts.records() {
+            for ch in [
+                "t_e",
+                "j_z",
+                "n_e",
+                "e_field",
+                "current_parallel",
+                "runaway_fraction",
+                "phase",
+                "invariant.mass_drift.s0",
+                "invariant.entropy_production",
+            ] {
+                assert!(
+                    rec.values.contains_key(ch),
+                    "step {} missing channel {ch}",
+                    rec.step
+                );
+            }
+            // Mid-quench (cold source + Spitzer feedback) the accounted
+            // drift still sits at roundoff, and entropy is produced.
+            for drift in ["invariant.mass_drift.s0", "invariant.mass_drift.s1"] {
+                assert!(rec.values[drift] <= 1e-10, "step {}: {drift}", rec.step);
+            }
+            assert!(rec.values["invariant.momentum_drift"] <= 1e-10);
+            assert!(rec.values["invariant.energy_drift"] <= 1e-10);
+            assert!(rec.values["invariant.entropy_production"] >= -1e-9);
+        }
+        let snap = d.metrics.snapshot();
+        assert_eq!(snap.counter("invariant.steps") as usize, steps);
+        assert_eq!(snap.counter("invariant.violations"), 0);
+        assert!(snap.gauge("invariant.mass.drift_max").unwrap() <= 1e-10);
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub struct ResistivityConfig {
     /// Quasi-equilibrium detector: stop when `|Δη|/η` per step drops
     /// below this.
     pub eta_tol: f64,
+    /// Newton relative tolerance. The default is tight; coarse-mesh
+    /// quick sweeps relax it slightly (the quasi-Newton can stall a
+    /// shade above 1e-8 on high-Z light-ion configurations).
+    pub rtol: f64,
+    /// Newton absolute residual tolerance. High-Z quick configurations
+    /// plateau at a ~4e-9 assembly-roundoff floor, below which the
+    /// stall detector fires; quick sweeps raise this above the floor.
+    pub atol: f64,
     /// Kernel back-end.
     pub backend: Backend,
 }
@@ -51,6 +59,8 @@ impl Default for ResistivityConfig {
             dt: 0.5,
             max_steps: 60,
             eta_tol: 2e-3,
+            rtol: 1e-8,
+            atol: 1e-12,
             backend: Backend::Cpu,
         }
     }
@@ -104,7 +114,8 @@ pub fn build_operator(cfg: &ResistivityConfig) -> LandauOperator {
 pub fn measure_resistivity(cfg: &ResistivityConfig) -> ResistivityRun {
     let op = build_operator(cfg);
     let mut ti = TimeIntegrator::new(op, ThetaMethod::BackwardEuler);
-    ti.rtol = 1e-8;
+    ti.rtol = cfg.rtol;
+    ti.atol = cfg.atol;
     ti.max_newton = 100;
     let mut state = ti.op.initial_state();
     let mut history: Vec<(f64, f64, f64)> = Vec::new();
