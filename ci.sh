@@ -24,6 +24,16 @@ cargo test -q --workspace
 echo "== landau-obs with recording compiled out"
 cargo test -q -p landau-obs --no-default-features
 
+echo "== static kernel verifier (registry proofs + seeded-defect corpus)"
+cargo run -q -p landau-check --bin verify-kernels
+
+echo "== miri (undefined-behavior check, vgpu + sparse; skipped if unavailable)"
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  cargo +nightly miri test -q -p landau-vgpu -p landau-sparse
+else
+  echo "miri not installed; skipping (CI runs it in a dedicated job)"
+fi
+
 echo "== bench build"
 cargo build --release -p landau-bench --benches
 
@@ -36,7 +46,7 @@ cargo bench -q -p landau-bench --bench resilience -- --quick
 echo "== invariants bench (quick gate: conservation drift ceilings + entropy floor)"
 cargo bench -q -p landau-bench --bench invariants -- --quick
 
-echo "== bench regression gate (fresh BENCH_*.json vs baselines/)"
+echo "== bench regression gate (fresh BENCH_*.json vs baselines/, verify.* pinned to 0)"
 cargo run -q --release -p landau-bench --bin bench_gate
 
 echo "== table smoke: roofline from the metric registry"

@@ -14,6 +14,9 @@
 //!     (Newton iterations depend on thread count) within a band;
 //!   * **ceiling / floor** — absolute bounds on the fresh value, with the
 //!     baseline shown for context (overhead fractions, cache speedup);
+//!   * **zero** — hard gates that must be exactly 0 on the fresh side
+//!     (static-verifier violations and corpus misses: any nonzero value
+//!     means a kernel defect or a broken verifier);
 //!   * **info** — reported but never gating (raw seconds, iters/sec: too
 //!     machine-dependent to compare across hosts).
 //!
@@ -36,6 +39,9 @@ enum Rule {
     Ceiling(f64),
     /// fresh ≥ limit, regardless of baseline.
     Floor(f64),
+    /// fresh must be exactly 0, regardless of baseline (hard gates like
+    /// verifier violation counts, where any nonzero value is a defect).
+    Zero,
     /// Reported only.
     Info,
 }
@@ -66,6 +72,9 @@ fn rule_for(name: &str) -> Rule {
         // Entropy production (σ, source flux accounted) is asserted
         // non-negative inside the bench; its magnitude is informational.
         "invariant.entropy.production_drop_max" | "entropy_production_min" => Rule::Info,
+        // The static kernel verifier: no proof violation and no missed
+        // corpus defect, ever — these gate at exactly zero.
+        "verify.violations" | "verify.corpus_missed" => Rule::Zero,
         "overhead_frac" => Rule::Ceiling(0.25),
         "speedup" => Rule::Floor(2.0),
         n if n.starts_with("verify_rel_diff_") => Rule::Ceiling(1e-13),
@@ -131,6 +140,7 @@ fn compare(name: &str, base: &BTreeMap<String, f64>, fresh: &BTreeMap<String, f6
             Rule::RelTol(tol) => ((f - b).abs() <= tol * b.abs(), format!("reltol {tol:.2}")),
             Rule::Ceiling(lim) => (f < lim, format!("< {lim:e}")),
             Rule::Floor(lim) => (f >= lim, format!(">= {lim}")),
+            Rule::Zero => (f == 0.0, "exactly 0".to_string()),
             Rule::Info => (true, "info".to_string()),
         };
         println!(
@@ -150,6 +160,7 @@ fn main() {
         ("BENCH_resilience.json", "resilience"),
         ("BENCH_tensor_cache.json", "tensor_cache"),
         ("BENCH_invariants.json", "invariants"),
+        ("BENCH_verify.json", "verify"),
     ];
     let mut failures = 0;
     for (file, name) in pairs {

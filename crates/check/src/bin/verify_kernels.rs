@@ -1,0 +1,189 @@
+//! Static kernel verifier driver: `cargo run -p landau-check --bin
+//! verify-kernels`.
+//!
+//! Enumerates the kernel registry (`landau_core::KernelRegistry`), proves
+//! race freedom / barrier uniformity / capacity / reduction determinism
+//! for every registered kernel over its policy family, then runs the
+//! seeded-defect corpus and checks each planted bug is flagged with the
+//! expected rule. Emits two machine-readable artifacts at the workspace
+//! root:
+//!
+//! * `VERIFY_kernels.json` — the full findings report (per-kernel proof
+//!   tallies, violations, corpus verdicts), uploaded by CI;
+//! * `BENCH_verify.json` — the flat gate metrics (`verify.violations`,
+//!   `verify.corpus_missed`) the bench-regression gate pins to exactly 0.
+//!
+//! Exits nonzero when any production kernel has a violation or any corpus
+//! defect goes uncaught.
+
+use landau_check::corpus::{corpus, run_corpus_kernel};
+use landau_check::verify::{verify_registry, VerifyReport};
+use landau_core::registry::{KernelRegistry, VerifyInput};
+use landau_obs::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/check -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn num(n: usize) -> Json {
+    Json::Num(n as f64)
+}
+
+fn report_json(report: &VerifyReport, corpus_rows: &[(String, String, bool)]) -> (Json, Json) {
+    let kernels = report
+        .kernels
+        .iter()
+        .map(|k| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(k.name.clone())),
+                (
+                    "vector_lengths".into(),
+                    Json::Arr(k.vector_lengths.iter().map(|&v| num(v)).collect()),
+                ),
+                ("blocks".into(), num(k.blocks)),
+                (
+                    "proofs".into(),
+                    Json::Obj(vec![
+                        ("affine".into(), num(k.proofs.affine)),
+                        ("widened".into(), num(k.proofs.widened)),
+                        ("enumerated".into(), num(k.proofs.enumerated)),
+                    ]),
+                ),
+                (
+                    "findings".into(),
+                    Json::Arr(
+                        k.findings
+                            .iter()
+                            .map(|f| {
+                                Json::Obj(vec![
+                                    ("rule".into(), Json::Str(f.rule.code().into())),
+                                    ("vector_length".into(), num(f.vector_length)),
+                                    (
+                                        "spec".into(),
+                                        f.spec.map_or(Json::Null, |s| Json::Str(s.into())),
+                                    ),
+                                    ("detail".into(), Json::Str(f.finding.to_string())),
+                                    ("occurrences".into(), num(f.occurrences)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let corpus_arr = corpus_rows
+        .iter()
+        .map(|(name, expected, caught)| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name.clone())),
+                ("expected".into(), Json::Str(expected.clone())),
+                ("caught".into(), Json::Bool(*caught)),
+            ])
+        })
+        .collect();
+    let violations = report.violations();
+    let missed = corpus_rows.iter().filter(|(_, _, caught)| !caught).count();
+    let full = Json::Obj(vec![
+        ("kernels".into(), Json::Arr(kernels)),
+        ("corpus".into(), Json::Arr(corpus_arr)),
+        ("violations".into(), num(violations)),
+        ("corpus_missed".into(), num(missed)),
+    ]);
+    let gate = Json::Obj(vec![
+        ("verify.violations".into(), num(violations)),
+        ("verify.corpus_missed".into(), num(missed)),
+    ]);
+    (full, gate)
+}
+
+fn write_json(path: &Path, j: &Json) {
+    let mut s = String::new();
+    j.write(&mut s);
+    s.push('\n');
+    if let Err(e) = std::fs::write(path, &s) {
+        eprintln!("verify-kernels: cannot write {}: {e}", path.display());
+    }
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let reg = KernelRegistry::standard();
+    let input = VerifyInput::representative();
+
+    println!(
+        "verify-kernels: {} registered kernel(s), {} device spec(s)",
+        reg.entries().len(),
+        landau_vgpu::GpuSpec::all_named().len()
+    );
+    let report = verify_registry(&reg, &input);
+    for k in &report.kernels {
+        println!(
+            "  {:<32} blocks={:<4} proofs: affine={} widened={} enumerated={} -> {}",
+            k.name,
+            k.blocks,
+            k.proofs.affine,
+            k.proofs.widened,
+            k.proofs.enumerated,
+            if k.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} VIOLATION(S)", k.findings.len())
+            }
+        );
+        for f in &k.findings {
+            println!("    {f}");
+        }
+    }
+
+    let mut corpus_rows: Vec<(String, String, bool)> = Vec::new();
+    for k in corpus() {
+        let bf = run_corpus_kernel(&k);
+        let caught = match k.expected {
+            Some(rule) => bf.findings.iter().any(|(r, _, _)| *r == rule),
+            None => bf.findings.is_empty(),
+        };
+        let expected = k
+            .expected
+            .map(|r| r.code().to_string())
+            .unwrap_or_else(|| "clean".to_string());
+        println!(
+            "  corpus {:<24} expects {:<10} -> {}",
+            k.name,
+            expected,
+            if caught { "caught" } else { "MISSED" }
+        );
+        corpus_rows.push((k.name.to_string(), expected, caught));
+    }
+
+    let (full, gate) = report_json(&report, &corpus_rows);
+    write_json(&root.join("VERIFY_kernels.json"), &full);
+    write_json(&root.join("BENCH_verify.json"), &gate);
+
+    let violations = report.violations();
+    let missed = corpus_rows.iter().filter(|(_, _, c)| !c).count();
+    let proofs = report.proofs();
+    println!(
+        "verify-kernels: {} obligation(s) discharged ({} affine / {} widened / {} enumerated), \
+         {} violation(s), {} corpus miss(es)",
+        proofs.total(),
+        proofs.affine,
+        proofs.widened,
+        proofs.enumerated,
+        violations,
+        missed
+    );
+    if violations > 0 || missed > 0 {
+        eprintln!("verify-kernels: FAILED");
+        return ExitCode::FAILURE;
+    }
+    println!("verify-kernels: all kernels proved");
+    ExitCode::SUCCESS
+}

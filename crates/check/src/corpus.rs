@@ -1,0 +1,275 @@
+//! Seeded-defect kernel corpus: the verifier's negative test set.
+//!
+//! Each corpus kernel plants exactly one defect class from the virtual-GPU
+//! execution model, and records which [`VerifyRule`] the analyzer must
+//! raise for it. The `verify-kernels` driver (and the integration tests)
+//! run the corpus alongside the production registry: every defect must be
+//! flagged with the *right* rule — a verifier that misses a planted race
+//! or barrier bug is itself broken, and the CI gate fails.
+//!
+//! The kernels are written against the plain [`Team`] trait so they run
+//! under the same [`SymbolicCtx`] factory as production kernels; lengths
+//! here are intentionally hand-written (this crate is not a kernel crate,
+//! so lint E007 does not apply — the defects are the point).
+
+use crate::verify::{analyze_block, BlockFindings, VerifyRule};
+use landau_vgpu::counters::Tally;
+use landau_vgpu::kokkos::{Reducer, ReducerCheck, Team, TeamFactory, TeamPolicy};
+use landau_vgpu::symbolic::SymbolicCtx;
+
+/// One corpus entry: a deliberately broken (or deliberately clean) kernel
+/// and the single rule the verifier must (or must not) raise.
+pub struct CorpusKernel {
+    /// Corpus name (report key).
+    pub name: &'static str,
+    /// The rule the analyzer must flag; `None` for the clean control.
+    pub expected: Option<VerifyRule>,
+    /// Declared scratch budget handed to the analyzer (the budget-drift
+    /// entry declares a wrong one on purpose).
+    pub declared_budget: Option<usize>,
+    /// Run the kernel once under the symbolic factory.
+    pub run: fn(&SymbolicCtx),
+}
+
+fn member_policy(team_size: usize, vl: usize) -> TeamPolicy {
+    TeamPolicy {
+        league_size: 1,
+        team_size,
+        vector_length: vl,
+    }
+}
+
+/// Lanes used by the corpus kernels (≥ 2 so lane interactions exist).
+const VL: usize = 4;
+
+/// Missing barrier between the staging writes and the broadcast reads:
+/// every lane reads slots other lanes wrote in the same epoch.
+fn missing_barrier(ctx: &SymbolicCtx) {
+    let mut t = Tally::new();
+    let mut m = ctx.member(0, member_policy(1, VL), &mut t);
+    let n = 2 * VL;
+    let mut sm = m.scratch(n);
+    m.vector_for(n, |j, lane| sm.write(lane, j, j as f64));
+    // BUG: no m.barrier() here.
+    let mut acc = 0.0;
+    for p in 0..VL {
+        for i in 0..n {
+            acc += sm.read(p, i);
+        }
+    }
+    assert!(acc.is_finite());
+}
+
+/// Lane-divergent conditional barrier: one lane's predicate disagrees.
+fn divergent_barrier(ctx: &SymbolicCtx) {
+    let mut t = Tally::new();
+    let mut m = ctx.member(0, member_policy(1, VL), &mut t);
+    let mut sm = m.scratch(VL);
+    m.vector_for(VL, |j, lane| sm.write(lane, j, 1.0));
+    // BUG: lane VL−1 skips the barrier.
+    m.barrier_if(|lane| lane != VL - 1);
+}
+
+/// Off-by-one staging stride: lane `p` writes `{2p, 2p+1, 2p+2}`, so
+/// adjacent lanes collide at `2p+2`.
+fn off_by_one_stride(ctx: &SymbolicCtx) {
+    let mut t = Tally::new();
+    let mut m = ctx.member(0, member_policy(1, VL), &mut t);
+    let mut sm = m.scratch(2 * VL + 2);
+    for p in 0..VL {
+        for k in 0..3 {
+            // BUG: the per-lane window is 3 slots wide on a stride of 2.
+            sm.write(p, 2 * p + k, (p + k) as f64);
+        }
+    }
+}
+
+/// Over-allocates scratch past the smallest modeled device: 7000 slots =
+/// 56 000 B, over the V100's 48 KiB but under the MI100's 64 KiB.
+fn over_capacity(ctx: &SymbolicCtx) {
+    let mut t = Tally::new();
+    let mut m = ctx.member(0, member_policy(1, VL), &mut t);
+    let n = 7000;
+    let mut sm = m.scratch(n);
+    m.vector_for(n, |j, lane| sm.write(lane, j, 0.0));
+}
+
+/// "Last lane wins" reducer: raw overwrite instead of an associative
+/// join, so the result depends on the lane-join order.
+fn order_dependent_reduce(ctx: &SymbolicCtx) {
+    #[derive(Clone, Copy)]
+    struct Last(f64);
+    impl Reducer for Last {
+        fn identity() -> Self {
+            Last(f64::NAN)
+        }
+        fn join(&mut self, o: &Self) {
+            // BUG: overwrite, not accumulate — order-dependent.
+            if !o.0.is_nan() {
+                self.0 = o.0;
+            }
+        }
+    }
+    impl ReducerCheck for Last {
+        fn dist(&self, o: &Self) -> f64 {
+            (self.0 - o.0).abs()
+        }
+        fn norm(&self) -> f64 {
+            self.0.abs()
+        }
+    }
+    let mut t = Tally::new();
+    let mut m = ctx.member(0, member_policy(1, VL), &mut t);
+    let _ = m.vector_reduce(VL, |j, acc: &mut Last| acc.0 = j as f64);
+}
+
+/// Affine index expression walks past the end of the buffer.
+fn out_of_bounds_index(ctx: &SymbolicCtx) {
+    let mut t = Tally::new();
+    let mut m = ctx.member(0, member_policy(1, VL), &mut t);
+    let mut sm = m.scratch(VL);
+    // BUG: `lane + 2` reaches VL+1 ≥ len for the top lanes.
+    m.vector_for(VL, |_, lane| sm.write(lane, lane + 2, 1.0));
+}
+
+/// Allocates twice what its (stale) declared budget says.
+fn budget_drift(ctx: &SymbolicCtx) {
+    let mut t = Tally::new();
+    let mut m = ctx.member(0, member_policy(1, VL), &mut t);
+    let mut sm = m.scratch(2 * VL);
+    m.vector_for(VL, |j, lane| sm.write(lane, j, 1.0));
+}
+
+/// Launch configuration over every GPU's thread limit: 64 × 32 = 2048.
+fn launch_overflow(ctx: &SymbolicCtx) {
+    let mut t = Tally::new();
+    let _m = ctx.member(0, member_policy(64, 32), &mut t);
+}
+
+/// Clean control: canonical strided staging with a barrier and a proper
+/// sum reduction — must produce no finding.
+fn clean_staging(ctx: &SymbolicCtx) {
+    let mut t = Tally::new();
+    let mut m = ctx.member(0, member_policy(1, VL), &mut t);
+    let n = 3 * VL;
+    let mut sm = m.scratch(n);
+    m.vector_for(n, |j, lane| sm.write(lane, j, j as f64));
+    m.barrier();
+    let s = m.vector_reduce(n, |j, acc: &mut f64| *acc += sm.read(j % VL, j));
+    assert!(s.is_finite());
+}
+
+/// The full corpus, defect entries first, clean control last.
+pub fn corpus() -> Vec<CorpusKernel> {
+    vec![
+        CorpusKernel {
+            name: "missing_barrier",
+            expected: Some(VerifyRule::RaceReadWrite),
+            declared_budget: None,
+            run: missing_barrier,
+        },
+        CorpusKernel {
+            name: "divergent_barrier",
+            expected: Some(VerifyRule::BarrierDivergence),
+            declared_budget: None,
+            run: divergent_barrier,
+        },
+        CorpusKernel {
+            name: "off_by_one_stride",
+            expected: Some(VerifyRule::RaceWriteWrite),
+            declared_budget: None,
+            run: off_by_one_stride,
+        },
+        CorpusKernel {
+            name: "over_capacity",
+            expected: Some(VerifyRule::Capacity),
+            declared_budget: None,
+            run: over_capacity,
+        },
+        CorpusKernel {
+            name: "order_dependent_reduce",
+            expected: Some(VerifyRule::ReduceOrder),
+            declared_budget: None,
+            run: order_dependent_reduce,
+        },
+        CorpusKernel {
+            name: "out_of_bounds_index",
+            expected: Some(VerifyRule::OutOfBounds),
+            declared_budget: None,
+            run: out_of_bounds_index,
+        },
+        CorpusKernel {
+            name: "budget_drift",
+            expected: Some(VerifyRule::Budget),
+            declared_budget: Some(VL),
+            run: budget_drift,
+        },
+        CorpusKernel {
+            name: "launch_overflow",
+            expected: Some(VerifyRule::Launch),
+            declared_budget: None,
+            run: launch_overflow,
+        },
+        CorpusKernel {
+            name: "clean_staging",
+            expected: None,
+            declared_budget: Some(3 * VL),
+            run: clean_staging,
+        },
+    ]
+}
+
+/// Run one corpus kernel symbolically and analyze every block it logged.
+pub fn run_corpus_kernel(k: &CorpusKernel) -> BlockFindings {
+    let ctx = SymbolicCtx::new();
+    (k.run)(&ctx);
+    let mut all = BlockFindings::default();
+    for log in ctx.take_logs() {
+        let bf = analyze_block(&log, k.declared_budget);
+        all.findings.extend(bf.findings);
+        all.proofs.merge(&bf.proofs);
+    }
+    all
+}
+
+/// True when the analyzer's verdict matches the corpus entry's
+/// expectation: the expected rule present for a defect, or an entirely
+/// clean report for the control.
+pub fn corpus_kernel_caught(k: &CorpusKernel) -> bool {
+    let bf = run_corpus_kernel(k);
+    match k.expected {
+        Some(rule) => bf.findings.iter().any(|(r, _, _)| *r == rule),
+        None => bf.findings.is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_all_defect_classes() {
+        let ks = corpus();
+        assert!(ks.iter().filter(|k| k.expected.is_some()).count() >= 6);
+        let mut rules: Vec<_> = ks.iter().filter_map(|k| k.expected).collect();
+        rules.sort();
+        rules.dedup();
+        assert!(
+            rules.len() >= 6,
+            "defect classes must be distinct: {rules:?}"
+        );
+    }
+
+    #[test]
+    fn every_corpus_kernel_gets_its_expected_verdict() {
+        for k in corpus() {
+            assert!(
+                corpus_kernel_caught(&k),
+                "{}: expected {:?}, got {:?}",
+                k.name,
+                k.expected,
+                run_corpus_kernel(&k).findings
+            );
+        }
+    }
+}

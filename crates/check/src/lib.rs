@@ -1,7 +1,7 @@
 //! Workspace lint pass: textual source checks for the discipline the
 //! virtual-GPU execution model depends on.
 //!
-//! Six rules, all enforced by [`lint_source`] over comment- and
+//! Seven rules, all enforced by [`lint_source`] over comment- and
 //! string-stripped source (so the patterns cannot match inside literals or
 //! prose):
 //!
@@ -36,9 +36,20 @@
 //!   telemetry goes through the observability layer (metrics, spans,
 //!   timeseries), where it is structured, mergeable and redirectable.
 //!   Binaries and benches (the presentation layer) print freely.
+//! * **E007** — kernel crates must not call `Team::scratch(len)` with a
+//!   hand-written length: the argument must visibly derive from the
+//!   `TeamPolicy` or a registered budget closure (an identifier containing
+//!   `budget`, `policy` or `scratch_len`). Hand-written lengths drift from
+//!   the kernel registry's budget declaration and defeat the static
+//!   verifier's capacity proof (see `verify`). Test code is exempt.
 //!
 //! The `lint` binary walks every workspace crate and exits nonzero on any
-//! finding; `ci.sh` runs it alongside rustfmt and clippy.
+//! finding; `ci.sh` runs it alongside rustfmt and clippy. The sibling
+//! `verify-kernels` binary runs the [`verify`] analyzer over the kernel
+//! registry and the seeded-defect [`corpus`].
+
+pub mod corpus;
+pub mod verify;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -105,6 +116,11 @@ const STATS_TOKENS: &[&str] = &[
 /// the signature/body.
 const OBS_EVIDENCE_TOKENS: &[&str] = &["MetricRegistry", "landau_obs::", "span!("];
 
+/// Evidence that a `Team::scratch(…)` length derives from the policy or a
+/// registered budget closure (`E007`): any of these substrings in the
+/// paren-balanced argument.
+const BUDGET_EVIDENCE_TOKENS: &[&str] = &["budget", "policy", "scratch_len"];
+
 /// Lint rule identifiers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rule {
@@ -122,6 +138,9 @@ pub enum Rule {
     /// `println!`/`eprintln!` in library-crate code (telemetry must go
     /// through the observability layer).
     PrintInLibrary,
+    /// `Team::scratch(len)` whose length is not derived from the policy
+    /// or a registered budget closure.
+    ScratchConstLen,
 }
 
 impl Rule {
@@ -134,6 +153,7 @@ impl Rule {
             Rule::PanicInSolvePath => "E004",
             Rule::LocalStatsStruct => "E005",
             Rule::PrintInLibrary => "E006",
+            Rule::ScratchConstLen => "E007",
         }
     }
 
@@ -163,6 +183,11 @@ impl Rule {
                 "`println!`/`eprintln!` in library-crate code (publish through \
                  the observability layer — metrics, spans or the timeseries \
                  sink — and let binaries do the printing)"
+            }
+            Rule::ScratchConstLen => {
+                "`Team::scratch(len)` with a hand-written length (derive it \
+                 from the TeamPolicy or the kernel's registered budget \
+                 closure so the capacity proof stays honest)"
             }
         }
     }
@@ -540,8 +565,51 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
                 });
             }
         }
+
+        // E007: scratch lengths must come from the policy or a registered
+        // budget closure, not a hand-written constant. The paren-balanced
+        // argument (which may span lines) must mention budget evidence.
+        let mut search = 0;
+        while let Some(pos) = l.code[search..].find(".scratch(") {
+            let arg_start = search + pos + ".scratch(".len();
+            let arg = balanced_argument(&lines, ln, arg_start);
+            if !BUDGET_EVIDENCE_TOKENS.iter().any(|t| arg.contains(t)) {
+                findings.push(LintFinding {
+                    rule: Rule::ScratchConstLen,
+                    file: path.to_path_buf(),
+                    line: ln + 1,
+                    snippet: raw.to_string(),
+                });
+            }
+            search = arg_start;
+        }
     }
     findings
+}
+
+/// The text of a paren-balanced argument list starting at byte `col` of
+/// scrubbed line `ln` (just past the opening `(`), joined across lines.
+fn balanced_argument(lines: &[ScrubbedLine], ln: usize, col: usize) -> String {
+    let mut depth = 1usize;
+    let mut arg = String::new();
+    for (row, l) in lines.iter().enumerate().skip(ln) {
+        let start = if row == ln { col } else { 0 };
+        for c in l.code.get(start..).unwrap_or("").chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return arg;
+                    }
+                }
+                _ => {}
+            }
+            arg.push(c);
+        }
+        arg.push(' ');
+    }
+    arg
 }
 
 /// Recursively gather `.rs` files under `dir` (sorted for stable reports).
@@ -924,6 +992,46 @@ mod tests {
             [Rule::LocalStatsStruct]
         );
         assert_eq!(fs[0].line, 5);
+    }
+
+    #[test]
+    fn scratch_const_len_is_flagged() {
+        let src = "fn k<T: Team>(m: &mut T, nq: usize) {\n    let mut sm = m.scratch(3 * nq);\n    let _ = sm;\n}\n";
+        assert_eq!(findings(src, kernel_ctx()), [Rule::ScratchConstLen]);
+        let src = "fn k<T: Team>(m: &mut T) {\n    let _ = m.scratch(144);\n}\n";
+        assert_eq!(findings(src, kernel_ctx()), [Rule::ScratchConstLen]);
+    }
+
+    #[test]
+    fn scratch_budget_derived_len_passes() {
+        for arg in [
+            "budget_slots",
+            "staging_scratch_budget(&dims, &policy)",
+            "policy.vector_length * 2",
+            "self.scratch_len",
+        ] {
+            let src = format!("fn k<T: Team>(m: &mut T) {{\n    let _ = m.scratch({arg});\n}}\n");
+            assert!(findings(&src, kernel_ctx()).is_empty(), "{arg}");
+        }
+    }
+
+    #[test]
+    fn scratch_const_len_spans_lines_and_exempts_tests() {
+        // Multi-line argument: evidence on a later line still counts.
+        let src = "fn k<T: Team>(m: &mut T) {\n    let _ = m.scratch(\n        the_budget(\n            3,\n        ),\n    );\n}\n";
+        assert!(findings(src, kernel_ctx()).is_empty());
+        // Multi-line argument with no evidence is still flagged, once.
+        let src = "fn k<T: Team>(m: &mut T) {\n    let _ = m.scratch(\n        (2 + 2) * 36,\n    );\n}\n";
+        assert_eq!(findings(src, kernel_ctx()), [Rule::ScratchConstLen]);
+        // Test modules and non-kernel crates allocate freely.
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g<T: Team>(m: &mut T) { let _ = m.scratch(100); }\n}\n";
+        assert!(findings(src, kernel_ctx()).is_empty());
+        let src = "fn g<T: Team>(m: &mut T) { let _ = m.scratch(9000); }\n";
+        let ctx = LintContext {
+            crate_name: "landau-check",
+            is_test_code: false,
+        };
+        assert!(findings(src, ctx).is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! to ≤1e-12 relative difference.
 
 use crate::ipdata::IpData;
+use crate::registry::{KernelDims, KernelEntry, KernelRegistry, PolicyFamily, VerifyInput};
 use crate::species::SpeciesList;
 use crate::tensor::{landau_tensor_2d, TENSOR2D_FLOPS};
 use crate::tensor_cache::{CachedStream, TensorTable, TileScratch};
@@ -29,6 +30,7 @@ use landau_par::prelude::*;
 use landau_sparse::csr::{Csr, InsertMode};
 use landau_sparse::{OwnerMap, ScatterConflict};
 use landau_vgpu::kokkos::{PlainFactory, Team, TeamFactory, TeamPolicy};
+use landau_vgpu::symbolic::SymbolicCtx;
 use landau_vgpu::{cuda_strided_reduce, Tally};
 
 /// Output of the inner-integral stage: per integration point, the friction
@@ -210,6 +212,49 @@ pub fn inner_integral_cuda_model(
     (out, tally)
 }
 
+/// Scratch budget of the staged Kokkos inner integral: the element-local
+/// tile `[r | z | w | per species (f | df/dr | df/dz)]`, `nq` slots each.
+/// This closure is the registry's single source of truth — the kernel
+/// allocates exactly this, and the static verifier proves it fits every
+/// device's shared memory across the whole policy family.
+pub fn staging_scratch_budget(dims: &KernelDims, _policy: &TeamPolicy) -> usize {
+    (3 + 3 * dims.ns) * dims.nq
+}
+
+/// Scratch budget of the cached Kokkos inner integral: the tile stream
+/// lives in registers and the tensor table in global memory, so the
+/// kernel allocates no team scratch at all.
+pub fn cached_scratch_budget(_dims: &KernelDims, _policy: &TeamPolicy) -> usize {
+    0
+}
+
+fn run_staged_symbolic(input: &VerifyInput, vector_length: usize, ctx: &SymbolicCtx) {
+    let _ = inner_integral_kokkos_with(&input.ip, &input.species, vector_length, ctx);
+}
+
+fn run_cached_symbolic(input: &VerifyInput, vector_length: usize, ctx: &SymbolicCtx) {
+    let _ =
+        inner_integral_kokkos_cached(&input.ip, &input.species, vector_length, &input.table, ctx);
+}
+
+/// Self-register this module's Team-based kernels with the static
+/// verifier's registry. New Team kernels must be added here — the
+/// verify-kernels gate proves exactly what is registered.
+pub fn register(reg: &mut KernelRegistry) {
+    reg.add(KernelEntry {
+        name: "inner_integral_kokkos_staged",
+        family: PolicyFamily::standard(),
+        budget: staging_scratch_budget,
+        run_symbolic: run_staged_symbolic,
+    });
+    reg.add(KernelEntry {
+        name: "inner_integral_kokkos_cached",
+        family: PolicyFamily::standard(),
+        budget: cached_scratch_budget,
+        run_symbolic: run_cached_symbolic,
+    });
+}
+
 /// Inner integral in the Kokkos model: one league member per element, the
 /// team over integration points, and the inner integral as a generic-object
 /// `parallel_reduce` over a `ThreadVectorRange` (§III-D).
@@ -260,8 +305,11 @@ pub fn inner_integral_kokkos_with<F: TeamFactory>(
             let lanes_n = policy.vector_length.max(1);
             // Kokkos scratch staging of the element-local data: layout is
             // [r | z | w | per species (f | df/dr | df/dz)], nq slots each.
-            let mut sm = member.scratch((3 + 3 * ns) * nq);
-            member.vector_for((3 + 3 * ns) * nq, |idx, lane| {
+            // The length comes from the registered budget closure so the
+            // allocation cannot drift from the capacity proof (lint E007).
+            let budget_slots = staging_scratch_budget(&KernelDims { nq, ns, n }, &policy);
+            let mut sm = member.scratch(budget_slots);
+            member.vector_for(budget_slots, |idx, lane| {
                 let field = idx / nq;
                 let gi = e * nq + idx % nq;
                 let v = match field {

@@ -42,6 +42,7 @@ pub mod moments;
 pub mod multigrid;
 pub mod operator;
 pub mod recover;
+pub mod registry;
 pub mod solver;
 pub mod species;
 pub mod tensor;
@@ -61,6 +62,7 @@ pub use invariants::{
 };
 pub use operator::{Backend, LandauOperator};
 pub use recover::{AdaptiveStepper, RecoveryConfig, RecoveryFailure, RecoveryStats};
+pub use registry::{KernelDims, KernelEntry, KernelRegistry, PolicyFamily, VerifyInput};
 pub use solver::{NonFiniteSite, SolveError, StepStats, ThetaMethod, TimeIntegrator};
 pub use species::{Species, SpeciesList};
 pub use tensor_cache::TensorTable;

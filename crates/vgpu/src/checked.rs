@@ -122,6 +122,39 @@ pub enum Finding {
         /// The tolerance it exceeded.
         tol: f64,
     },
+    /// A scratch access indexed past the end of its buffer (the static
+    /// verifier reports this instead of letting the symbolic run abort).
+    ScratchOutOfBounds {
+        /// Block in which the access occurred.
+        league_rank: usize,
+        /// The accessing lane.
+        lane: usize,
+        /// The out-of-range index.
+        idx: usize,
+        /// The buffer's length in f64 slots.
+        len: usize,
+    },
+    /// A kernel's observed scratch allocation disagreed with the budget
+    /// its registry entry declares (hand-written lengths drift from the
+    /// budget closure and defeat the capacity proof).
+    BudgetMismatch {
+        /// Block whose allocation was measured.
+        league_rank: usize,
+        /// Slots the registered budget closure declares.
+        declared: usize,
+        /// Slots the kernel actually allocated.
+        observed: usize,
+    },
+    /// The static verifier could not discharge a proof obligation (index
+    /// pattern outside the affine/widened/enumerated domain, or the access
+    /// log was truncated). Not a defect per se, but the kernel is not
+    /// *proved* and must not be reported clean.
+    Unproved {
+        /// Block whose proof failed.
+        league_rank: usize,
+        /// What the verifier could not establish.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Finding {
@@ -179,6 +212,29 @@ impl fmt::Display for Finding {
                 "nondeterministic reduction in block {league_rank}: permuting the lane \
                  join order moved the result by {dist:.3e} (tolerance {tol:.3e})"
             ),
+            Finding::ScratchOutOfBounds {
+                league_rank,
+                lane,
+                idx,
+                len,
+            } => write!(
+                f,
+                "out-of-bounds scratch access in block {league_rank}: lane {lane} \
+                 indexes scratch[{idx}] of a {len}-slot buffer"
+            ),
+            Finding::BudgetMismatch {
+                league_rank,
+                declared,
+                observed,
+            } => write!(
+                f,
+                "scratch budget mismatch in block {league_rank}: registry declares \
+                 {declared} slots, kernel allocated {observed}"
+            ),
+            Finding::Unproved {
+                league_rank,
+                reason,
+            } => write!(f, "unproved obligation in block {league_rank}: {reason}"),
         }
     }
 }
@@ -493,6 +549,12 @@ impl Team for CheckedTeamMember<'_> {
         for j in 0..n {
             body(j, j % lanes_n);
         }
+    }
+
+    fn barrier_if(&mut self, pred: impl Fn(usize) -> bool) {
+        // Delegate to the inherent reporting version so generic `T: Team`
+        // callers get divergence findings, not the silent trait default.
+        CheckedTeamMember::barrier_if(self, pred)
     }
 
     fn vector_reduce<T: ReducerCheck>(

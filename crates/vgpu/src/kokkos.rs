@@ -106,10 +106,18 @@ impl TeamPolicy {
 /// access with writer/reader lane masks and flag cross-lane conflicts that
 /// are not separated by a [`Team::barrier`]. In plain mode the lane argument
 /// is ignored and the accessors compile down to slice indexing.
+///
+/// Reads take `&self`: after a barrier has ordered the staging stores, a
+/// buffer is a read-only tile that several consumers may share without
+/// artificial exclusivity (the shadow state behind a tracked read lives in
+/// a `RefCell`, so tracking needs no `&mut`). Writes keep `&mut self` —
+/// stores genuinely mutate the tile.
 pub struct ScratchBuf {
     data: Vec<f64>,
     #[cfg(feature = "checked")]
-    track: Option<crate::checked::ScratchTrack>,
+    track: Option<core::cell::RefCell<crate::checked::ScratchTrack>>,
+    #[cfg(feature = "checked")]
+    sym: Option<crate::symbolic::SymTrack>,
 }
 
 impl ScratchBuf {
@@ -119,6 +127,8 @@ impl ScratchBuf {
             data: vec![0.0; len],
             #[cfg(feature = "checked")]
             track: None,
+            #[cfg(feature = "checked")]
+            sym: None,
         }
     }
 
@@ -127,7 +137,19 @@ impl ScratchBuf {
     pub(crate) fn tracked(len: usize, track: crate::checked::ScratchTrack) -> Self {
         ScratchBuf {
             data: vec![0.0; len],
-            track: Some(track),
+            track: Some(core::cell::RefCell::new(track)),
+            sym: None,
+        }
+    }
+
+    /// Symbolically logged scratch: every access is appended to the
+    /// barrier-segmented access log the static verifier analyzes.
+    #[cfg(feature = "checked")]
+    pub(crate) fn symbolic(len: usize, sym: crate::symbolic::SymTrack) -> Self {
+        ScratchBuf {
+            data: vec![0.0; len],
+            track: None,
+            sym: Some(sym),
         }
     }
 
@@ -144,17 +166,33 @@ impl ScratchBuf {
     /// Store `v` at `idx` from vector lane `lane`.
     pub fn write(&mut self, lane: usize, idx: usize, v: f64) {
         #[cfg(feature = "checked")]
-        if let Some(t) = &mut self.track {
-            t.on_write(lane, idx);
+        {
+            if let Some(t) = &self.track {
+                t.borrow_mut().on_write(lane, idx);
+            }
+            if let Some(s) = &self.sym {
+                // Out-of-bounds indices are reported to the verifier
+                // instead of aborting the symbolic run.
+                if !s.on_write(lane, idx) {
+                    return;
+                }
+            }
         }
         self.data[idx] = v;
     }
 
     /// Load the value at `idx` from vector lane `lane`.
-    pub fn read(&mut self, lane: usize, idx: usize) -> f64 {
+    pub fn read(&self, lane: usize, idx: usize) -> f64 {
         #[cfg(feature = "checked")]
-        if let Some(t) = &mut self.track {
-            t.on_read(lane, idx);
+        {
+            if let Some(t) = &self.track {
+                t.borrow_mut().on_read(lane, idx);
+            }
+            if let Some(s) = &self.sym {
+                if !s.on_read(lane, idx) {
+                    return 0.0;
+                }
+            }
         }
         self.data[idx]
     }
@@ -188,6 +226,18 @@ pub trait Team {
     /// Team-wide barrier (`__syncthreads()` / `team_barrier()`): orders all
     /// scratch accesses before it against all accesses after it.
     fn barrier(&mut self) {}
+
+    /// A barrier guarded by a per-lane predicate. On hardware a
+    /// `__syncthreads()` under a lane-divergent predicate is undefined
+    /// behavior; the checking execution modes override this to record the
+    /// divergence. The default takes the barrier only when every lane
+    /// agrees, and skips a uniformly-false one.
+    fn barrier_if(&mut self, pred: impl Fn(usize) -> bool) {
+        let lanes_n = self.policy().vector_length.max(1);
+        if (0..lanes_n).all(pred) {
+            self.barrier();
+        }
+    }
 
     /// `Kokkos::parallel_for` over a `ThreadVectorRange(0, n)`: the body
     /// receives `(j, lane)` where `lane = j % vector_length` is the vector

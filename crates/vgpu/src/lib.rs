@@ -39,6 +39,8 @@ pub mod fault;
 pub mod kokkos;
 pub mod reduce;
 pub mod spec;
+#[cfg(feature = "checked")]
+pub mod symbolic;
 
 #[cfg(feature = "checked")]
 pub use checked::{CheckCtx, CheckedTeamMember, Finding, RaceKind};
@@ -47,3 +49,5 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
 pub use kokkos::{PlainFactory, Reducer, ReducerCheck, ScratchBuf, Team, TeamFactory};
 pub use reduce::{cuda_strided_reduce, WarpAdd};
 pub use spec::{Device, DeviceSpec, GpuSpec};
+#[cfg(feature = "checked")]
+pub use symbolic::{AffinePattern, BlockLog, BufLog, SymbolicCtx, SymbolicTeamMember};

@@ -75,6 +75,17 @@ impl GpuSpec {
             warp_size: 1,
         }
     }
+
+    /// Every named spec, for sweeps that must hold on *all* devices (the
+    /// static verifier's capacity proof iterates this, so adding a spec
+    /// here automatically extends the proof obligations).
+    pub fn all_named() -> Vec<(&'static str, GpuSpec)> {
+        vec![
+            ("v100", GpuSpec::v100()),
+            ("mi100", GpuSpec::mi100()),
+            ("cpu", GpuSpec::cpu()),
+        ]
+    }
 }
 
 impl Default for GpuSpec {
