@@ -46,6 +46,9 @@ cargo bench -q -p landau-bench --bench resilience -- --quick
 echo "== invariants bench (quick gate: conservation drift ceilings + entropy floor)"
 cargo bench -q -p landau-bench --bench invariants -- --quick
 
+echo "== batch scaling bench (quick gate: fused/host bitwise identity + 2x speedup at 256/1024)"
+cargo bench -q -p landau-bench --bench batch_scaling -- --quick
+
 echo "== bench regression gate (fresh BENCH_*.json vs baselines/, verify.* pinned to 0)"
 cargo run -q --release -p landau-bench --bin bench_gate
 

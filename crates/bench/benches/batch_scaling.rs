@@ -1,0 +1,159 @@
+//! Fused batched Newton throughput vs batch size (the sequel paper's
+//! batched-solver scaling figures).
+//!
+//! Stages:
+//!   1. *Verification* — fused and host-loop advances of the same batch
+//!      must agree **bitwise** on every vertex state before any timing is
+//!      trusted (`batch_bitwise_identical`, gated exactly).
+//!   2. *Scaling* — productive Newton iterations per second of the fused
+//!      pipeline at 1/16/64/256/1024 vertices, plus the reference host
+//!      loop at 256 and 1024. The fused path amortizes the per-iteration
+//!      CSR/permutation/band-allocation machinery across all lanes of one
+//!      batched factorization, so its advantage *grows* with batch size:
+//!      the gate holds `speedup_256`/`speedup_1024` to the 2× floor while
+//!      `speedup_1` is informational (a single lane cannot amortize
+//!      anything).
+//!
+//! Plain timing harness (`harness = false`):
+//! `cargo bench -p landau-bench --bench batch_scaling -- --quick`.
+//! Results land in `BENCH_batch_scaling.json` at the workspace root.
+//! Quick and full runs emit identical metric names (the gate fails on
+//! schema drift); full mode only takes more steps.
+
+use landau_bench::write_bench_json;
+use landau_core::batch::{BatchMode, BatchedAdvance};
+use landau_core::operator::Backend;
+use landau_core::{Species, SpeciesList};
+use landau_fem::FemSpace;
+use landau_mesh::presets::{MeshSpec, RefineShell};
+
+const COUNTS: [usize; 5] = [1, 16, 64, 256, 1024];
+const DT: f64 = 0.4;
+
+/// A small adapted mesh: large enough that every vertex runs a real
+/// multi-iteration implicit solve, small enough that the 1024-vertex
+/// point finishes in CI.
+fn bench_space() -> FemSpace {
+    let spec = MeshSpec {
+        domain_radius: 4.0,
+        base_level: 1,
+        shells: vec![RefineShell {
+            radius: 1.5,
+            max_cell_size: 1.0,
+        }],
+        tail_box: None,
+    };
+    FemSpace::new(spec.build(), 2)
+}
+
+fn plasma() -> SpeciesList {
+    SpeciesList::new(vec![
+        Species::electron(),
+        Species {
+            name: "i+".into(),
+            mass: 2.0,
+            charge: 1.0,
+            density: 1.0,
+            temperature: 0.7,
+        },
+    ])
+}
+
+/// Advance a fresh batch and return (productive newton it/s, the stats).
+fn run(
+    space: &FemSpace,
+    mode: BatchMode,
+    n_vertices: usize,
+    steps: usize,
+) -> (f64, landau_core::batch::BatchStats) {
+    let mut b = BatchedAdvance::new(space, &plasma(), Backend::Cpu, n_vertices);
+    b.set_mode(mode);
+    let stats = b.advance(DT, steps, 0.0);
+    assert_eq!(stats.failed, 0, "healthy batch must not fail: {stats:?}");
+    (stats.newton_per_sec, stats)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let steps = if quick { 2 } else { 6 };
+    let mut json: Vec<(String, f64)> = Vec::new();
+    let space = bench_space();
+
+    // --- Stage 1: bitwise gate -------------------------------------------
+    let mut host = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 8);
+    host.set_mode(BatchMode::HostLoop);
+    let hs = host.advance(DT, steps, 0.0);
+    let mut fused = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 8);
+    let fs = fused.advance(DT, steps, 0.0);
+    let identical = host.states.iter().zip(&fused.states).all(|(a, b)| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    });
+    println!(
+        "verify: fused vs host loop on 8 vertices x {steps} steps: {} \
+         ({} vs {} Newton iters)",
+        if identical {
+            "bitwise identical"
+        } else {
+            "MISMATCH"
+        },
+        fs.newton_iters,
+        hs.newton_iters,
+    );
+    assert!(identical, "fused pipeline diverged from the host loop");
+    assert_eq!(fs.newton_iters, hs.newton_iters);
+    json.push(("batch_bitwise_identical".into(), 1.0));
+
+    // --- Stage 2: throughput scaling -------------------------------------
+    println!(
+        "\n{:>9} {:>14} {:>10} {:>12} {:>10}",
+        "vertices", "newton it/s", "launches", "lanes/launch", "seconds"
+    );
+    let mut fused_at = std::collections::BTreeMap::new();
+    for &nv in &COUNTS {
+        let (nps, st) = run(&space, BatchMode::Fused, nv, steps);
+        let lanes_per_launch = if st.launches == 0 {
+            0.0
+        } else {
+            st.active_lane_sum as f64 / st.launches as f64
+        };
+        println!(
+            "{nv:>9} {nps:>14.1} {:>10} {lanes_per_launch:>12.1} {:>10.2}",
+            st.launches, st.seconds
+        );
+        json.push((format!("newton_per_sec_fused_{nv}"), nps));
+        fused_at.insert(nv, nps);
+    }
+    for &nv in &[256usize, 1024] {
+        let (nps, st) = run(&space, BatchMode::HostLoop, nv, steps);
+        println!(
+            "{nv:>9} {nps:>14.1} {:>10} {:>12} {:>10.2} (host loop)",
+            0, "-", st.seconds
+        );
+        json.push((format!("newton_per_sec_host_{nv}"), nps));
+        let speedup = fused_at[&nv] / nps;
+        println!("          speedup at {nv}: {speedup:.2}x (gate: >= 2.0x)");
+        json.push((format!("speedup_{nv}"), speedup));
+    }
+    // Single-vertex fused vs itself is the no-amortization floor; report
+    // the scaling ratio so regressions in large-batch amortization show
+    // up even if absolute rates drift.
+    json.push((
+        "fused_scaling_256_over_1".into(),
+        fused_at[&256] / fused_at[&1],
+    ));
+
+    let path = write_bench_json("BENCH_batch_scaling.json", &json);
+    println!("wrote {}", path.display());
+
+    for nv in [256usize, 1024] {
+        let speedup = json
+            .iter()
+            .find(|(n, _)| *n == format!("speedup_{nv}"))
+            .unwrap()
+            .1;
+        assert!(
+            speedup >= 2.0,
+            "fused speedup at {nv} vertices {speedup:.2}x below the 2x acceptance gate"
+        );
+    }
+}

@@ -52,6 +52,7 @@ fn rule_for(name: &str) -> Rule {
         | "bitwise_identical"
         | "obs_bitwise_identical"
         | "monitor_bitwise_identical"
+        | "batch_bitwise_identical"
         | "invariant.violations"
         | "table_bytes"
         | "space_heap_bytes"
@@ -76,7 +77,10 @@ fn rule_for(name: &str) -> Rule {
         // corpus defect, ever — these gate at exactly zero.
         "verify.violations" | "verify.corpus_missed" => Rule::Zero,
         "overhead_frac" => Rule::Ceiling(0.25),
-        "speedup" => Rule::Floor(2.0),
+        // Fused-batch speedup over the host loop must hold its 2× floor at
+        // the large batch sizes (the tentpole acceptance); small batches
+        // can't amortize and are informational.
+        "speedup" | "speedup_256" | "speedup_1024" => Rule::Floor(2.0),
         n if n.starts_with("verify_rel_diff_") => Rule::Ceiling(1e-13),
         _ => Rule::Info,
     }
@@ -161,6 +165,7 @@ fn main() {
         ("BENCH_tensor_cache.json", "tensor_cache"),
         ("BENCH_invariants.json", "invariants"),
         ("BENCH_verify.json", "verify"),
+        ("BENCH_batch_scaling.json", "batch_scaling"),
     ];
     let mut failures = 0;
     for (file, name) in pairs {

@@ -7,11 +7,21 @@
 //! resulting task parallelism from MPI ranks; its conclusion names the
 //! *batching* of multiple spatial vertices as the planned improvement.
 //!
-//! This module implements that batching: many vertex states share one
-//! mesh/species configuration and advance together, with the independent
-//! work scheduled across a thread pool — the real-machine analogue of the
-//! §V throughput experiments (see the `throughput_real` bench binary).
+//! This module implements that batching at two levels:
+//!
+//! * [`BatchMode::Fused`] (the default) executes the whole fleet's Newton
+//!   pipeline as *one* batched launch per stage — one Jacobian kernel over
+//!   all (lane, element) blocks, one lockstep banded LU over the lane SoA,
+//!   one strided triangular solve — with a per-vertex active mask so
+//!   converged and failed vertices retire without desynchronizing the
+//!   rest (the sequel paper's batched-solver design). The allocation-free
+//!   inner loop is where the throughput win over per-vertex solves comes
+//!   from.
+//! * [`BatchMode::HostLoop`] keeps the original per-vertex loop (each
+//!   vertex runs its own full solve pipeline) as the reference oracle: the
+//!   fused path must match it bitwise, vertex by vertex.
 
+use crate::batch_fused::{fused_macro_step, FusedCounters, FusedWorkspace};
 use crate::invariants::{ConservationMonitor, Watchdog};
 use crate::operator::{Backend, LandauOperator};
 use crate::recover::AdaptiveStepper;
@@ -24,6 +34,18 @@ use landau_par::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// How [`BatchedAdvance::advance`] executes the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Per-vertex solve loop (the reference oracle): each vertex runs its
+    /// own assemble/factor/solve pipeline to completion.
+    HostLoop,
+    /// One fused batched launch per pipeline stage across all vertices,
+    /// with a per-vertex active mask (the default). Falls back to
+    /// [`BatchMode::HostLoop`] if the shared tensor cache is disabled.
+    Fused,
+}
+
 /// A batch of independent vertex problems sharing one configuration: one
 /// `Arc<FemSpace>` (no per-vertex mesh clones) and one `Arc<TensorTable>`
 /// geometry cache streamed by every vertex's Jacobian builds.
@@ -35,6 +57,9 @@ pub struct BatchedAdvance {
     /// Defaults to the process-global registry; swap with
     /// [`Self::set_metric_registry`] for isolated accounting.
     metrics: Arc<MetricRegistry>,
+    mode: BatchMode,
+    /// Lazily built reusable storage for the fused pipeline.
+    fused_ws: Option<FusedWorkspace>,
 }
 
 /// Per-vertex outcome of a batched advance: the recovery layer isolates
@@ -42,50 +67,113 @@ pub struct BatchedAdvance {
 /// down the fleet.
 #[derive(Clone, Copy, Debug)]
 pub struct VertexStats {
-    /// Newton iterations this vertex performed.
+    /// Newton iterations this vertex performed (successful steps only).
     pub newton_iters: usize,
-    /// Failed step attempts that were recovered (damped retry or Δt
-    /// halving).
+    /// Failed step attempts that went through recovery (damped retry or
+    /// Δt halving), including the attempts of a terminally failed step.
     pub retried: usize,
-    /// Smallest successful substep, as a fraction of the nominal `Δt`
-    /// (1.0 when no subdivision was needed).
+    /// Smallest substep attempted, as a fraction of the nominal `Δt`
+    /// (1.0 when no subdivision was needed). Failed steps contribute the
+    /// smallest fraction they reached before giving up.
     pub dt_fraction_min: f64,
     /// True if the vertex exhausted its recovery budget and was left at
     /// its last good state.
     pub failed: bool,
 }
 
+impl VertexStats {
+    fn fresh() -> Self {
+        VertexStats {
+            newton_iters: 0,
+            retried: 0,
+            dt_fraction_min: 1.0,
+            failed: false,
+        }
+    }
+}
+
 /// Throughput measurement of a batched advance.
 #[derive(Clone, Debug, Default)]
 pub struct BatchStats {
-    /// Total Newton iterations across the batch.
+    /// Total Newton iterations across the batch, including work a later
+    /// failure threw away.
     pub newton_iters: usize,
+    /// Newton iterations of vertices that finished the advance healthy —
+    /// the numerator of [`Self::newton_per_sec`]. Retired/failed lanes'
+    /// idle or discarded work does not inflate throughput.
+    pub productive_newton_iters: usize,
     /// Wall-clock seconds.
     pub seconds: f64,
-    /// Newton iterations per second (the paper's figure of merit).
-    /// Zero (not NaN) for zero-iteration runs.
+    /// Productive Newton iterations per second (the paper's figure of
+    /// merit). Zero (not NaN) for zero-iteration runs.
     pub newton_per_sec: f64,
     /// Vertices that exhausted their recovery budget.
     pub failed: usize,
-    /// Recovered step attempts summed over vertices.
+    /// Recovered/failed step attempts summed over vertices.
     pub retried: usize,
-    /// Smallest successful substep fraction across the batch.
+    /// Smallest substep fraction attempted across the batch.
     pub dt_fraction_min: f64,
+    /// Fused grid launches issued (0 in [`BatchMode::HostLoop`]).
+    pub launches: u64,
+    /// Sum over fused kernel launches of the live-lane count — divide by
+    /// [`Self::launches`] for mean occupancy of the batched geometry.
+    pub active_lane_sum: u64,
+    /// Lanes retired (converged or failed) per lockstep Newton round
+    /// (0 in [`BatchMode::HostLoop`]).
+    pub retired_per_newton: f64,
     /// Per-vertex breakdown (same order as [`BatchedAdvance::states`]).
     pub per_vertex: Vec<VertexStats>,
 }
 
 impl BatchStats {
+    fn build(per_vertex: Vec<VertexStats>, seconds: f64, counters: FusedCounters) -> Self {
+        let iters: usize = per_vertex.iter().map(|v| v.newton_iters).sum();
+        let productive: usize = per_vertex
+            .iter()
+            .filter(|v| !v.failed)
+            .map(|v| v.newton_iters)
+            .sum();
+        BatchStats {
+            newton_iters: iters,
+            productive_newton_iters: productive,
+            seconds,
+            // 0/0 must read as idle, not NaN (zero-iteration runs feed
+            // throughput tables downstream).
+            newton_per_sec: if productive == 0 || seconds <= 0.0 {
+                0.0
+            } else {
+                productive as f64 / seconds
+            },
+            failed: per_vertex.iter().filter(|v| v.failed).count(),
+            retried: per_vertex.iter().map(|v| v.retried).sum(),
+            dt_fraction_min: per_vertex
+                .iter()
+                .map(|v| v.dt_fraction_min)
+                .fold(1.0, f64::min),
+            launches: counters.launches,
+            active_lane_sum: counters.active_lane_sum,
+            retired_per_newton: if counters.newton_rounds == 0 {
+                0.0
+            } else {
+                counters.retired as f64 / counters.newton_rounds as f64
+            },
+            per_vertex,
+        }
+    }
+
     /// Publish this advance's aggregate into `reg` under `batch.*`:
-    /// counters for iteration/advance/failure totals, a max-gauge for
-    /// throughput, and a histogram of per-vertex Newton work (the load
-    /// balance signal across the fleet).
+    /// counters for iteration/advance/failure/launch totals, max-gauges
+    /// for throughput and retirement rate, and a histogram of per-vertex
+    /// Newton work (the load balance signal across the fleet).
     pub fn publish(&self, reg: &MetricRegistry) {
         reg.add("batch.newton_iters", self.newton_iters as u64);
         reg.add("batch.advances", 1);
         reg.add("batch.failed", self.failed as u64);
         reg.add("batch.retried", self.retried as u64);
+        reg.add("batch.launches", self.launches);
+        reg.add("batch.active_lanes", self.active_lane_sum);
         reg.gauge_max("batch.newton_per_sec", self.newton_per_sec);
+        reg.gauge_max("batch.retired_per_newton", self.retired_per_newton);
         for v in &self.per_vertex {
             reg.observe("batch.vertex_newton_iters", v.newton_iters as u64);
         }
@@ -153,6 +241,8 @@ impl BatchedAdvance {
             steppers,
             states,
             metrics: MetricRegistry::global_arc(),
+            mode: BatchMode::Fused,
+            fused_ws: None,
         }
     }
 
@@ -161,6 +251,17 @@ impl BatchedAdvance {
     /// into the registry they were built with.
     pub fn set_metric_registry(&mut self, registry: Arc<MetricRegistry>) {
         self.metrics = registry;
+    }
+
+    /// Select the execution mode (fused batched launches vs the reference
+    /// per-vertex host loop).
+    pub fn set_mode(&mut self, mode: BatchMode) {
+        self.mode = mode;
+    }
+
+    /// The currently selected execution mode.
+    pub fn mode(&self) -> BatchMode {
+        self.mode
     }
 
     /// Install a [`ConservationMonitor`] with watchdog `wd` on every
@@ -215,13 +316,35 @@ impl BatchedAdvance {
         self.steppers.is_empty()
     }
 
+    /// Heap bytes held by the fused pipeline's reusable workspace (0 until
+    /// the first fused advance builds it).
+    pub fn fused_workspace_bytes(&self) -> usize {
+        self.fused_ws.as_ref().map_or(0, |w| w.approx_heap_bytes())
+    }
+
     /// Advance every vertex by `steps` implicit steps of `dt` and measure
-    /// aggregate throughput. Vertices run concurrently (the batch-level
-    /// parallelism the paper's conclusion calls for), each behind its own
-    /// recovery wrapper: a vertex that exhausts its retry budget is left
-    /// at its last good state and reported in [`BatchStats::failed`]
-    /// instead of panicking the whole fleet.
+    /// aggregate throughput. In the default fused mode the whole fleet's
+    /// Newton pipeline executes as one batched launch per stage; in host
+    /// mode vertices run their own pipelines concurrently. Either way
+    /// each vertex sits behind its own recovery wrapper: a vertex that
+    /// exhausts its retry budget is left at its last good state and
+    /// reported in [`BatchStats::failed`] instead of panicking the fleet.
     pub fn advance(&mut self, dt: f64, steps: usize, e_field: f64) -> BatchStats {
+        let stats = match self.mode {
+            // The fused pipeline streams the shared table; without it,
+            // fall back to the reference loop.
+            BatchMode::Fused if self.tensor_table().is_some() => {
+                self.advance_fused(dt, steps, e_field)
+            }
+            _ => self.advance_host_loop(dt, steps, e_field),
+        };
+        stats.publish(&self.metrics);
+        stats
+    }
+
+    /// The reference per-vertex loop (the pre-fusion behaviour, kept as
+    /// the bitwise oracle for the fused path).
+    fn advance_host_loop(&mut self, dt: f64, steps: usize, e_field: f64) -> BatchStats {
         let _sp = landau_obs::span(landau_obs::names::BATCH_ADVANCE);
         let t0 = Instant::now();
         let per_vertex: Vec<VertexStats> = self
@@ -230,12 +353,7 @@ impl BatchedAdvance {
             .zip(self.states.par_iter_mut())
             .map(|(st, state)| {
                 let _sp_v = landau_obs::span(landau_obs::names::VERTEX_ADVANCE);
-                let mut vs = VertexStats {
-                    newton_iters: 0,
-                    retried: 0,
-                    dt_fraction_min: 1.0,
-                    failed: false,
-                };
+                let mut vs = VertexStats::fresh();
                 for _ in 0..steps {
                     match st.advance(state, dt, e_field, None) {
                         Ok((stats, rec)) => {
@@ -243,8 +361,13 @@ impl BatchedAdvance {
                             vs.retried += rec.retried;
                             vs.dt_fraction_min = vs.dt_fraction_min.min(rec.dt_fraction_min);
                         }
-                        Err(_) => {
+                        Err(f) => {
+                            // A terminal failure still consumed attempts
+                            // and Δt subdivisions — fold them into the
+                            // aggregate instead of dropping them.
                             vs.failed = true;
+                            vs.retried += f.attempts;
+                            vs.dt_fraction_min = vs.dt_fraction_min.min(f.dt_fraction);
                             break;
                         }
                     }
@@ -253,27 +376,52 @@ impl BatchedAdvance {
             })
             .collect();
         let seconds = t0.elapsed().as_secs_f64();
-        let iters: usize = per_vertex.iter().map(|v| v.newton_iters).sum();
-        let stats = BatchStats {
-            newton_iters: iters,
-            seconds,
-            // 0/0 must read as idle, not NaN (zero-iteration runs feed
-            // throughput tables downstream).
-            newton_per_sec: if iters == 0 || seconds <= 0.0 {
-                0.0
-            } else {
-                iters as f64 / seconds
-            },
-            failed: per_vertex.iter().filter(|v| v.failed).count(),
-            retried: per_vertex.iter().map(|v| v.retried).sum(),
-            dt_fraction_min: per_vertex
-                .iter()
-                .map(|v| v.dt_fraction_min)
-                .fold(1.0, f64::min),
-            per_vertex,
-        };
-        stats.publish(&self.metrics);
-        stats
+        BatchStats::build(per_vertex, seconds, FusedCounters::default())
+    }
+
+    /// The fused batched pipeline: one macro step advances every healthy
+    /// vertex through lockstep batched launches (see [`crate::batch_fused`]).
+    fn advance_fused(&mut self, dt: f64, steps: usize, e_field: f64) -> BatchStats {
+        let _sp = landau_obs::span(landau_obs::names::BATCH_ADVANCE);
+        let t0 = Instant::now();
+        let BatchedAdvance {
+            steppers,
+            states,
+            fused_ws,
+            ..
+        } = self;
+        let ws = fused_ws.get_or_insert_with(|| FusedWorkspace::new(steppers));
+        let mut per_vertex: Vec<VertexStats> =
+            (0..steppers.len()).map(|_| VertexStats::fresh()).collect();
+        // A vertex that exhausts its recovery budget retires from the
+        // remaining macro steps — the fused analogue of the host loop's
+        // per-vertex `break`.
+        let mut skip = vec![false; steppers.len()];
+        let mut counters = FusedCounters::default();
+        for _ in 0..steps {
+            let outcomes =
+                fused_macro_step(steppers, states, &skip, ws, dt, e_field, &mut counters);
+            for (v, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    None => {}
+                    Some(Ok((stats, rec))) => {
+                        per_vertex[v].newton_iters += stats.newton_iters;
+                        per_vertex[v].retried += rec.retried;
+                        per_vertex[v].dt_fraction_min =
+                            per_vertex[v].dt_fraction_min.min(rec.dt_fraction_min);
+                    }
+                    Some(Err(f)) => {
+                        per_vertex[v].failed = true;
+                        per_vertex[v].retried += f.attempts;
+                        per_vertex[v].dt_fraction_min =
+                            per_vertex[v].dt_fraction_min.min(f.dt_fraction);
+                        skip[v] = true;
+                    }
+                }
+            }
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        BatchStats::build(per_vertex, seconds, counters)
     }
 
     /// Electron temperature of each vertex (diagnostic).
@@ -291,6 +439,7 @@ mod tests {
     use super::*;
     use crate::species::Species;
     use landau_mesh::presets::{MeshSpec, RefineShell};
+    use landau_vgpu::fault::{FaultKind, FaultPlan, SITE_LU_FACTOR};
 
     fn tiny_space() -> FemSpace {
         let spec = MeshSpec {
@@ -331,6 +480,55 @@ mod tests {
         // Every vertex relaxed (electrons cool toward the colder ions).
         for (a, b) in te0.iter().zip(&te1) {
             assert!(b < a, "{a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn fused_matches_host_loop_bitwise() {
+        let space = tiny_space();
+        let mut host = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 3);
+        host.set_mode(BatchMode::HostLoop);
+        let mut fused = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 3);
+        assert_eq!(fused.mode(), BatchMode::Fused);
+        let sh = host.advance(0.4, 2, 0.0);
+        let sf = fused.advance(0.4, 2, 0.0);
+        assert_eq!(sh.failed, 0, "{sh:?}");
+        assert_eq!(sf.failed, 0, "{sf:?}");
+        // The fused pipeline is a reordering of identical arithmetic:
+        // every vertex's state must match the reference loop bit for bit.
+        for (v, (a, b)) in host.states.iter().zip(&fused.states).enumerate() {
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "vertex {v} dof {i}: {x:e} vs {y:e}"
+                );
+            }
+        }
+        assert_eq!(sh.newton_iters, sf.newton_iters);
+        // Launch accounting only exists on the fused path: 3 launches
+        // (kernel, factor, solve) per lockstep Newton round.
+        assert_eq!(sh.launches, 0);
+        assert!(sf.launches > 0, "{sf:?}");
+        assert!(sf.active_lane_sum >= sf.launches / 3);
+        assert!(sf.retired_per_newton > 0.0);
+    }
+
+    #[test]
+    fn fused_instrumentation_does_not_perturb_states() {
+        let space = tiny_space();
+        let mut plain = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 2);
+        plain.advance(0.4, 1, 0.0);
+        // Recording off: the fused launches skip span bookkeeping but must
+        // produce bit-identical states (instrumentation never touches
+        // solver arithmetic).
+        let was = landau_obs::recording();
+        landau_obs::set_recording(false);
+        let mut quiet = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 2);
+        quiet.advance(0.4, 1, 0.0);
+        landau_obs::set_recording(was);
+        for (v, (a, b)) in plain.states.iter().zip(&quiet.states).enumerate() {
+            assert_eq!(a, b, "vertex {v} state changed under instrumentation");
         }
     }
 
@@ -386,6 +584,7 @@ mod tests {
         assert_eq!(stats.newton_iters, 0);
         assert_eq!(stats.newton_per_sec, 0.0, "0/0 must read as idle");
         assert!(!stats.newton_per_sec.is_nan());
+        assert!(!stats.retired_per_newton.is_nan());
         assert_eq!(stats.failed, 0);
     }
 
@@ -431,5 +630,72 @@ mod tests {
         assert!(stats.per_vertex[2].newton_iters > 0);
         let te = b.electron_temperatures();
         assert!(te[0].is_finite() && te[2].is_finite());
+    }
+
+    #[test]
+    fn seeded_factor_fault_is_counted_and_excluded_from_throughput() {
+        let space = tiny_space();
+        let mut b = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 3);
+        // Every LU factorization on vertex 1's device reports a singular
+        // block: the lockstep attempt fails, recovery's damped retries and
+        // Δt halvings all hit the same fault, and the vertex exhausts its
+        // budget while the rest of the fleet advances.
+        b.stepper(1)
+            .ti
+            .op
+            .device
+            .arm_faults(FaultPlan::seeded(7).with_repeated(
+                SITE_LU_FACTOR,
+                0,
+                1_000_000,
+                FaultKind::SingularBlock,
+            ));
+        let stats = b.advance(0.4, 2, 0.0);
+        assert_eq!(stats.failed, 1, "{stats:?}");
+        assert!(stats.per_vertex[1].failed);
+        // The terminal failure's attempts and Δt subdivisions must reach
+        // the aggregate (the old host loop dropped both on the floor).
+        assert!(
+            stats.per_vertex[1].retried > 0,
+            "failed attempts must be counted: {stats:?}"
+        );
+        assert!(stats.retried >= stats.per_vertex[1].retried);
+        assert!(
+            stats.per_vertex[1].dt_fraction_min < 1.0,
+            "Δt halving attempts must reach dt_fraction_min: {stats:?}"
+        );
+        assert!(stats.dt_fraction_min <= stats.per_vertex[1].dt_fraction_min);
+        // Throughput counts only healthy vertices' work.
+        let productive: usize = stats
+            .per_vertex
+            .iter()
+            .filter(|v| !v.failed)
+            .map(|v| v.newton_iters)
+            .sum();
+        assert_eq!(stats.productive_newton_iters, productive);
+        assert!(productive > 0);
+        let expect = productive as f64 / stats.seconds;
+        assert!(
+            (stats.newton_per_sec - expect).abs() <= 1e-9 * expect,
+            "throughput must use productive iterations only"
+        );
+        // Host-loop mode aggregates the same failure accounting.
+        let mut h = BatchedAdvance::new(&space, &plasma(), Backend::Cpu, 3);
+        h.set_mode(BatchMode::HostLoop);
+        h.stepper(1)
+            .ti
+            .op
+            .device
+            .arm_faults(FaultPlan::seeded(7).with_repeated(
+                SITE_LU_FACTOR,
+                0,
+                1_000_000,
+                FaultKind::SingularBlock,
+            ));
+        let hs = h.advance(0.4, 2, 0.0);
+        assert_eq!(hs.failed, 1, "{hs:?}");
+        assert!(hs.per_vertex[1].retried > 0);
+        assert!(hs.per_vertex[1].dt_fraction_min < 1.0);
+        assert_eq!(hs.productive_newton_iters, stats.productive_newton_iters);
     }
 }

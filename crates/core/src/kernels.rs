@@ -24,7 +24,10 @@ use crate::ipdata::IpData;
 use crate::registry::{KernelDims, KernelEntry, KernelRegistry, PolicyFamily, VerifyInput};
 use crate::species::SpeciesList;
 use crate::tensor::{landau_tensor_2d, TENSOR2D_FLOPS};
-use crate::tensor_cache::{CachedStream, TensorTable, TileScratch};
+use crate::tensor_cache::{
+    pair_flops_cached, CacheMode, CachedStream, TensorTable, TileScratch, PAIR_FLOPS_SAVED,
+    STREAMS, TILE_BUILD_FLOPS_PER_PAIR,
+};
 use landau_fem::FemSpace;
 use landau_par::prelude::*;
 use landau_sparse::csr::{Csr, InsertMode};
@@ -237,6 +240,20 @@ fn run_cached_symbolic(input: &VerifyInput, vector_length: usize, ctx: &Symbolic
         inner_integral_kokkos_cached(&input.ip, &input.species, vector_length, &input.table, ctx);
 }
 
+fn run_batched_cached_symbolic(input: &VerifyInput, vector_length: usize, ctx: &SymbolicCtx) {
+    // Two active lanes sharing one packed state: the smallest launch that
+    // exercises the flattened (lane, element) league geometry.
+    let ips = [&input.ip, &input.ip];
+    let _ = inner_integral_batched_kokkos_cached(
+        &ips,
+        &[true, true],
+        &input.species,
+        vector_length,
+        &input.table,
+        ctx,
+    );
+}
+
 /// Self-register this module's Team-based kernels with the static
 /// verifier's registry. New Team kernels must be added here — the
 /// verify-kernels gate proves exactly what is registered.
@@ -252,6 +269,12 @@ pub fn register(reg: &mut KernelRegistry) {
         family: PolicyFamily::standard(),
         budget: cached_scratch_budget,
         run_symbolic: run_cached_symbolic,
+    });
+    reg.add(KernelEntry {
+        name: "inner_integral_kokkos_batched_cached",
+        family: PolicyFamily::standard(),
+        budget: cached_scratch_budget,
+        run_symbolic: run_batched_cached_symbolic,
     });
 }
 
@@ -508,6 +531,333 @@ pub fn inner_integral_kokkos_cached<F: TeamFactory>(
         })
         .reduce(Tally::new, |a, b| a + b);
     (out, tally)
+}
+
+/// One flattened block of a batched launch: `(lane, element)` plus the
+/// lane's per-element output slices. The grid of a fused launch is the
+/// concatenation of every *active* lane's element range — exactly the
+/// sequel paper's batched geometry, where blocks index (vertex, element)
+/// pairs instead of one vertex owning a whole launch.
+type BatchBlock<'a> = (usize, usize, &'a mut [[f64; 2]], &'a mut [[f64; 3]]);
+
+/// Flatten the active lanes of a batch into per-(lane, element) blocks.
+/// Inactive lanes contribute no blocks, so their (zeroed) coefficients and
+/// tallies are never touched — retirement without desynchronization.
+fn batch_blocks<'a>(
+    ips: &[&IpData],
+    active: &[bool],
+    out: &'a mut [IpCoeffs],
+) -> Vec<BatchBlock<'a>> {
+    let mut blocks = Vec::new();
+    for (l, o) in out.iter_mut().enumerate() {
+        if !active[l] {
+            continue;
+        }
+        let nq = ips[l].nq;
+        for (e, (gke, gde)) in o.gk.chunks_mut(nq).zip(o.gd.chunks_mut(nq)).enumerate() {
+            blocks.push((l, e, gke, gde));
+        }
+    }
+    blocks
+}
+
+/// Lanes per cache block of the fused CPU sweep: wide enough that each
+/// broadcast table tile amortizes over many lanes (and the lane loop
+/// autovectorizes on a unit stride), narrow enough that the block's staged
+/// species sums (`3 · n · LANE_BLOCK` doubles) stay cache-resident.
+const LANE_BLOCK: usize = 64;
+
+/// Closed-form tally of one lane of the cached inner integral — exactly
+/// the charges [`inner_integral_cpu_cached`] accumulates tile by tile.
+/// The fused CPU sweep streams each shared tile once per lane *block*, so
+/// it cannot let [`TensorTable::tile`] meter per-lane traffic; instead it
+/// charges every active lane this closed form, keeping per-lane accounting
+/// identical to a standalone launch (the modeled device still reads its
+/// own tiles — block-level reuse is a host-simulation artifact).
+fn cached_lane_tally(ns: usize, table: &TensorTable) -> Tally {
+    let n = table.n() as u64;
+    let nq = table.nq() as u64;
+    let ne = table.n_elements() as u64;
+    let mut t = Tally::new();
+    // One `accumulate` per (test point, tile): `nq · pair_flops_cached`.
+    t.flops = n * ne * nq * pair_flops_cached(ns);
+    // Off-diagonal pairs per test point sum to `n − 1` across its tiles.
+    let pairs = n * (n - 1);
+    match table.mode() {
+        CacheMode::Cached => {
+            let bytes = n * ne * (STREAMS as u64) * nq * 8;
+            t.dram_read = bytes;
+            t.cache_read = bytes;
+            t.cache_flops_saved = pairs * PAIR_FLOPS_SAVED;
+        }
+        CacheMode::Recompute => {
+            let build = pairs * TILE_BUILD_FLOPS_PER_PAIR;
+            t.flops += build;
+            t.cache_build_flops = build;
+        }
+    }
+    t
+}
+
+/// Batched cached inner integral, plain CPU style: *one* fused sweep over
+/// the shared [`TensorTable`] with lanes in the innermost (unit-stride)
+/// dimension, processed in [`LANE_BLOCK`]-wide cache blocks. Each tile is
+/// read once per block and broadcast across lanes, and the species-summed
+/// field staging is hoisted out of the test-point loop (it depends only on
+/// (lane, field point), so computing it once per lane — in the same
+/// ascending species order — yields bitwise-identical staged values).
+///
+/// Per lane the arithmetic replays [`inner_integral_cpu_cached`] exactly:
+/// tiles in ascending `je`, the `j % UNROLL` partial-sum slots of
+/// [`CachedStream::accumulate`], and the fixed `(p0+p1)+(p2+p3)` fold per
+/// tile — so each lane's coefficients are bitwise equal to a standalone
+/// per-lane call. Per-lane tallies come from [`cached_lane_tally`] and
+/// match the standalone launch exactly.
+pub fn inner_integral_batched_cpu_cached(
+    ips: &[&IpData],
+    active: &[bool],
+    species: &SpeciesList,
+    table: &TensorTable,
+) -> (Vec<IpCoeffs>, Vec<Tally>) {
+    let _sp = landau_obs::span(landau_obs::names::INNER_INTEGRAL);
+    assert_eq!(ips.len(), active.len());
+    debug_assert!(
+        ips.iter().all(|ip| table.matches(ip)),
+        "table geometry must match every lane's ipdata"
+    );
+    use crate::tensor_cache::UNROLL;
+    let fk = species.k_field_factors();
+    let fd = species.d_field_factors();
+    let mut out: Vec<IpCoeffs> = ips.iter().map(|ip| IpCoeffs::zeros(ip.n)).collect();
+    let mut tallies = vec![Tally::new(); ips.len()];
+    let n = table.n();
+    let nq = table.nq();
+    let ne = table.n_elements();
+    // Active lanes with their outputs; inactive lanes stay zeroed with
+    // empty tallies, exactly as if they contributed no blocks.
+    let mut act: Vec<(usize, &mut IpCoeffs)> = out
+        .iter_mut()
+        .enumerate()
+        .filter(|(l, _)| active[*l])
+        .collect();
+    let block_tallies: Vec<Vec<(usize, Tally)>> = act
+        .par_chunks_mut(LANE_BLOCK)
+        .map(|chunk| {
+            let lb = chunk.len();
+            // Hoisted species staging, lane-minor SoA: `tkr[j·lb + q]` is
+            // lane `q`'s staged K_r sum at field point `j`. Same ascending
+            // species accumulation order as the per-tile staging in
+            // `accumulate`, so the values are bitwise identical.
+            let mut tkr = vec![0.0f64; n * lb];
+            let mut tkz = vec![0.0f64; n * lb];
+            let mut td = vec![0.0f64; n * lb];
+            for (q, (l, _)) in chunk.iter().enumerate() {
+                let ip = ips[*l];
+                for (b, (&fkb, &fdb)) in fk.iter().zip(&fd).enumerate() {
+                    let off = b * n;
+                    for j in 0..n {
+                        tkr[j * lb + q] += fkb * ip.dfr[off + j];
+                        tkz[j * lb + q] += fkb * ip.dfz[off + j];
+                        td[j * lb + q] += fdb * ip.f[off + j];
+                    }
+                }
+            }
+            let mut tile_buf = vec![0.0f64; STREAMS * nq];
+            // Tile charges land here once per block; per-lane accounting
+            // is the closed form below, so this is deliberately discarded.
+            let mut tile_tally = Tally::new();
+            // Partial-sum rows `p[(slot·5 + component)·lb + q]` replicate
+            // the per-lane UNROLL fold: slot `j % UNROLL` within a tile.
+            let mut p = vec![0.0f64; 5 * UNROLL * lb];
+            let mut acc = vec![0.0f64; 5 * lb];
+            for i in 0..n {
+                acc.fill(0.0);
+                for je in 0..ne {
+                    let streams = table.tile(i, je, &mut tile_buf, &mut tile_tally);
+                    p.fill(0.0);
+                    for jj in 0..nq {
+                        let slot = jj % UNROLL;
+                        let j0 = (je * nq + jj) * lb;
+                        let k00 = streams[jj];
+                        let k01 = streams[nq + jj];
+                        let k10 = streams[2 * nq + jj];
+                        let k11 = streams[3 * nq + jj];
+                        let d0 = streams[4 * nq + jj];
+                        let d1 = streams[5 * nq + jj];
+                        let d2 = streams[6 * nq + jj];
+                        let tkr_j = &tkr[j0..j0 + lb];
+                        let tkz_j = &tkz[j0..j0 + lb];
+                        let td_j = &td[j0..j0 + lb];
+                        let row = &mut p[slot * 5 * lb..(slot + 1) * 5 * lb];
+                        let (p0, rest) = row.split_at_mut(lb);
+                        let (p1, rest) = rest.split_at_mut(lb);
+                        let (p2, rest) = rest.split_at_mut(lb);
+                        let (p3, p4) = rest.split_at_mut(lb);
+                        for q in 0..lb {
+                            p0[q] += k00 * tkr_j[q] + k01 * tkz_j[q];
+                            p1[q] += k10 * tkr_j[q] + k11 * tkz_j[q];
+                            p2[q] += d0 * td_j[q];
+                            p3[q] += d1 * td_j[q];
+                            p4[q] += d2 * td_j[q];
+                        }
+                    }
+                    // Fold the four partials per (component, lane) in the
+                    // fixed (p0+p1)+(p2+p3) order of the per-lane kernel.
+                    for c in 0..5 {
+                        let a = &mut acc[c * lb..(c + 1) * lb];
+                        for (q, aq) in a.iter_mut().enumerate() {
+                            let s01 = p[c * lb + q] + p[(5 + c) * lb + q];
+                            let s23 = p[(2 * 5 + c) * lb + q] + p[(3 * 5 + c) * lb + q];
+                            *aq += s01 + s23;
+                        }
+                    }
+                }
+                for (q, (_, o)) in chunk.iter_mut().enumerate() {
+                    o.gk[i] = [acc[q], acc[lb + q]];
+                    o.gd[i] = [acc[2 * lb + q], acc[3 * lb + q], acc[4 * lb + q]];
+                }
+            }
+            chunk
+                .iter()
+                .map(|(l, _)| (*l, cached_lane_tally(species.len(), table)))
+                .collect()
+        })
+        .collect();
+    for v in block_tallies {
+        for (l, t) in v {
+            tallies[l] = t;
+        }
+    }
+    (out, tallies)
+}
+
+/// Batched cached inner integral in the CUDA programming model: one grid
+/// whose blocks index (lane, element) pairs, each block identical to an
+/// [`inner_integral_cuda_model_cached`] block of its lane — x lanes stride
+/// field-element tiles, register partials joined by the shuffle butterfly.
+pub fn inner_integral_batched_cuda_cached(
+    ips: &[&IpData],
+    active: &[bool],
+    species: &SpeciesList,
+    dim_x: usize,
+    table: &TensorTable,
+) -> (Vec<IpCoeffs>, Vec<Tally>) {
+    let _sp = landau_obs::span(landau_obs::names::INNER_INTEGRAL);
+    assert_eq!(ips.len(), active.len());
+    debug_assert!(
+        ips.iter().all(|ip| table.matches(ip)),
+        "table geometry must match every lane's ipdata"
+    );
+    let fk = species.k_field_factors();
+    let fd = species.d_field_factors();
+    let mut out: Vec<IpCoeffs> = ips.iter().map(|ip| IpCoeffs::zeros(ip.n)).collect();
+    let blocks = batch_blocks(ips, active, &mut out);
+    let pairs: Vec<(usize, Tally)> = blocks
+        .into_par_iter()
+        .map(|(l, e, gke, gde)| {
+            let ip = ips[l];
+            let stream = CachedStream {
+                table,
+                ip,
+                fk: &fk,
+                fd: &fd,
+            };
+            let nq = ip.nq;
+            let ne = ip.n / nq;
+            let mut t = Tally::new();
+            // Each block still prefetches its lane's packed field stream
+            // once for the species staging.
+            t.dram_read += ip.stream_bytes();
+            t.shared_bytes += ip.stream_bytes();
+            let mut tb = Tally::new();
+            let mut scratch = TileScratch::new(nq);
+            for iq in 0..nq {
+                let gi = e * nq + iq;
+                let acc: [f64; 5] = cuda_strided_reduce(dim_x, ne, &mut t, |je, a| {
+                    stream.accumulate(gi, je, &mut scratch, a, &mut tb);
+                });
+                gke[iq] = [acc[0], acc[1]];
+                gde[iq] = [acc[2], acc[3], acc[4]];
+            }
+            t.merge(&tb);
+            (l, t)
+        })
+        .collect();
+    let mut tallies = vec![Tally::new(); ips.len()];
+    for (l, t) in pairs {
+        tallies[l] = tallies[l] + t;
+    }
+    (out, tallies)
+}
+
+/// Batched cached inner integral in the Kokkos model: *one* league whose
+/// members are the flattened (lane, element) blocks of every active lane,
+/// team over integration points, tile sweep as a `parallel_reduce` over
+/// `ThreadVectorRange(0, N_e)`. The reduction tree depends only on the
+/// vector length and trip count — never on the league rank — so each
+/// lane's output is bitwise equal to its standalone per-lane launch.
+/// Generic over the [`TeamFactory`] so the checked/symbolic members can
+/// prove the batched geometry too.
+pub fn inner_integral_batched_kokkos_cached<F: TeamFactory>(
+    ips: &[&IpData],
+    active: &[bool],
+    species: &SpeciesList,
+    vector_length: usize,
+    table: &TensorTable,
+    factory: &F,
+) -> (Vec<IpCoeffs>, Vec<Tally>) {
+    let _sp = landau_obs::span(landau_obs::names::INNER_INTEGRAL);
+    assert_eq!(ips.len(), active.len());
+    debug_assert!(
+        ips.iter().all(|ip| table.matches(ip)),
+        "table geometry must match every lane's ipdata"
+    );
+    let fk = species.k_field_factors();
+    let fd = species.d_field_factors();
+    let mut out: Vec<IpCoeffs> = ips.iter().map(|ip| IpCoeffs::zeros(ip.n)).collect();
+    let blocks = batch_blocks(ips, active, &mut out);
+    let league_size = blocks.len();
+    let pairs: Vec<(usize, Tally)> = blocks
+        .into_par_iter()
+        .enumerate()
+        .map(|(rank, (l, e, gke, gde))| {
+            let ip = ips[l];
+            let stream = CachedStream {
+                table,
+                ip,
+                fk: &fk,
+                fd: &fd,
+            };
+            let nq = ip.nq;
+            let ne = ip.n / nq;
+            let policy = TeamPolicy {
+                league_size,
+                team_size: nq,
+                vector_length,
+            };
+            let mut t = Tally::new();
+            t.dram_read += ip.stream_bytes();
+            let mut tb = Tally::new();
+            let mut scratch = TileScratch::new(nq);
+            let mut member = factory.member(rank, policy, &mut t);
+            for iq in member.team_range() {
+                let gi = e * nq + iq;
+                let acc: [f64; 5] = member.vector_reduce(ne, |je, a: &mut [f64; 5]| {
+                    stream.accumulate(gi, je, &mut scratch, a, &mut tb);
+                });
+                gke[iq] = [acc[0], acc[1]];
+                gde[iq] = [acc[2], acc[3], acc[4]];
+            }
+            drop(member);
+            t.merge(&tb);
+            (l, t)
+        })
+        .collect();
+    let mut tallies = vec![Tally::new(); ips.len()];
+    for (l, t) in pairs {
+        tallies[l] = tallies[l] + t;
+    }
+    (out, tallies)
 }
 
 /// Transform & assemble (lines 13–23): build the per-species element
@@ -965,6 +1315,72 @@ mod tests {
             assert_eq!(x.to_bits(), y.to_bits());
         }
         assert!(t_re.cache_build_flops > 0 && t_re.cache_read == 0);
+    }
+
+    #[test]
+    fn batched_cached_kernels_match_per_lane_bitwise() {
+        let (space, sl, ip) = setup();
+        let table = TensorTable::build(&ip, usize::MAX);
+        // A second lane with a different packed state so the lanes are
+        // distinguishable and cross-lane bleed would be caught.
+        let nd = space.n_dofs;
+        let mut state = vec![0.0; 2 * nd];
+        for (s, sp) in sl.list.iter().enumerate() {
+            let v = space.interpolate(|r, z| sp.maxwellian(r, z, 0.0) * 1.1 + 0.02);
+            state[s * nd..(s + 1) * nd].copy_from_slice(&v);
+        }
+        let mut ip2 = IpData::new(&space, &sl);
+        ip2.pack(&space, &state);
+        let ips = [&ip, &ip2];
+        let active = [true, true];
+
+        let (b_cpu, t_cpu) = inner_integral_batched_cpu_cached(&ips, &active, &sl, &table);
+        let (b_cuda, t_cuda) = inner_integral_batched_cuda_cached(&ips, &active, &sl, 16, &table);
+        let (b_kk, _) =
+            inner_integral_batched_kokkos_cached(&ips, &active, &sl, 8, &table, &PlainFactory);
+        for (l, ipl) in ips.iter().enumerate() {
+            let (r_cpu, rt_cpu) = inner_integral_cpu_cached(ipl, &sl, &table);
+            let (r_cuda, rt_cuda) = inner_integral_cuda_model_cached(ipl, &sl, 16, &table);
+            let (r_kk, _) = inner_integral_kokkos_cached(ipl, &sl, 8, &table, &PlainFactory);
+            for (a, b) in [
+                (&b_cpu[l], &r_cpu),
+                (&b_cuda[l], &r_cuda),
+                (&b_kk[l], &r_kk),
+            ] {
+                for (x, y) in a.gk.iter().flatten().zip(b.gk.iter().flatten()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                for (x, y) in a.gd.iter().flatten().zip(b.gd.iter().flatten()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            // Per-lane tallies match the standalone launches exactly
+            // (u64 counters, order-independent sums).
+            assert_eq!(t_cpu[l], rt_cpu);
+            assert_eq!(t_cuda[l], rt_cuda);
+        }
+    }
+
+    #[test]
+    fn batched_kernel_skips_inactive_lanes() {
+        let (_space, sl, ip) = setup();
+        let table = TensorTable::build(&ip, usize::MAX);
+        let ips = [&ip, &ip];
+        let (out, tallies) = inner_integral_batched_cpu_cached(&ips, &[true, false], &sl, &table);
+        assert!(out[1].gk.iter().flatten().all(|&v| v == 0.0));
+        assert!(out[1].gd.iter().flatten().all(|&v| v == 0.0));
+        assert_eq!(tallies[1], Tally::new());
+        // The active lane still computes the full result.
+        let (reference, t_ref) = inner_integral_cpu_cached(&ip, &sl, &table);
+        for (x, y) in out[0]
+            .gk
+            .iter()
+            .flatten()
+            .zip(reference.gk.iter().flatten())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(tallies[0], t_ref);
     }
 
     #[test]

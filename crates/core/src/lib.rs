@@ -35,6 +35,7 @@
 //!   supports (eq. 3 tensor, GMRES-based implicit advance).
 
 pub mod batch;
+pub(crate) mod batch_fused;
 pub mod invariants;
 pub mod ipdata;
 pub mod kernels;

@@ -165,6 +165,14 @@ impl LandauOperator {
         self.tensor_table = None;
     }
 
+    /// The shared CSR sparsity pattern (one species block). The fused
+    /// batch orchestrator clones this once per lane for its reusable
+    /// matrix workspace instead of calling `assemble` (which would
+    /// allocate fresh matrices every Newton iteration).
+    pub(crate) fn pattern(&self) -> &Csr {
+        &self.pattern
+    }
+
     /// Dofs per species.
     pub fn n(&self) -> usize {
         self.space.n_dofs
@@ -195,7 +203,7 @@ impl LandauOperator {
         assert_eq!(state.len(), self.n_total());
         self.ipdata.pack(&self.space, state);
         let sp_kernel = landau_obs::span(landau_obs::names::KERNEL);
-        let (mut coeffs, mut tally) = match (&self.tensor_table, self.backend) {
+        let (mut coeffs, tally) = match (&self.tensor_table, self.backend) {
             (None, Backend::Cpu) => kernels::inner_integral_cpu(&self.ipdata, &self.species),
             (None, Backend::CudaModel) => {
                 kernels::inner_integral_cuda_model(&self.ipdata, &self.species, self.dim_x)
@@ -229,17 +237,39 @@ impl LandauOperator {
         {
             coeffs.apply_fault(&f);
         }
-        let (ce, t2) =
-            kernels::landau_element_matrices(&self.space, &self.species, &self.ipdata, &coeffs);
         drop(sp_kernel);
-        tally.merge(&t2);
         let ns = self.species.len();
         let mut mats = vec![self.pattern.clone(); ns];
+        self.assemble_tail(&coeffs, tally, &mut mats, e_field);
+        AssembledOperator { mats }
+    }
+
+    /// The transform/assemble tail of [`Self::assemble`]: element matrices
+    /// from the inner-integral coefficients, scatter into `mats` (which
+    /// must be `ns` matrices on this operator's pattern — the scatter
+    /// zeroes entries first, so reused matrices are bitwise-safe), launch
+    /// accounting, and the electric-field advection term. Split out so the
+    /// fused batch orchestrator can run the per-lane tail after *one*
+    /// batched inner-integral launch has produced every lane's `coeffs`.
+    pub(crate) fn assemble_tail(
+        &mut self,
+        coeffs: &kernels::IpCoeffs,
+        mut tally: Tally,
+        mats: &mut [Csr],
+        e_field: f64,
+    ) {
+        let ns = self.species.len();
+        assert_eq!(mats.len(), ns);
+        let sp_kernel = landau_obs::span(landau_obs::names::KERNEL);
+        let (ce, t2) =
+            kernels::landau_element_matrices(&self.space, &self.species, &self.ipdata, coeffs);
+        drop(sp_kernel);
+        tally.merge(&t2);
         let sp_assembly = landau_obs::span(landau_obs::names::ASSEMBLY);
         match self.assembly {
-            AssemblyPath::SetValues => kernels::assemble_setvalues(&self.space, ns, &ce, &mut mats),
+            AssemblyPath::SetValues => kernels::assemble_setvalues(&self.space, ns, &ce, mats),
             AssemblyPath::Atomic => {
-                let t3 = kernels::assemble_atomic(&self.space, ns, &ce, &mut mats);
+                let t3 = kernels::assemble_atomic(&self.space, ns, &ce, mats);
                 tally.merge(&t3);
             }
             AssemblyPath::Colored => {
@@ -247,7 +277,7 @@ impl LandauOperator {
                     let (colors, nc) = landau_fem::coloring::color_elements(&self.space);
                     landau_fem::coloring::color_batches(&colors, nc)
                 });
-                kernels::assemble_colored(&self.space, ns, &ce, &mut mats, batches);
+                kernels::assemble_colored(&self.space, ns, &ce, mats, batches);
             }
         }
         drop(sp_assembly);
@@ -259,7 +289,6 @@ impl LandauOperator {
                 mats[s].axpy_same_pattern(-(sp.charge / sp.mass) * e_field, &self.dz);
             }
         }
-        AssembledOperator { mats }
     }
 
     /// Assemble the shifted mass matrix through the mass kernel (for

@@ -10,7 +10,7 @@
 
 use crate::invariants::{ConservationMonitor, StepContext, Watchdog};
 use crate::moments::Moments;
-use crate::operator::{AssembledOperator, LandauOperator};
+use crate::operator::LandauOperator;
 use crate::tensor_cache::TensorTable;
 use landau_sparse::band::BlockBandSolver;
 use landau_sparse::csr::Csr;
@@ -56,7 +56,7 @@ impl ThetaMethod {
         }
     }
 
-    fn theta(self) -> f64 {
+    pub(crate) fn theta(self) -> f64 {
         match self {
             ThetaMethod::BackwardEuler => 1.0,
             ThetaMethod::CrankNicolson => 0.5,
@@ -165,9 +165,9 @@ impl std::error::Error for SolveError {}
 /// Residual-reduction factor below which an iteration counts as "no
 /// progress" for stall detection (a converging quasi-Newton iteration
 /// contracts far faster than this every iteration).
-const STALL_REDUCTION: f64 = 0.999;
+pub(crate) const STALL_REDUCTION: f64 = 0.999;
 
-fn all_finite(v: &[f64]) -> bool {
+pub(crate) fn all_finite(v: &[f64]) -> bool {
     v.iter().all(|x| x.is_finite())
 }
 
@@ -246,7 +246,7 @@ pub struct TimeIntegrator {
     /// Optional conservation/entropy monitor, consulted after every
     /// successful step (see [`crate::invariants::ConservationMonitor`]).
     pub monitor: Option<ConservationMonitor>,
-    perm: Vec<usize>,
+    pub(crate) perm: Vec<usize>,
     /// Half-bandwidth of the reordered single-species block.
     pub block_bandwidth: usize,
 }
@@ -359,7 +359,7 @@ impl TimeIntegrator {
     }
 
     /// Permute a species-major vector into solver ordering.
-    fn permute(&self, x: &[f64]) -> Vec<f64> {
+    pub(crate) fn permute(&self, x: &[f64]) -> Vec<f64> {
         let n = self.op.n();
         let ns = x.len() / n;
         let mut out = vec![0.0; x.len()];
@@ -371,7 +371,7 @@ impl TimeIntegrator {
         out
     }
 
-    fn unpermute_into(&self, x: &[f64], out: &mut [f64]) {
+    pub(crate) fn unpermute_into(&self, x: &[f64], out: &mut [f64]) {
         let n = self.op.n();
         let ns = x.len() / n;
         for a in 0..ns {
@@ -382,11 +382,13 @@ impl TimeIntegrator {
     }
 
     /// Residual `R = M(f − f^n) − Δt[θ(Lf + Ms) + (1−θ)rhs_old]`, where
-    /// `rhs_old` is the explicit part (precomputed).
+    /// `rhs_old` is the explicit part (precomputed). Takes the per-species
+    /// matrices directly (not an `AssembledOperator`) so the fused batch
+    /// orchestrator can evaluate it over its reusable lane workspaces.
     #[allow(clippy::too_many_arguments)]
-    fn residual(
+    pub(crate) fn residual(
         &self,
-        op: &AssembledOperator,
+        mats: &[Csr],
         f: &[f64],
         fn_old: &[f64],
         source: Option<&[f64]>,
@@ -396,9 +398,11 @@ impl TimeIntegrator {
         out: &mut [f64],
     ) {
         let n = self.op.n();
-        let ns = op.mats.len();
+        let ns = mats.len();
         let mut lf = vec![0.0; f.len()];
-        op.apply(f, &mut lf);
+        for (s, m) in mats.iter().enumerate() {
+            m.matvec_into(&f[s * n..(s + 1) * n], &mut lf[s * n..(s + 1) * n]);
+        }
         for a in 0..ns {
             let fs = &f[a * n..(a + 1) * n];
             let fo = &fn_old[a * n..(a + 1) * n];
@@ -544,7 +548,7 @@ impl TimeIntegrator {
 
             let sp_res = landau_obs::span(landau_obs::names::RESIDUAL);
             self.residual(
-                &assembled,
+                &assembled.mats,
                 state,
                 &fn_old,
                 source,
@@ -640,7 +644,7 @@ impl TimeIntegrator {
                         let trial = self.op.assemble(&cand, e_field);
                         stats.t_landau += t0.elapsed().as_secs_f64();
                         self.residual(
-                            &trial,
+                            &trial.mats,
                             &cand,
                             &fn_old,
                             source,

@@ -305,7 +305,7 @@ pub struct CachedStream<'a> {
 /// component keep the multiply-accumulate dependency chains short enough
 /// for LLVM to autovectorize, and the fixed `(p0+p1)+(p2+p3)` fold keeps
 /// the reduction deterministic.
-const UNROLL: usize = 4;
+pub const UNROLL: usize = 4;
 
 impl CachedStream<'_> {
     /// Accumulate tile `(i, je)` into `acc = [gk_r, gk_z, gd_rr, gd_rz,

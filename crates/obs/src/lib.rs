@@ -86,6 +86,12 @@ pub mod names {
     pub const BATCH_ADVANCE: &str = "batched_advance";
     /// One vertex's advance inside a batch (worker threads).
     pub const VERTEX_ADVANCE: &str = "vertex_advance";
+    /// One fused (all-lanes) batched Jacobian-kernel launch.
+    pub const BATCH_KERNEL: &str = "batched_kernel";
+    /// One fused batched banded-LU factorization over the lane SoA.
+    pub const BATCH_FACTOR: &str = "batched_factor";
+    /// One fused batched forward/backward triangular solve.
+    pub const BATCH_SOLVE: &str = "batched_solve";
     /// Quench-driver equilibration phase.
     pub const EQUILIBRATION: &str = "equilibration";
     /// Quench-driver thermal-quench phase.

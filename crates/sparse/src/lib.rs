@@ -14,6 +14,9 @@
 //! * [`band`] — banded LU factorization (outer-product form, Golub & Van
 //!   Loan Alg. 4.3.1) with per-species-block parallel factorization; the
 //!   paper's custom direct solver.
+//! * [`batched`] — the sequel paper's batched banded LU: many equally-sized
+//!   bands in a lane-minor SoA layout, factored and solved in lockstep
+//!   with a per-lane active mask, bitwise-equal to [`band`] per lane.
 //! * [`vecops`] — the handful of BLAS-1 operations the time integrator uses.
 //! * [`atomic`] — an `AtomicF64` add used by the device-style assembly.
 //! * [`checked`] (feature `checked`, on by default) — an ownership map
@@ -21,6 +24,7 @@
 
 pub mod atomic;
 pub mod band;
+pub mod batched;
 #[cfg(feature = "checked")]
 pub mod checked;
 pub mod coo;
@@ -30,6 +34,7 @@ pub mod rcm;
 pub mod vecops;
 
 pub use band::BandMatrix;
+pub use batched::BatchedBandStorage;
 #[cfg(feature = "checked")]
 pub use checked::{OwnerMap, ScatterConflict};
 pub use coo::CooMatrix;
