@@ -64,6 +64,15 @@ cargo run -q --release -p landau-bench --bin fig4 -- --quick
 echo "== figure smoke: monitored quench evolution + timeseries artifact"
 cargo run -q --release -p landau-bench --bin fig5 -- --quick
 
+echo "== checkpoint kill-resume smoke (fig5 killed at step 12, resumed, bitwise timeseries)"
+cp FIG5_timeseries.json FIG5_timeseries.whole.json
+CKPT_DIR=$(mktemp -d)
+cargo run -q --release -p landau-bench --bin fig5 -- --quick --ckpt "$CKPT_DIR" --kill-at 12 >/dev/null
+cargo run -q --release -p landau-bench --bin fig5 -- --quick --resume "$CKPT_DIR" >/dev/null
+cmp FIG5_timeseries.whole.json FIG5_timeseries.json
+rm -rf "$CKPT_DIR" FIG5_timeseries.whole.json
+echo "kill-resume timeseries byte-identical"
+
 echo "== trace export (Chrome trace + folded stacks)"
 cargo run -q --release -p landau-bench --bin trace_export
 

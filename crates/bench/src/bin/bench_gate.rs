@@ -53,6 +53,9 @@ fn rule_for(name: &str) -> Rule {
         | "obs_bitwise_identical"
         | "monitor_bitwise_identical"
         | "batch_bitwise_identical"
+        | "ckpt_bitwise_identical"
+        | "resume_bitwise_identical"
+        | "ckpt_frame_bytes"
         | "invariant.violations"
         | "table_bytes"
         | "space_heap_bytes"
@@ -64,9 +67,15 @@ fn rule_for(name: &str) -> Rule {
         // The quench step count depends on the quasi-equilibrium detector,
         // which can fire a step early/late across hosts.
         "invariant.steps" => Rule::RelTol(0.25),
-        // The span/metric recording and the conservation monitor must each
-        // cost under 2% on the guarded solve (min-of-3 ABAB measurement).
-        "obs_overhead_frac" | "monitor_overhead_frac" => Rule::Ceiling(0.02),
+        // The span/metric recording, the conservation monitor and the
+        // per-step checkpoint writer must each cost under 2% on the
+        // guarded solve (min-of-3 ABAB measurements).
+        "obs_overhead_frac" | "monitor_overhead_frac" | "ckpt_overhead_frac" => Rule::Ceiling(0.02),
+        // Any byte flip slipping past the frame checksums is a durability
+        // defect — the corruption matrix gates at exactly zero.
+        "ckpt_silent_restores" => Rule::Zero,
+        // Raw write latency is machine-dependent.
+        "ckpt_write_ms" => Rule::Info,
         // Physics telemetry acceptance: accounted mass/momentum/energy
         // drift through the monitored quick quench stays at roundoff.
         n if n.starts_with("invariant.") && n.ends_with(".drift_max") => Rule::Ceiling(1e-10),

@@ -3,14 +3,82 @@
 //!
 //! Full mode sweeps Z ∈ {1, 2, 4, …, 128} with a heavy ion; `--quick`
 //! uses lighter ions and fewer steps (single-core friendly).
+//!
+//! Checkpoint/restart flags: the sweep checkpoints per completed Z point
+//! (each point is an independent deterministic run, so the sweep prefix is
+//! the natural restart unit).
+//!   `--ckpt <dir>`   checkpoint after every Z point into `dir`;
+//!   `--kill-at <k>`  stop after `k` Z points without writing the artifact;
+//!   `--resume <dir>` restore the completed prefix from `dir` and finish
+//!                    the sweep — `FIG4_timeseries.json` comes out
+//!                    byte-identical to an uninterrupted run's.
 
 use landau_bench::{print_table, workspace_root};
+use landau_core::ckpt::{ByteReader, ByteWriter, CheckpointStore, DirStorage};
 use landau_core::operator::Backend;
-use landau_obs::timeseries::{Record, SeriesSink};
+use landau_obs::timeseries::{Record, SeriesSink, TimeSeries};
 use landau_quench::{measure_resistivity, ResistivityConfig};
+
+const FIG4_CKPT_VERSION: u32 = 1;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Serialize the sweep prefix: next Z index, running step counter, table
+/// rows, and the timeseries so far (as its canonical JSON text).
+fn encode_sweep(
+    next_z: usize,
+    step: u64,
+    rows: &[(String, Vec<String>)],
+    ts: &TimeSeries,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(FIG4_CKPT_VERSION);
+    w.put_u64(next_z as u64);
+    w.put_u64(step);
+    w.put_u64(rows.len() as u64);
+    for (label, cells) in rows {
+        w.put_str(label);
+        w.put_u64(cells.len() as u64);
+        for c in cells {
+            w.put_str(c);
+        }
+    }
+    w.put_str(&ts.to_json_text());
+    w.into_bytes()
+}
+
+fn decode_sweep(payload: &[u8]) -> (usize, u64, Vec<(String, Vec<String>)>, TimeSeries) {
+    let mut r = ByteReader::new(payload);
+    let version = r.get_u32().expect("sweep checkpoint version");
+    assert_eq!(version, FIG4_CKPT_VERSION, "incompatible sweep checkpoint");
+    let next_z = r.get_u64().expect("z index") as usize;
+    let step = r.get_u64().expect("step counter");
+    let n_rows = r.get_u64().expect("row count") as usize;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let label = r.get_str().expect("row label");
+        let n_cells = r.get_u64().expect("cell count") as usize;
+        let cells = (0..n_cells)
+            .map(|_| r.get_str().expect("row cell"))
+            .collect();
+        rows.push((label, cells));
+    }
+    let ts_text = r.get_str().expect("timeseries text");
+    let ts = TimeSeries::parse(&ts_text).expect("timeseries in checkpoint");
+    r.finish().expect("trailing bytes in sweep checkpoint");
+    (next_z, step, rows, ts)
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let ckpt_dir = arg_value("--ckpt");
+    let resume_dir = arg_value("--resume");
+    let kill_at: Option<usize> = arg_value("--kill-at").map(|s| s.parse().expect("--kill-at <k>"));
     // Quick mode stops at Z=8: the Z=16 light-ion/coarse-mesh combination
     // stalls the quasi-Newton short of the tight resistivity tolerance.
     let zs: Vec<f64> = if quick {
@@ -18,12 +86,36 @@ fn main() {
     } else {
         vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
     };
-    let mut rows = Vec::new();
+    let mut store = resume_dir.clone().or(ckpt_dir).map(|dir| {
+        CheckpointStore::new(Box::new(DirStorage::new(&dir).expect("checkpoint dir")), 2)
+    });
+    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
     // One timeseries over the whole sweep: consecutive step indices, with
     // the sweep coordinate carried as a `z` channel per record.
     let sink = SeriesSink::new();
     let mut step = 0u64;
-    for &z in &zs {
+    let mut start = 0usize;
+    if resume_dir.is_some() {
+        let loaded = store
+            .as_mut()
+            .expect("--resume sets a store")
+            .load_latest()
+            .expect("checkpoint failed validation")
+            .expect("--resume given but no checkpoint generation found");
+        let (next_z, st, rs, ts) = decode_sweep(&loaded.payload);
+        start = next_z;
+        step = st;
+        rows = rs;
+        for rec in ts.records() {
+            sink.push(rec.clone());
+        }
+        eprintln!(
+            "resumed sweep at Z index {start} ({} rows, {} records restored)",
+            rows.len(),
+            sink.snapshot().len()
+        );
+    }
+    for (zi, &z) in zs.iter().enumerate().skip(start) {
         let cfg = ResistivityConfig {
             z,
             // Heavy-ion limit; mass grows ∝ Z like the paper's effective
@@ -71,6 +163,19 @@ fn main() {
             "Z={z}: η={:.4} spitzer={:.4} ({} steps)",
             run.eta_measured, run.eta_spitzer, run.steps
         );
+        if let Some(store) = store.as_mut() {
+            let payload = encode_sweep(zi + 1, step, &rows, &sink.snapshot());
+            store.save(&payload).expect("sweep checkpoint write");
+        }
+        if kill_at == Some(zi + 1) && zi + 1 < zs.len() {
+            eprintln!(
+                "killed after {} of {} sweep points (last checkpoint is durable); \
+                 continue with --resume <dir>",
+                zi + 1,
+                zs.len()
+            );
+            return;
+        }
     }
     let ts = sink.snapshot();
     let out = workspace_root().join("FIG4_timeseries.json");

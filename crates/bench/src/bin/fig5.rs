@@ -2,14 +2,33 @@
 //! plus a summary), exported as a step-level timeseries artifact
 //! (`FIG5_timeseries.json`) carrying the physics channels *and* the
 //! conservation-monitor drift channels for every step.
+//!
+//! Checkpoint/restart flags (the kill–resume smoke in `ci.sh`):
+//!   `--ckpt <dir>`   checkpoint every 2 steps (+ phase changes) into `dir`;
+//!   `--kill-at <n>`  stop after `n` steps without writing the artifact;
+//!   `--resume <dir>` restore the newest good generation from `dir`, keep
+//!                    checkpointing there, and run to completion — the
+//!                    resulting `FIG5_timeseries.json` is byte-identical
+//!                    to an uninterrupted run's.
 
 use landau_bench::workspace_root;
+use landau_core::ckpt::{CheckpointPolicy, DirStorage};
 use landau_core::invariants::Watchdog;
 use landau_core::operator::Backend;
-use landau_quench::{QuenchConfig, QuenchDriver};
+use landau_quench::{QuenchConfig, QuenchDriver, RunOutcome};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let ckpt_dir = arg_value("--ckpt");
+    let resume_dir = arg_value("--resume");
+    let kill_at: Option<u64> = arg_value("--kill-at").map(|s| s.parse().expect("--kill-at <n>"));
     let cfg = if quick {
         QuenchConfig {
             ion_mass: 16.0,
@@ -40,9 +59,38 @@ fn main() {
         d.ti().op.space.n_elements(),
         d.ti().op.n()
     );
-    if let Err(e) = d.run() {
-        eprintln!("quench run failed: {e}");
-        eprintln!("(samples up to the failure follow)");
+    if let Some(dir) = resume_dir.clone().or(ckpt_dir) {
+        let storage = DirStorage::new(&dir).expect("checkpoint dir");
+        d.enable_checkpointing(
+            Box::new(storage),
+            2,
+            CheckpointPolicy::every_steps(2).and_on_phase_change(),
+        );
+    }
+    if resume_dir.is_some() {
+        let found = d
+            .resume_from_checkpoint()
+            .expect("checkpoint failed validation");
+        assert!(found, "--resume given but no checkpoint generation found");
+        eprintln!("resumed from checkpoint at step {}", d.completed_steps());
+    }
+    let outcome = if let Some(n) = kill_at {
+        d.run_budgeted(Some(n)).map_err(|e| {
+            eprintln!("quench run failed: {e}");
+            eprintln!("(samples up to the failure follow)");
+        })
+    } else {
+        d.run().map(|()| RunOutcome::Completed).map_err(|e| {
+            eprintln!("quench run failed: {e}");
+            eprintln!("(samples up to the failure follow)");
+        })
+    };
+    if outcome == Ok(RunOutcome::Paused) {
+        eprintln!(
+            "killed at step {} (last checkpoint is durable); continue with --resume <dir>",
+            d.completed_steps()
+        );
+        return;
     }
     let ts = d.series.snapshot();
     let out = workspace_root().join("FIG5_timeseries.json");

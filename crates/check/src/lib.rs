@@ -1,7 +1,7 @@
 //! Workspace lint pass: textual source checks for the discipline the
 //! virtual-GPU execution model depends on.
 //!
-//! Seven rules, all enforced by [`lint_source`] over comment- and
+//! Eight rules, all enforced by [`lint_source`] over comment- and
 //! string-stripped source (so the patterns cannot match inside literals or
 //! prose):
 //!
@@ -42,6 +42,13 @@
 //!   `budget`, `policy` or `scratch_len`). Hand-written lengths drift from
 //!   the kernel registry's budget declaration and defeat the static
 //!   verifier's capacity proof (see `verify`). Test code is exempt.
+//! * **E008** — library crates must not write files directly
+//!   (`std::fs::write` / `File::create`): all durable state goes through
+//!   the checkpoint `Storage` trait, whose directory implementation owns
+//!   the tmp-write → fsync → rename discipline. A raw write elsewhere can
+//!   tear under a crash and silently corrupt a resume. Only the `Storage`
+//!   implementations themselves ([`CKPT_STORAGE_FILES`]) and test code
+//!   are exempt; binaries and benches write their reports freely.
 //!
 //! The `lint` binary walks every workspace crate and exits nonzero on any
 //! finding; `ci.sh` runs it alongside rustfmt and clippy. The sibling
@@ -121,6 +128,15 @@ const OBS_EVIDENCE_TOKENS: &[&str] = &["MetricRegistry", "landau_obs::", "span!(
 /// paren-balanced argument.
 const BUDGET_EVIDENCE_TOKENS: &[&str] = &["budget", "policy", "scratch_len"];
 
+/// The only library files allowed to touch the filesystem directly
+/// (`E008`): the checkpoint `Storage` implementations, which own the
+/// atomic tmp-write → fsync → rename discipline everyone else must go
+/// through. Paths are workspace-relative with `/` separators.
+pub const CKPT_STORAGE_FILES: &[&str] = &["crates/core/src/ckpt.rs"];
+
+/// Raw filesystem-write tokens (`E008`).
+const RAW_FS_TOKENS: &[&str] = &["fs::write(", "File::create(", "OpenOptions::new("];
+
 /// Lint rule identifiers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rule {
@@ -141,6 +157,9 @@ pub enum Rule {
     /// `Team::scratch(len)` whose length is not derived from the policy
     /// or a registered budget closure.
     ScratchConstLen,
+    /// Raw `std::fs::write`/`File::create` in library-crate code outside
+    /// the atomic checkpoint `Storage` implementations.
+    RawFsInLibrary,
 }
 
 impl Rule {
@@ -154,6 +173,7 @@ impl Rule {
             Rule::LocalStatsStruct => "E005",
             Rule::PrintInLibrary => "E006",
             Rule::ScratchConstLen => "E007",
+            Rule::RawFsInLibrary => "E008",
         }
     }
 
@@ -188,6 +208,11 @@ impl Rule {
                 "`Team::scratch(len)` with a hand-written length (derive it \
                  from the TeamPolicy or the kernel's registered budget \
                  closure so the capacity proof stays honest)"
+            }
+            Rule::RawFsInLibrary => {
+                "raw filesystem write in library-crate code (durable state \
+                 goes through the checkpoint Storage trait, whose atomic \
+                 tmp-write/fsync/rename impl is the only exempt file)"
             }
         }
     }
@@ -413,6 +438,7 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
     let path_str = path.to_string_lossy().replace('\\', "/");
     let no_panic_file = NO_PANIC_FILES.iter().any(|f| path_str.ends_with(f));
     let stats_file = STATS_FILES.iter().any(|f| path_str.ends_with(f));
+    let storage_impl_file = CKPT_STORAGE_FILES.iter().any(|f| path_str.ends_with(f));
 
     // E005: on the instrumented solve path, walk each `pub fn` (signature
     // through the brace-matched end of its body, over scrubbed code so
@@ -457,13 +483,24 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
                     }
                 }
             }
-            // `-> StepStats {` is a return type followed by the body's
-            // opening brace, not an allocation; skip `->`-prefixed hits.
+            // `-> StepStats {` (or `-> &BatchStats {`) is a return type
+            // followed by the body's opening brace, not an allocation;
+            // skip `->`-prefixed hits through any reference sigils.
             let allocates = STATS_TOKENS.iter().any(|t| {
                 let mut start = 0;
                 while let Some(pos) = body[start..].find(t) {
                     let at = start + pos;
-                    if !body[..at].trim_end().ends_with("->") {
+                    let mut prefix = body[..at].trim_end();
+                    loop {
+                        if let Some(s) = prefix.strip_suffix("mut") {
+                            prefix = s.trim_end();
+                        } else if let Some(s) = prefix.strip_suffix('&') {
+                            prefix = s.trim_end();
+                        } else {
+                            break;
+                        }
+                    }
+                    if !prefix.ends_with("->") {
                         return true;
                     }
                     start = at + t.len();
@@ -529,6 +566,23 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
         {
             findings.push(LintFinding {
                 rule: Rule::PrintInLibrary,
+                file: path.to_path_buf(),
+                line: ln + 1,
+                snippet: raw.to_string(),
+            });
+        }
+
+        // E008: library code must not bypass the atomic checkpoint Storage
+        // implementations with raw filesystem writes — a torn write there
+        // is exactly the corruption class the checkpoint layer defends
+        // against.
+        if LIBRARY_CRATES.contains(&ctx.crate_name)
+            && !in_test
+            && !storage_impl_file
+            && RAW_FS_TOKENS.iter().any(|t| l.code.contains(t))
+        {
+            findings.push(LintFinding {
+                rule: Rule::RawFsInLibrary,
                 file: path.to_path_buf(),
                 line: ln + 1,
                 snippet: raw.to_string(),
@@ -771,6 +825,51 @@ mod tests {
         // Tally bookkeeping named *_bytes is not lane data.
         let ok = "fn f(t: &mut T, n: u64) {\n    t.shared_bytes += n;\n}\n";
         assert!(findings(ok, kernel_ctx()).is_empty());
+    }
+
+    #[test]
+    fn raw_fs_write_in_library_crate_is_flagged() {
+        let src = "fn save(p: &std::path::Path, b: &[u8]) {\n    let _ = std::fs::write(p, b);\n    let _ = std::fs::File::create(p);\n}\n";
+        let ctx = LintContext {
+            crate_name: "landau-core",
+            is_test_code: false,
+        };
+        assert_eq!(
+            findings(src, ctx),
+            [Rule::RawFsInLibrary, Rule::RawFsInLibrary]
+        );
+    }
+
+    #[test]
+    fn raw_fs_write_in_storage_impl_is_exempt() {
+        let src =
+            "fn save(p: &std::path::Path, b: &[u8]) {\n    let _ = std::fs::File::create(p);\n}\n";
+        let ctx = LintContext {
+            crate_name: "landau-core",
+            is_test_code: false,
+        };
+        let got: Vec<Rule> = lint_source(src, Path::new("crates/core/src/ckpt.rs"), ctx)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn raw_fs_write_in_presentation_crates_and_tests_is_allowed() {
+        let src = "fn f() { let _ = std::fs::write(\"out.json\", \"{}\"); }\n";
+        let bench = LintContext {
+            crate_name: "landau-bench",
+            is_test_code: false,
+        };
+        assert!(findings(src, bench).is_empty());
+        let test_src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { let _ = std::fs::write(\"t\", \"x\"); }\n}\n";
+        let lib = LintContext {
+            crate_name: "landau-core",
+            is_test_code: false,
+        };
+        assert!(findings(test_src, lib).is_empty());
     }
 
     #[test]

@@ -36,7 +36,10 @@ use crate::solver::{all_finite, NonFiniteSite, SolveError, StepStats, STALL_REDU
 use landau_sparse::csr::Csr;
 use landau_sparse::vecops;
 use landau_sparse::BatchedBandStorage;
-use landau_vgpu::fault::{FaultKind, SITE_LANDAU_JACOBIAN, SITE_LU_FACTOR};
+use landau_vgpu::fault::{
+    FaultKind, SITE_BATCHED_FACTOR, SITE_BATCHED_JACOBIAN, SITE_BATCHED_SOLVE,
+    SITE_LANDAU_JACOBIAN, SITE_LU_FACTOR,
+};
 use landau_vgpu::kokkos::PlainFactory;
 use std::time::Instant;
 
@@ -378,6 +381,17 @@ pub(crate) fn fused_macro_step(
             {
                 coeffs[k].apply_fault(&f);
             }
+            // The fused-launch-specific site: exists only on this path, so
+            // plans can target the batched Jacobian stage without also
+            // firing on the host loop. Disarmed polls are one relaxed load.
+            if let Some(f) = st
+                .ti
+                .op
+                .device
+                .poll_fault(SITE_BATCHED_JACOBIAN, coeffs[k].lanes())
+            {
+                coeffs[k].apply_fault(&f);
+            }
             st.ti
                 .op
                 .assemble_tail(&coeffs[k], tallies[k], &mut ws.mats[v], e_field);
@@ -480,6 +494,18 @@ pub(crate) fn fused_macro_step(
                     ws.band.poison(dst + f.index % ws.ns);
                 }
             }
+            // Fused-only factor site: a singular block injected here hits
+            // the lockstep sweep without touching the host-loop oracle.
+            if let Some(f) = steppers[v]
+                .ti
+                .op
+                .device
+                .poll_fault(SITE_BATCHED_FACTOR, ws.ns)
+            {
+                if matches!(f.kind, FaultKind::SingularBlock) {
+                    ws.band.poison(dst + f.index % ws.ns);
+                }
+            }
             for a in 0..ws.ns {
                 mask[dst + a] = true;
             }
@@ -539,6 +565,18 @@ pub(crate) fn fused_macro_step(
                 for i in 0..ws.n {
                     lane.d[a * ws.n + ws.perm[i]] = ws.x_soa[i * ws.n_lanes + m];
                 }
+            }
+            // Fused-only solve site: corrupt the Newton update before the
+            // finiteness guard, so an injected NaN is attributed as a
+            // NonFinite solution and routed through recovery like any
+            // hardware-corrupted triangular solve would be.
+            if let Some(f) = steppers[lane.v]
+                .ti
+                .op
+                .device
+                .poll_fault(SITE_BATCHED_SOLVE, lane.d.len())
+            {
+                f.apply(&mut lane.d);
             }
             if !all_finite(&lane.d) {
                 lane.failure = Some(SolveError::NonFinite {

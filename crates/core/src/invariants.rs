@@ -228,6 +228,16 @@ impl ConservationMonitor {
         self.time
     }
 
+    /// Restore the step counter and accumulated time from a durable
+    /// checkpoint, so a resumed run keeps numbering timeseries records
+    /// (and accumulating drift over time) exactly where the killed run
+    /// stopped. `time` travels bitwise through the checkpoint, keeping
+    /// subsequent records byte-identical.
+    pub fn restore_progress(&mut self, steps: u64, time: f64) {
+        self.steps = steps;
+        self.time = time;
+    }
+
     /// The watchdog configuration.
     pub fn watchdog(&self) -> &Watchdog {
         &self.watchdog

@@ -36,6 +36,7 @@
 
 pub mod batch;
 pub(crate) mod batch_fused;
+pub mod ckpt;
 pub mod invariants;
 pub mod ipdata;
 pub mod kernels;
@@ -56,13 +57,22 @@ pub use landau_vgpu::fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
 /// (re-exported so downstream crates can arm plans without a direct
 /// `landau-vgpu` dependency).
 pub mod fault_sites {
-    pub use landau_vgpu::fault::{SITE_LANDAU_JACOBIAN, SITE_LU_FACTOR};
+    pub use landau_vgpu::fault::{
+        SITE_BATCHED_FACTOR, SITE_BATCHED_JACOBIAN, SITE_BATCHED_SOLVE, SITE_LANDAU_JACOBIAN,
+        SITE_LU_FACTOR,
+    };
 }
+pub use batch::{BatchMode, BatchStats, BatchedAdvance, LaneMode, VertexStats};
+pub use ckpt::{
+    CheckpointPolicy, CheckpointStore, CkptError, DirStorage, FaultyStorage, MemStorage, Storage,
+    StorageFault, StorageFaultKind,
+};
 pub use invariants::{
     ConservationMonitor, Invariant, InvariantReport, StepContext, Watchdog, WatchdogMode,
 };
+pub use landau_vgpu::fault::FaultCursor;
 pub use operator::{Backend, LandauOperator};
-pub use recover::{AdaptiveStepper, RecoveryConfig, RecoveryFailure, RecoveryStats};
+pub use recover::{AdaptiveStepper, RecoveryConfig, RecoveryFailure, RecoveryStats, StepperCkpt};
 pub use registry::{KernelDims, KernelEntry, KernelRegistry, PolicyFamily, VerifyInput};
 pub use solver::{NonFiniteSite, SolveError, StepStats, ThetaMethod, TimeIntegrator};
 pub use species::{Species, SpeciesList};

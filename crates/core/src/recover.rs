@@ -107,6 +107,19 @@ impl RecoveryStats {
     }
 }
 
+/// Serializable snapshot of the [`AdaptiveStepper`] policy state (the
+/// fields a durable checkpoint must carry to keep a resumed trajectory
+/// bitwise identical).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepperCkpt {
+    /// Current substep fraction.
+    pub dt_scale: f64,
+    /// Easy-converge streak toward Δt re-growth.
+    pub easy_streak: u64,
+    /// Last-good-state checkpoint (empty if no step has landed yet).
+    pub checkpoint: Vec<f64>,
+}
+
 /// The recovery wrapper: owns a [`TimeIntegrator`] and advances it with
 /// damped-retry / Δt-halving / Δt-regrowth policy. Scale state persists
 /// across calls, so a stiff phase detected at step `n` still benefits
@@ -145,6 +158,27 @@ impl AdaptiveStepper {
     /// (entry state if that call failed; useful for post-mortems).
     pub fn checkpoint(&self) -> &[f64] {
         &self.checkpoint
+    }
+
+    /// Snapshot the adaptive-policy state that must survive a restart:
+    /// the current `dt_scale`, the easy-converge streak feeding re-growth,
+    /// and the last-good-state checkpoint.
+    pub fn export_ckpt(&self) -> StepperCkpt {
+        StepperCkpt {
+            dt_scale: self.dt_scale,
+            easy_streak: self.easy_streak as u64,
+            checkpoint: self.checkpoint.clone(),
+        }
+    }
+
+    /// Restore a snapshot from [`AdaptiveStepper::export_ckpt`], so a
+    /// resumed run subdivides and re-grows `Δt` exactly as the killed run
+    /// would have.
+    pub fn restore_ckpt(&mut self, c: &StepperCkpt) {
+        self.dt_scale = c.dt_scale;
+        self.easy_streak = c.easy_streak as usize;
+        self.checkpoint.clear();
+        self.checkpoint.extend_from_slice(&c.checkpoint);
     }
 
     /// Advance `state` by exactly `dt` of physical time, subdividing and

@@ -1,0 +1,240 @@
+//! Checkpoint durability properties: bitwise round-trips through the
+//! byte codec and the framed generation store, plus the corruption
+//! matrix — every injected storage fault must be *detected*, never
+//! silently restored.
+
+use landau_core::ckpt::{
+    decode_frame, encode_frame, ByteReader, ByteWriter, CheckpointStore, MemStorage, Storage,
+    StorageFault, StorageFaultKind,
+};
+use landau_core::FaultyStorage;
+use landau_testkit::{cases, prop_assert, Rng};
+
+/// An f64 drawn from the full bit space: ordinary values, ±0.0,
+/// subnormals, infinities and NaNs with arbitrary payloads — the codec
+/// must round-trip every one of them bit for bit.
+fn any_f64(rng: &mut Rng) -> f64 {
+    match rng.usize_in(0, 6) {
+        0 => rng.f64_in(-1e6, 1e6),
+        1 => f64::from_bits(rng.next_u64()), // arbitrary bits (incl. NaN payloads)
+        2 => {
+            if rng.bool() {
+                0.0
+            } else {
+                -0.0
+            }
+        }
+        3 => f64::from_bits(rng.u64_below(1 << 52)), // subnormals
+        4 => {
+            if rng.bool() {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+        _ => f64::NAN,
+    }
+}
+
+#[test]
+fn byte_codec_roundtrip_is_bitwise() {
+    cases(48, |rng, case| {
+        let n = rng.usize_in(0, 32);
+        let floats: Vec<f64> = (0..n).map(|_| any_f64(rng)).collect();
+        let ints: Vec<u64> = (0..rng.usize_in(0, 8)).map(|_| rng.next_u64()).collect();
+        let tag = format!("site-{}", rng.u64_below(1000));
+        let byte = (rng.next_u64() & 0xFF) as u8;
+
+        let mut w = ByteWriter::new();
+        w.put_u8(byte);
+        w.put_str(&tag);
+        w.put_f64_slice(&floats);
+        w.put_u64(ints.len() as u64);
+        for &i in &ints {
+            w.put_u64(i);
+        }
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        prop_assert!(case, r.get_u8().unwrap() == byte);
+        prop_assert!(case, r.get_str().unwrap() == tag);
+        let fs = r.get_f64_vec().unwrap();
+        prop_assert!(case, fs.len() == floats.len());
+        for (i, (a, b)) in floats.iter().zip(&fs).enumerate() {
+            prop_assert!(
+                case,
+                a.to_bits() == b.to_bits(),
+                "f64 {} changed bits: {:e} vs {:e}",
+                i,
+                a,
+                b
+            );
+        }
+        let m = r.get_u64().unwrap() as usize;
+        prop_assert!(case, m == ints.len());
+        for &i in &ints {
+            prop_assert!(case, r.get_u64().unwrap() == i);
+        }
+        r.finish().unwrap();
+    });
+}
+
+#[test]
+fn frame_roundtrip_preserves_payload_exactly() {
+    cases(32, |rng, case| {
+        let payload: Vec<u8> = (0..rng.usize_in(0, 512))
+            .map(|_| (rng.next_u64() & 0xFF) as u8)
+            .collect();
+        let frame = encode_frame(&payload);
+        let back = decode_frame(&frame).unwrap();
+        prop_assert!(case, back == payload.as_slice());
+    });
+}
+
+#[test]
+fn every_byte_flip_in_the_frame_is_detected() {
+    // A lone corrupted generation must fail to load outright: there is no
+    // position in the frame (header or payload) where a bit flip can slip
+    // past the dual checksums.
+    let payload: Vec<u8> = (0..64).map(|i| (i * 37 % 251) as u8).collect();
+    let frame = encode_frame(&payload);
+    for pos in 0..frame.len() {
+        for mask in [0x01u8, 0x80] {
+            let mut bad = frame.clone();
+            bad[pos] ^= mask;
+            assert!(
+                decode_frame(&bad).is_err(),
+                "flip at byte {pos} mask {mask:#04x} was silently accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_multi_byte_corruption_is_detected() {
+    cases(64, |rng, case| {
+        let payload: Vec<u8> = (0..rng.usize_in(1, 256))
+            .map(|_| (rng.next_u64() & 0xFF) as u8)
+            .collect();
+        let frame = encode_frame(&payload);
+        let mut bad = frame.clone();
+        // 1–4 random byte edits, at least one guaranteed to change bits.
+        let edits = rng.usize_in(1, 5);
+        for _ in 0..edits {
+            let pos = rng.usize_in(0, bad.len());
+            let mask = ((rng.next_u64() & 0xFF) as u8) | 1;
+            bad[pos] ^= mask;
+        }
+        if bad == frame {
+            return; // the edits cancelled; nothing to detect
+        }
+        prop_assert!(case, decode_frame(&bad).is_err(), "corruption accepted");
+    });
+}
+
+#[test]
+fn corrupt_newest_generation_falls_back_to_previous_good() {
+    let payload_a = b"generation A".to_vec();
+    let payload_b = b"generation B".to_vec();
+    let frame_b = encode_frame(&payload_b);
+    for pos in 0..frame_b.len() {
+        let medium = MemStorage::new();
+        let mut store = CheckpointStore::new(Box::new(medium.clone()), 2);
+        store.save(&payload_a).unwrap();
+        store.save(&payload_b).unwrap();
+        // Corrupt one byte of the newest generation behind the store's back.
+        let mut bad = frame_b.clone();
+        bad[pos] ^= 0x10;
+        medium.poke("ckpt-00000001.bin", bad);
+        let loaded = store
+            .load_latest()
+            .expect("older good generation must be found")
+            .expect("checkpoints exist");
+        assert_eq!(loaded.generation, 0, "flip at byte {pos}");
+        assert_eq!(loaded.payload, payload_a);
+        assert_eq!(loaded.skipped, 1);
+    }
+}
+
+#[test]
+fn faulty_storage_corruption_modes_are_never_silently_restored() {
+    let payload_a = b"good first checkpoint".to_vec();
+    let payload_b = b"later, torn checkpoint".to_vec();
+    let corrupting = [
+        StorageFaultKind::Torn { keep_pct: 50 },
+        StorageFaultKind::Short { drop_bytes: 7 },
+        StorageFaultKind::BitFlip {
+            byte: 11,
+            mask: 0x40,
+        },
+    ];
+    for kind in corrupting {
+        let medium = MemStorage::new();
+        let faulty = FaultyStorage::new(medium.clone(), vec![StorageFault { nth_write: 1, kind }]);
+        let mut store = CheckpointStore::new(Box::new(faulty), 2);
+        store.save(&payload_a).unwrap();
+        // The faulted write "succeeds" from the writer's view — the
+        // corruption is only discoverable at load time.
+        store.save(&payload_b).unwrap();
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(
+            loaded.payload, payload_a,
+            "{kind:?}: corrupt generation must be skipped, not restored"
+        );
+        assert_eq!(loaded.skipped, 1, "{kind:?}");
+    }
+}
+
+#[test]
+fn enospc_fails_the_write_and_preserves_the_previous_generation() {
+    let payload_a = b"survives".to_vec();
+    let medium = MemStorage::new();
+    let faulty = FaultyStorage::new(
+        medium.clone(),
+        vec![StorageFault {
+            nth_write: 1,
+            kind: StorageFaultKind::NoSpace,
+        }],
+    );
+    let mut store = CheckpointStore::new(Box::new(faulty), 2);
+    store.save(&payload_a).unwrap();
+    assert!(store.save(b"lost to ENOSPC").is_err());
+    let loaded = store.load_latest().unwrap().unwrap();
+    assert_eq!(loaded.payload, payload_a);
+    assert_eq!(loaded.skipped, 0, "nothing was persisted, nothing corrupt");
+}
+
+#[test]
+fn latency_fault_is_benign() {
+    let medium = MemStorage::new();
+    let faulty = FaultyStorage::new(
+        medium.clone(),
+        vec![StorageFault {
+            nth_write: 0,
+            kind: StorageFaultKind::Latency { micros: 50 },
+        }],
+    );
+    let mut store = CheckpointStore::new(Box::new(faulty), 2);
+    store.save(b"slow but intact").unwrap();
+    let loaded = store.load_latest().unwrap().unwrap();
+    assert_eq!(loaded.payload, b"slow but intact");
+    assert_eq!(loaded.skipped, 0);
+}
+
+#[test]
+fn all_generations_corrupt_is_an_error_not_a_restore() {
+    let medium = MemStorage::new();
+    let mut store = CheckpointStore::new(Box::new(medium.clone()), 2);
+    store.save(b"alpha").unwrap();
+    store.save(b"beta").unwrap();
+    for name in medium.list().unwrap() {
+        let mut bytes = medium.raw(&name).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        medium.poke(&name, bytes);
+    }
+    assert!(
+        store.load_latest().is_err(),
+        "with every generation corrupt, resume must refuse — not fabricate state"
+    );
+}

@@ -98,6 +98,10 @@ pub mod names {
     pub const QUENCH: &str = "quench";
     /// One parallel sweep dispatched through `landau-par`.
     pub const PAR_SWEEP: &str = "par_sweep";
+    /// One durable checkpoint frame written (encode + storage write).
+    pub const CKPT_WRITE: &str = "ckpt_write";
+    /// One checkpoint load/validate walk over stored generations.
+    pub const CKPT_LOAD: &str = "ckpt_load";
 }
 
 /// True when span recording is compiled in (`record` feature).

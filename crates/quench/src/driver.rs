@@ -12,9 +12,15 @@
 
 use crate::diagnostics::{directed_tail_flux, TailDiagnostics};
 use crate::spitzer::{connor_hastie_ec, spitzer_eta};
+use landau_core::ckpt::{
+    decode_fault_cursor, encode_fault_cursor, ByteReader, ByteWriter, CheckpointPolicy,
+    CheckpointStore, CkptError, PolicyCursor, Storage,
+};
 use landau_core::invariants::{ConservationMonitor, Watchdog};
 use landau_core::operator::{Backend, LandauOperator};
-use landau_core::recover::{AdaptiveStepper, RecoveryConfig, RecoveryFailure, RecoveryStats};
+use landau_core::recover::{
+    AdaptiveStepper, RecoveryConfig, RecoveryFailure, RecoveryStats, StepperCkpt,
+};
 use landau_core::solver::{StepStats, ThetaMethod, TimeIntegrator};
 use landau_core::species::{maxwellian, Species, SpeciesList};
 use landau_fem::FemSpace;
@@ -23,6 +29,10 @@ use landau_obs::timeseries::{Record, SeriesSink};
 use landau_obs::MetricRegistry;
 use std::fmt;
 use std::sync::Arc;
+
+/// Schema version of the quench driver's checkpoint payload (inside the
+/// `LCKP` frame, which carries its own format version).
+const QUENCH_CKPT_VERSION: u32 = 1;
 
 /// Configuration of the quench experiment.
 #[derive(Clone, Debug)]
@@ -150,6 +160,61 @@ impl fmt::Display for QuenchError {
 
 impl std::error::Error for QuenchError {}
 
+/// How a (possibly budgeted) run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Both phases ran to completion.
+    Completed,
+    /// The step budget ran out mid-run; call [`QuenchDriver::run`] (or
+    /// resume in a fresh process) to continue.
+    Paused,
+}
+
+/// Internal phase machine, resumable from a checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Equil,
+    Quench,
+    Done,
+}
+
+/// Resumable driver progress: everything about "where the run is" that is
+/// not derivable from the state vector.
+#[derive(Clone, Copy, Debug)]
+struct Progress {
+    phase: Phase,
+    /// Next step index within the current phase.
+    k: usize,
+    /// Initial sample taken / `e0` computed.
+    started: bool,
+    /// Equilibration drive field.
+    e0: f64,
+    /// Previous step's resistivity (quasi-equilibrium detector memory).
+    eta_prev: f64,
+    /// Simulation time at quench entry.
+    t_quench_start: f64,
+}
+
+impl Progress {
+    fn fresh() -> Self {
+        Progress {
+            phase: Phase::Equil,
+            k: 0,
+            started: false,
+            e0: 0.0,
+            eta_prev: f64::INFINITY,
+            t_quench_start: 0.0,
+        }
+    }
+}
+
+/// Checkpointing hook: a generational store plus the trigger policy.
+struct CkptHook {
+    store: CheckpointStore,
+    policy: CheckpointPolicy,
+    cursor: PolicyCursor,
+}
+
 /// The quench experiment driver.
 pub struct QuenchDriver {
     /// Configuration used.
@@ -179,6 +244,8 @@ pub struct QuenchDriver {
     pub series: Arc<SeriesSink>,
     time: f64,
     rec_steps: u64,
+    progress: Progress,
+    ckpt: Option<CkptHook>,
 }
 
 impl QuenchDriver {
@@ -231,6 +298,8 @@ impl QuenchDriver {
             series: Arc::new(SeriesSink::new()),
             time: 0.0,
             rec_steps: 0,
+            progress: Progress::fresh(),
+            ckpt: None,
         };
         if let Some(wd) = driver.cfg.monitor {
             driver.enable_monitoring(wd);
@@ -309,11 +378,31 @@ impl QuenchDriver {
     /// recovery budget surfaces as a structured [`QuenchError`] with the
     /// recorded samples intact.
     pub fn run_equilibration(&mut self) -> Result<f64, QuenchError> {
+        let mut budget = None;
+        self.equil_phase(&mut budget)?;
+        Ok(self.progress.e0)
+    }
+
+    /// Resumable equilibration loop. `budget` caps the number of driver
+    /// steps taken by this call (`None` = unlimited).
+    fn equil_phase(&mut self, budget: &mut Option<u64>) -> Result<RunOutcome, QuenchError> {
+        if self.progress.phase != Phase::Equil {
+            return Ok(RunOutcome::Completed);
+        }
         let _sp = landau_obs::span(landau_obs::names::EQUILIBRATION);
-        let e0 = self.cfg.e0_over_ec * connor_hastie_ec(self.cfg.t_e0_ev);
-        self.sample(e0, false);
-        let mut eta_prev = f64::INFINITY;
-        for k in 0..self.cfg.max_equil_steps {
+        if !self.progress.started {
+            self.progress.e0 = self.cfg.e0_over_ec * connor_hastie_ec(self.cfg.t_e0_ev);
+            self.progress.eta_prev = f64::INFINITY;
+            self.progress.started = true;
+            let e0 = self.progress.e0;
+            self.sample(e0, false);
+        }
+        let e0 = self.progress.e0;
+        while self.progress.k < self.cfg.max_equil_steps {
+            if matches!(budget, Some(0)) {
+                return Ok(RunOutcome::Paused);
+            }
+            let k = self.progress.k;
             let (st, rec) = self
                 .stepper
                 .advance(&mut self.state, self.cfg.dt, e0, None)
@@ -328,12 +417,36 @@ impl QuenchDriver {
             self.time += self.cfg.dt;
             let j = self.sample(e0, false).j;
             let eta = e0 / j;
-            if k > 2 && ((eta - eta_prev) / eta).abs() < self.cfg.eta_tol * self.cfg.dt {
+            let stop = k > 2
+                && ((eta - self.progress.eta_prev) / eta).abs() < self.cfg.eta_tol * self.cfg.dt;
+            self.progress.eta_prev = eta;
+            self.progress.k += 1;
+            if let Some(n) = budget {
+                *n = n.saturating_sub(1);
+            }
+            if stop {
                 break;
             }
-            eta_prev = eta;
+            // Mid-phase checkpoints only land on steps the uninterrupted
+            // run would continue from; the phase transition itself is
+            // checkpointed by `enter_quench`, so a resume never replays
+            // the quasi-equilibrium detector from the wrong side.
+            self.maybe_checkpoint(false);
         }
-        Ok(e0)
+        self.enter_quench();
+        Ok(RunOutcome::Completed)
+    }
+
+    /// Transition Equilibration → Quench: reset the per-phase step index,
+    /// pin the quench clock origin, and cut an on-phase-change checkpoint.
+    fn enter_quench(&mut self) {
+        if self.progress.phase != Phase::Equil {
+            return;
+        }
+        self.progress.phase = Phase::Quench;
+        self.progress.k = 0;
+        self.progress.t_quench_start = self.time;
+        self.maybe_checkpoint(true);
     }
 
     /// The cold-source rate vector at time `tau` after quench start.
@@ -373,14 +486,29 @@ impl QuenchDriver {
     /// budget surfaces as [`QuenchError`] rather than a silent
     /// `converged: false` sample.
     pub fn run_quench(&mut self) -> Result<(), QuenchError> {
+        let mut budget = None;
+        self.quench_phase(&mut budget).map(|_| ())
+    }
+
+    /// Resumable quench loop (see [`Self::equil_phase`] for the budget
+    /// contract). Called directly it transitions out of equilibration
+    /// first, preserving the legacy `run_quench` entry point.
+    fn quench_phase(&mut self, budget: &mut Option<u64>) -> Result<RunOutcome, QuenchError> {
+        if self.progress.phase == Phase::Done {
+            return Ok(RunOutcome::Completed);
+        }
+        self.enter_quench();
         let _sp = landau_obs::span(landau_obs::names::QUENCH);
-        let t_quench_start = self.time;
-        for k in 0..self.cfg.quench_steps {
+        while self.progress.k < self.cfg.quench_steps {
+            if matches!(budget, Some(0)) {
+                return Ok(RunOutcome::Paused);
+            }
+            let k = self.progress.k;
             let m = &self.stepper.ti.moments;
             let t_e = m.electron_temperature(&self.state).max(1e-3);
             let j = m.current_jz(&self.state);
             let e = spitzer_eta(self.z_eff(), t_e) * j;
-            let tau = self.time - t_quench_start;
+            let tau = self.time - self.progress.t_quench_start;
             let src = self.source_at(tau);
             let (st, rec) = self
                 .stepper
@@ -395,20 +523,42 @@ impl QuenchDriver {
             self.merge_recovery(&rec);
             self.time += self.cfg.dt;
             self.sample(e, true);
+            self.progress.k += 1;
+            if let Some(n) = budget {
+                *n = n.saturating_sub(1);
+            }
+            self.maybe_checkpoint(false);
         }
-        Ok(())
+        self.progress.phase = Phase::Done;
+        Ok(RunOutcome::Completed)
     }
 
     /// Run both phases. On success the accumulated step/recovery
     /// telemetry is published into [`Self::metrics`], so a subsequent
     /// profile capture sees the whole run under `quench.*`.
     pub fn run(&mut self) -> Result<(), QuenchError> {
-        self.run_equilibration()?;
-        let out = self.run_quench();
-        if out.is_ok() {
-            self.publish_metrics();
+        self.run_budgeted(None).map(|_| ())
+    }
+
+    /// Run both phases with an optional cap on the number of driver steps
+    /// (the kill-at-step-k harness: pause, drop the driver, resume in a
+    /// fresh one). Telemetry is published only on full completion, exactly
+    /// as the unbudgeted [`Self::run`] behaves.
+    pub fn run_budgeted(&mut self, max_steps: Option<u64>) -> Result<RunOutcome, QuenchError> {
+        let mut budget = max_steps;
+        if self.equil_phase(&mut budget)? == RunOutcome::Paused {
+            return Ok(RunOutcome::Paused);
         }
-        out
+        if self.quench_phase(&mut budget)? == RunOutcome::Paused {
+            return Ok(RunOutcome::Paused);
+        }
+        self.publish_metrics();
+        Ok(RunOutcome::Completed)
+    }
+
+    /// Total driver steps completed so far (both phases, resume included).
+    pub fn completed_steps(&self) -> u64 {
+        self.rec_steps
     }
 
     /// Publish the run-level aggregates into the shared registry:
@@ -419,6 +569,304 @@ impl QuenchDriver {
         self.recovery.publish(&self.metrics, "quench.recovery");
         self.metrics
             .add("quench.samples", self.samples.len() as u64);
+    }
+
+    // -- durable checkpoint/restart ------------------------------------
+
+    /// Enable policy-driven checkpointing through `storage`, keeping the
+    /// newest `keep >= 2` generations. `ckpt.*` counters publish into
+    /// [`Self::metrics`].
+    pub fn enable_checkpointing(
+        &mut self,
+        storage: Box<dyn Storage>,
+        keep: usize,
+        policy: CheckpointPolicy,
+    ) {
+        let store = CheckpointStore::new(storage, keep).with_registry(Arc::clone(&self.metrics));
+        self.ckpt = Some(CkptHook {
+            store,
+            policy,
+            cursor: PolicyCursor::new(),
+        });
+    }
+
+    /// Cut a checkpoint right now (independent of the policy). Errors
+    /// surface to the caller; the run itself is unaffected.
+    pub fn checkpoint_now(&mut self) -> Result<u64, CkptError> {
+        let payload = self.encode_ckpt();
+        match &mut self.ckpt {
+            Some(h) => h.store.save(&payload),
+            None => Err(CkptError::Io {
+                op: "save",
+                detail: "checkpointing not enabled on this driver".into(),
+            }),
+        }
+    }
+
+    /// Policy trigger, called after every completed driver step and on
+    /// phase transitions. A failed write is counted by the store
+    /// (`ckpt.write_failures`) and otherwise ignored: durability is
+    /// best-effort, the physics run never dies because a disk filled up —
+    /// the previous good generations stay available.
+    fn maybe_checkpoint(&mut self, phase_change: bool) {
+        let due = match &mut self.ckpt {
+            Some(h) => h.cursor.due(&h.policy, self.rec_steps, phase_change),
+            None => return,
+        };
+        if due {
+            let _ = self.checkpoint_now();
+        }
+    }
+
+    /// Restore the newest good checkpoint generation from the enabled
+    /// store. Returns `Ok(false)` when no checkpoint exists (fresh run),
+    /// `Ok(true)` after a successful restore; corrupt generations are
+    /// skipped by the store, and a payload incompatible with this driver's
+    /// configuration is a [`CkptError::Incompatible`].
+    pub fn resume_from_checkpoint(&mut self) -> Result<bool, CkptError> {
+        let loaded = match &mut self.ckpt {
+            Some(h) => h.store.load_latest()?,
+            None => {
+                return Err(CkptError::Io {
+                    op: "load",
+                    detail: "checkpointing not enabled on this driver".into(),
+                })
+            }
+        };
+        let Some(loaded) = loaded else {
+            return Ok(false);
+        };
+        self.restore_ckpt(&loaded.payload)?;
+        if let Some(h) = &mut self.ckpt {
+            h.cursor.rebase(self.rec_steps);
+        }
+        Ok(true)
+    }
+
+    /// Serialize the full resumable driver state: progress, clocks, the
+    /// coefficient vector, adaptive-stepper policy state, accumulated
+    /// telemetry, monitor progress, the fault-injection cursor, recorded
+    /// samples and the timeseries high-water mark. Every `f64` travels as
+    /// `to_bits`, so the resumed trajectory is bitwise identical.
+    fn encode_ckpt(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(QUENCH_CKPT_VERSION);
+        // Progress.
+        w.put_u8(match self.progress.phase {
+            Phase::Equil => 0,
+            Phase::Quench => 1,
+            Phase::Done => 2,
+        });
+        w.put_u8(u8::from(self.progress.started));
+        w.put_u64(self.progress.k as u64);
+        w.put_f64(self.progress.e0);
+        w.put_f64(self.progress.eta_prev);
+        w.put_f64(self.progress.t_quench_start);
+        // Clocks.
+        w.put_f64(self.time);
+        w.put_u64(self.rec_steps);
+        // Coefficient vector.
+        w.put_f64_slice(&self.state);
+        // Adaptive-stepper policy state.
+        let sc = self.stepper.export_ckpt();
+        w.put_f64(sc.dt_scale);
+        w.put_u64(sc.easy_streak);
+        w.put_f64_slice(&sc.checkpoint);
+        // Accumulated step statistics.
+        w.put_u64(self.stats.newton_iters as u64);
+        w.put_f64(self.stats.t_landau);
+        w.put_f64(self.stats.t_factor);
+        w.put_f64(self.stats.t_solve);
+        w.put_f64(self.stats.t_total);
+        w.put_f64(self.stats.residual);
+        w.put_u8(u8::from(self.stats.converged));
+        // Accumulated recovery telemetry.
+        w.put_u64(self.recovery.retried as u64);
+        w.put_u64(self.recovery.substeps as u64);
+        w.put_f64(self.recovery.dt_fraction_min);
+        // Conservation-monitor progress.
+        match &self.stepper.ti.monitor {
+            Some(mon) => {
+                w.put_u8(1);
+                w.put_u64(mon.steps());
+                w.put_f64(mon.sim_time());
+            }
+            None => w.put_u8(0),
+        }
+        // Fault-injection cursor (plan + per-site tallies).
+        encode_fault_cursor(&mut w, &self.stepper.ti.op.device.export_fault_cursor());
+        // Samples.
+        w.put_u64(self.samples.len() as u64);
+        for s in &self.samples {
+            w.put_f64(s.t);
+            w.put_f64(s.n_e);
+            w.put_f64(s.j);
+            w.put_f64(s.e);
+            w.put_f64(s.t_e);
+            w.put_f64(s.tail_2v);
+            w.put_u8(u8::from(s.quenching));
+        }
+        // Timeseries high-water mark (bitwise, so a resumed run's JSON
+        // export is byte-identical to the uninterrupted run's).
+        let ts = self.series.snapshot();
+        w.put_u64(ts.len() as u64);
+        for rec in ts.records() {
+            w.put_u64(rec.step);
+            w.put_f64(rec.t);
+            w.put_f64(rec.dt);
+            w.put_u64(rec.values.len() as u64);
+            for (name, value) in &rec.values {
+                w.put_str(name);
+                w.put_f64(*value);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Inverse of [`Self::encode_ckpt`]; validates the payload schema and
+    /// the state-vector length against this driver's configuration.
+    fn restore_ckpt(&mut self, payload: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(payload);
+        let ver = r.get_u32()?;
+        if ver != QUENCH_CKPT_VERSION {
+            return Err(CkptError::Incompatible {
+                reason: format!("driver payload version {ver} (expected {QUENCH_CKPT_VERSION})"),
+            });
+        }
+        let phase = match r.get_u8()? {
+            0 => Phase::Equil,
+            1 => Phase::Quench,
+            2 => Phase::Done,
+            p => {
+                return Err(CkptError::Corrupt {
+                    reason: format!("unknown phase tag {p}"),
+                })
+            }
+        };
+        let started = r.get_u8()? != 0;
+        let k = r.get_u64()? as usize;
+        let e0 = r.get_f64()?;
+        let eta_prev = r.get_f64()?;
+        let t_quench_start = r.get_f64()?;
+        let time = r.get_f64()?;
+        let rec_steps = r.get_u64()?;
+        let state = r.get_f64_vec()?;
+        if state.len() != self.state.len() {
+            return Err(CkptError::Incompatible {
+                reason: format!(
+                    "state length {} (this configuration has {})",
+                    state.len(),
+                    self.state.len()
+                ),
+            });
+        }
+        let stepper_ckpt = StepperCkpt {
+            dt_scale: r.get_f64()?,
+            easy_streak: r.get_u64()?,
+            checkpoint: r.get_f64_vec()?,
+        };
+        // Field order in these literals is the read order (struct-literal
+        // operands evaluate left to right).
+        let stats = StepStats {
+            newton_iters: r.get_u64()? as usize,
+            t_landau: r.get_f64()?,
+            t_factor: r.get_f64()?,
+            t_solve: r.get_f64()?,
+            t_total: r.get_f64()?,
+            residual: r.get_f64()?,
+            converged: r.get_u8()? != 0,
+        };
+        let recovery = RecoveryStats {
+            retried: r.get_u64()? as usize,
+            substeps: r.get_u64()? as usize,
+            dt_fraction_min: r.get_f64()?,
+        };
+        let monitor_progress = if r.get_u8()? != 0 {
+            Some((r.get_u64()?, r.get_f64()?))
+        } else {
+            None
+        };
+        let fault_cursor = decode_fault_cursor(&mut r)?;
+        let n_samples = r.get_u64()? as usize;
+        let mut samples = Vec::with_capacity(n_samples.min(1 << 20));
+        for _ in 0..n_samples {
+            samples.push(QuenchSample {
+                t: r.get_f64()?,
+                n_e: r.get_f64()?,
+                j: r.get_f64()?,
+                e: r.get_f64()?,
+                t_e: r.get_f64()?,
+                tail_2v: r.get_f64()?,
+                quenching: r.get_u8()? != 0,
+            });
+        }
+        let n_records = r.get_u64()? as usize;
+        let mut records = Vec::with_capacity(n_records.min(1 << 20));
+        for _ in 0..n_records {
+            let step = r.get_u64()?;
+            let t = r.get_f64()?;
+            let dt = r.get_f64()?;
+            let mut rec = Record::new(step, t, dt);
+            let n_values = r.get_u64()? as usize;
+            for _ in 0..n_values {
+                let name = r.get_str()?;
+                let value = r.get_f64()?;
+                rec.set(&name, value);
+            }
+            records.push(rec);
+        }
+        r.finish()?;
+
+        // Monitor presence must match: the record indexing (and the
+        // invariant channels) differ between the two shapes.
+        match (&mut self.stepper.ti.monitor, monitor_progress) {
+            (Some(mon), Some((steps, sim_time))) => mon.restore_progress(steps, sim_time),
+            (None, None) => {}
+            (have, _) => {
+                return Err(CkptError::Incompatible {
+                    reason: format!(
+                        "checkpointed run {} a conservation monitor, this driver {}",
+                        if monitor_progress.is_some() {
+                            "had"
+                        } else {
+                            "lacked"
+                        },
+                        if have.is_some() {
+                            "has one"
+                        } else {
+                            "does not"
+                        }
+                    ),
+                })
+            }
+        }
+
+        // All validated: commit.
+        self.progress = Progress {
+            phase,
+            k,
+            started,
+            e0,
+            eta_prev,
+            t_quench_start,
+        };
+        self.time = time;
+        self.rec_steps = rec_steps;
+        self.state.copy_from_slice(&state);
+        self.stepper.restore_ckpt(&stepper_ckpt);
+        self.stats = stats;
+        self.recovery = recovery;
+        self.stepper
+            .ti
+            .op
+            .device
+            .restore_fault_cursor(&fault_cursor);
+        self.samples = samples;
+        self.series.reset();
+        for rec in records {
+            self.series.push(rec);
+        }
+        Ok(())
     }
 }
 
@@ -647,6 +1095,158 @@ mod tests {
         // Samples intact: one per completed step plus the initial sample.
         assert!(d.samples.len() > d.cfg.max_equil_steps.min(4));
         assert!(d.samples.iter().all(|s| s.n_e.is_finite()));
+    }
+
+    #[test]
+    fn kill_at_step_k_resumes_bitwise() {
+        use landau_core::ckpt::{CheckpointPolicy, MemStorage};
+        // Monitored so the restore path covers ConservationMonitor
+        // progress and the merged invariant channels too.
+        let cfg = QuenchConfig {
+            max_equil_steps: 3,
+            quench_steps: 4,
+            monitor: Some(Watchdog::recording()),
+            ..fast_cfg()
+        };
+
+        // Uninterrupted reference.
+        let mut full = QuenchDriver::new(cfg.clone());
+        full.run().expect("reference run failed");
+        let full_ts = full.series.snapshot().to_json_text();
+
+        // Same run, checkpointing every 2 steps (+ phase change), killed
+        // mid-quench at step 6 of 7 — generations land at steps 2, 3
+        // (phase change) and 5, so the resume replays step 6 from the
+        // last durable generation rather than starting at the kill point.
+        let medium = MemStorage::new();
+        let mut killed = QuenchDriver::new(cfg.clone());
+        killed.enable_checkpointing(
+            Box::new(medium.clone()),
+            2,
+            CheckpointPolicy::every_steps(2).and_on_phase_change(),
+        );
+        let out = killed.run_budgeted(Some(6)).expect("killed run failed");
+        assert_eq!(out, RunOutcome::Paused);
+        assert_eq!(killed.completed_steps(), 6);
+        drop(killed); // the "kill": in-memory progress is gone
+
+        // Fresh driver (fresh process in real life), same storage medium.
+        let mut resumed = QuenchDriver::new(cfg.clone());
+        resumed.enable_checkpointing(
+            Box::new(medium.clone()),
+            2,
+            CheckpointPolicy::every_steps(2).and_on_phase_change(),
+        );
+        assert!(
+            resumed.resume_from_checkpoint().expect("resume failed"),
+            "no checkpoint generation found"
+        );
+        assert!(
+            resumed.completed_steps() < 6,
+            "resume point must precede the kill (got {})",
+            resumed.completed_steps()
+        );
+        resumed.run().expect("resumed run failed");
+
+        // Bitwise-identical final state …
+        assert_eq!(full.state.len(), resumed.state.len());
+        assert!(
+            full.state
+                .iter()
+                .zip(&resumed.state)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "resumed state diverged bitwise"
+        );
+        // … byte-identical timeseries, and identical sample trails.
+        assert_eq!(
+            resumed.series.snapshot().to_json_text(),
+            full_ts,
+            "resumed timeseries differs from the uninterrupted run"
+        );
+        assert_eq!(resumed.samples.len(), full.samples.len());
+        for (a, b) in full.samples.iter().zip(&resumed.samples) {
+            assert_eq!(a.t.to_bits(), b.t.to_bits());
+            assert_eq!(a.n_e.to_bits(), b.n_e.to_bits());
+            assert_eq!(a.j.to_bits(), b.j.to_bits());
+            assert_eq!(a.quenching, b.quenching);
+        }
+        // Counters continued rather than restarting.
+        assert_eq!(resumed.completed_steps(), full.completed_steps());
+        assert_eq!(resumed.stats.newton_iters, full.stats.newton_iters);
+    }
+
+    #[test]
+    fn resume_replays_the_remaining_fault_schedule() {
+        use landau_core::ckpt::{CheckpointPolicy, MemStorage};
+        use landau_core::{FaultKind, FaultPlan};
+        // Faults scheduled to fire *after* the checkpoint the resume will
+        // land on: the restored fault cursor must replay them identically.
+        let cfg = QuenchConfig {
+            max_equil_steps: 4,
+            quench_steps: 4,
+            ..fast_cfg()
+        };
+        // Probe how many jacobian tallies the first 2 steps (the resume
+        // point) consume, then schedule the faults 2 tallies past that —
+        // squarely inside the segment the resumed run replays.
+        let site = landau_core::fault_sites::SITE_LANDAU_JACOBIAN;
+        let mut probe = QuenchDriver::new(cfg.clone());
+        probe
+            .ti()
+            .op
+            .device
+            .arm_faults(FaultPlan::seeded(41).with(site, u64::MAX, FaultKind::Nan));
+        probe.run_budgeted(Some(2)).expect("probe run failed");
+        let t2 = probe
+            .ti()
+            .op
+            .device
+            .export_fault_cursor()
+            .counts
+            .iter()
+            .find(|(s, _)| s == site)
+            .map(|(_, n)| *n)
+            .expect("probe counted no jacobian tallies");
+        let plan = FaultPlan::seeded(41).with_repeated(site, t2 + 2, 2, FaultKind::Nan);
+
+        let mut full = QuenchDriver::new(cfg.clone());
+        full.ti().op.device.arm_faults(plan.clone());
+        full.run().expect("reference faulted run failed");
+        assert!(full.recovery.retried > 0, "plan never fired");
+
+        let medium = MemStorage::new();
+        let mut killed = QuenchDriver::new(cfg.clone());
+        killed.ti().op.device.arm_faults(plan.clone());
+        killed.enable_checkpointing(
+            Box::new(medium.clone()),
+            2,
+            CheckpointPolicy::every_steps(2),
+        );
+        killed.run_budgeted(Some(3)).expect("killed run failed");
+        drop(killed);
+
+        let mut resumed = QuenchDriver::new(cfg.clone());
+        // Note: no arm_faults here — the cursor restore re-arms the plan.
+        resumed.enable_checkpointing(
+            Box::new(medium.clone()),
+            2,
+            CheckpointPolicy::every_steps(2),
+        );
+        assert!(resumed.resume_from_checkpoint().expect("resume failed"));
+        resumed.run().expect("resumed faulted run failed");
+
+        assert!(
+            full.state
+                .iter()
+                .zip(&resumed.state)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "fault replay diverged bitwise"
+        );
+        assert_eq!(resumed.recovery.retried, full.recovery.retried);
+        assert!(
+            !resumed.ti().op.device.fault_log().is_empty(),
+            "restored cursor never fired the scheduled faults"
+        );
     }
 
     #[test]

@@ -17,6 +17,6 @@ pub mod driver;
 pub mod resistivity;
 pub mod spitzer;
 
-pub use driver::{QuenchConfig, QuenchDriver, QuenchError, QuenchPhase, QuenchSample};
+pub use driver::{QuenchConfig, QuenchDriver, QuenchError, QuenchPhase, QuenchSample, RunOutcome};
 pub use resistivity::{measure_resistivity, ResistivityConfig, ResistivityRun};
 pub use spitzer::{connor_hastie_ec, dreicer_ed, spitzer_eta, spitzer_f};

@@ -31,6 +31,18 @@ pub const SITE_LANDAU_JACOBIAN: &str = "landau_jacobian";
 /// attempt; the injected "lane" selects the species block to poison).
 pub const SITE_LU_FACTOR: &str = "lu_factor";
 
+/// Site name for the fused batched Jacobian stage (one tally per vertex per
+/// fused launch; the lane selects the `IpCoeffs` entry to corrupt).
+pub const SITE_BATCHED_JACOBIAN: &str = "batched_jacobian";
+
+/// Site name for the fused batched banded-LU factorization (one tally per
+/// vertex per fused factor; the lane selects the species block to poison).
+pub const SITE_BATCHED_FACTOR: &str = "batched_factor";
+
+/// Site name for the fused batched triangular solve (one tally per vertex
+/// per fused solve; the lane selects the update entry to corrupt).
+pub const SITE_BATCHED_SOLVE: &str = "batched_solve";
+
 /// What an injected fault does to the target buffer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultKind {
@@ -243,6 +255,52 @@ impl FaultInjector {
             Err(p) => p.into_inner().counts.get(site).copied().unwrap_or(0),
         }
     }
+
+    /// Snapshot the armed plan and per-site tally counts for checkpointing.
+    /// Restoring this cursor on a fresh injector replays the exact same
+    /// fault schedule from the capture point onward.
+    pub fn export_cursor(&self) -> FaultCursor {
+        let armed = self.armed.load(Ordering::Acquire);
+        let g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let mut counts: Vec<(String, u64)> =
+            g.counts.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        counts.sort();
+        FaultCursor {
+            armed,
+            plan: g.plan.clone(),
+            counts,
+        }
+    }
+
+    /// Restore a cursor captured by [`FaultInjector::export_cursor`]: re-arms
+    /// the plan (if it was armed) and seeds the tally counts, so the next
+    /// poll at each site continues from the checkpointed tally.
+    pub fn restore_cursor(&self, cursor: &FaultCursor) {
+        let mut g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        g.plan = cursor.plan.clone();
+        g.counts = cursor.counts.iter().cloned().collect();
+        g.log.clear();
+        self.armed
+            .store(cursor.armed && !cursor.plan.is_empty(), Ordering::Release);
+    }
+}
+
+/// Serializable fault-injection progress: the armed plan plus per-site
+/// tally counts (sorted by site name for deterministic encoding).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultCursor {
+    /// Whether the injector was armed at capture time.
+    pub armed: bool,
+    /// The plan that was armed.
+    pub plan: FaultPlan,
+    /// Per-site tallies counted so far, sorted by site name.
+    pub counts: Vec<(String, u64)>,
 }
 
 #[cfg(test)]
@@ -328,6 +386,28 @@ mod tests {
         let mut buf = [1.0, 2.0, 3.0];
         p.apply(&mut buf);
         assert_eq!(buf[1], 4.0);
+    }
+
+    #[test]
+    fn cursor_round_trip_replays_the_schedule() {
+        let plan = FaultPlan::seeded(11).with("k", 3, FaultKind::Nan);
+        let a = FaultInjector::default();
+        a.arm(plan.clone());
+        assert!(a.poll("k", 8).is_none());
+        assert!(a.poll("k", 8).is_none());
+        let cur = a.export_cursor();
+        assert!(cur.armed);
+        assert_eq!(cur.counts, vec![("k".to_string(), 2)]);
+        // A fresh injector restored from the cursor fires on the same
+        // absolute tally (3) with the same lane as the original.
+        let b = FaultInjector::default();
+        b.restore_cursor(&cur);
+        assert!(a.poll("k", 8).is_none()); // tally 2
+        assert!(b.poll("k", 8).is_none()); // tally 2 (resumed)
+        let fa = a.poll("k", 8); // tally 3: fires
+        let fb = b.poll("k", 8); // tally 3: fires identically
+        assert_eq!(fa, fb);
+        assert!(fa.is_some());
     }
 
     #[test]

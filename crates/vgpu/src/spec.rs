@@ -241,6 +241,18 @@ impl Device {
         self.faults.log()
     }
 
+    /// Snapshot the fault plan and per-site tallies for checkpointing
+    /// (see [`FaultInjector::export_cursor`]).
+    pub fn export_fault_cursor(&self) -> crate::fault::FaultCursor {
+        self.faults.export_cursor()
+    }
+
+    /// Restore a checkpointed fault cursor so a resumed run replays the
+    /// remaining fault schedule identically.
+    pub fn restore_fault_cursor(&self, cursor: &crate::fault::FaultCursor) {
+        self.faults.restore_cursor(cursor);
+    }
+
     /// Record one launch of a named kernel, both into the per-device
     /// counter registry and as `kernel.<name>.*` metrics.
     pub fn record_launch(&self, kernel: &str, tally: &Tally, blocks: u64) {
