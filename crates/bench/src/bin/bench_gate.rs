@@ -86,6 +86,25 @@ fn rule_for(name: &str) -> Rule {
         // corpus defect, ever — these gate at exactly zero.
         "verify.violations" | "verify.corpus_missed" => Rule::Zero,
         "overhead_frac" => Rule::Ceiling(0.25),
+        // -- landau-serve load test (BENCH_serve.json) ------------------
+        // Structural: the quick load test always runs the same flood, and
+        // every job must complete; the kill–resume probe must be bitwise.
+        "serve.jobs_total" | "serve.jobs_completed" | "serve.tenants" => Rule::Exact,
+        "serve.resume_bitwise_identical" => Rule::Floor(1.0),
+        // Latency ceilings: ~3× the single-core measurement (p50 ≈ 6 s
+        // with a 24-deep admission window on one core), absolute so a
+        // scheduling regression fails even if the baseline drifts with it.
+        "serve.p50_submit_to_first_ms" | "serve.p50_e2e_ms" => Rule::Ceiling(20_000.0),
+        "serve.p99_submit_to_first_ms" | "serve.p99_e2e_ms" => Rule::Ceiling(30_000.0),
+        // Throughput floor: the quick flood sustains ≈ 3.9 jobs/s on one
+        // core; 1.0 is the "something is badly wrong" line.
+        "serve.throughput_jobs_per_sec" => Rule::Floor(1.0),
+        // Equal quotas and identical job mixes must spread slices evenly;
+        // the measured spread is 0.00 and anything above 0.5 means the
+        // fair scheduler is not doing its job.
+        "serve.fairness_spread" => Rule::Ceiling(0.5),
+        // Rejection volume depends on arrival timing — informational.
+        "serve.rejected_jobs" => Rule::Info,
         // Fused-batch speedup over the host loop must hold its 2× floor at
         // the large batch sizes (the tentpole acceptance); small batches
         // can't amortize and are informational.
@@ -175,6 +194,7 @@ fn main() {
         ("BENCH_invariants.json", "invariants"),
         ("BENCH_verify.json", "verify"),
         ("BENCH_batch_scaling.json", "batch_scaling"),
+        ("BENCH_serve.json", "serve"),
     ];
     let mut failures = 0;
     for (file, name) in pairs {

@@ -1,7 +1,7 @@
 //! Workspace lint pass: textual source checks for the discipline the
 //! virtual-GPU execution model depends on.
 //!
-//! Eight rules, all enforced by [`lint_source`] over comment- and
+//! Nine rules, all enforced by [`lint_source`] over comment- and
 //! string-stripped source (so the patterns cannot match inside literals or
 //! prose):
 //!
@@ -49,6 +49,14 @@
 //!   tear under a crash and silently corrupt a resume. Only the `Storage`
 //!   implementations themselves ([`CKPT_STORAGE_FILES`]) and test code
 //!   are exempt; binaries and benches write their reports freely.
+//! * **E009** — async bodies in the service crates
+//!   ([`ASYNC_HYGIENE_CRATES`]) must never block the executor thread:
+//!   no `thread::sleep`, no `std::fs` I/O, and no `MutexGuard` binding
+//!   held across an `.await`. The hand-rolled runtime has a handful of
+//!   worker threads; one blocked task stalls every task queued behind
+//!   it, and a guard held across a suspension point deadlocks as soon
+//!   as the guard's owner parks while another worker resumes a task
+//!   that wants the same lock. Sync helpers and test code are exempt.
 //!
 //! The `lint` binary walks every workspace crate and exits nonzero on any
 //! finding; `ci.sh` runs it alongside rustfmt and clippy. The sibling
@@ -104,7 +112,17 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "landau-obs",
     "landau-par",
     "landau-vgpu",
+    "landau-serve",
 ];
+
+/// Crates whose library code runs on the hand-rolled cooperative
+/// executor; async bodies there must never block the worker thread
+/// (`E009`).
+pub const ASYNC_HYGIENE_CRATES: &[&str] = &["landau-serve"];
+
+/// Calls that park or busy the OS thread (`E009`): banned inside async
+/// bodies, where the executor — not the kernel — owns scheduling.
+const BLOCKING_TOKENS: &[&str] = &["thread::sleep(", "std::fs::"];
 
 /// Struct-literal / constructor tokens that mark a stats allocation
 /// (`E005`).
@@ -160,6 +178,9 @@ pub enum Rule {
     /// Raw `std::fs::write`/`File::create` in library-crate code outside
     /// the atomic checkpoint `Storage` implementations.
     RawFsInLibrary,
+    /// Blocking call or `MutexGuard` held across an `.await` inside an
+    /// async body on the cooperative executor.
+    BlockingInAsync,
 }
 
 impl Rule {
@@ -174,6 +195,7 @@ impl Rule {
             Rule::PrintInLibrary => "E006",
             Rule::ScratchConstLen => "E007",
             Rule::RawFsInLibrary => "E008",
+            Rule::BlockingInAsync => "E009",
         }
     }
 
@@ -213,6 +235,11 @@ impl Rule {
                 "raw filesystem write in library-crate code (durable state \
                  goes through the checkpoint Storage trait, whose atomic \
                  tmp-write/fsync/rename impl is the only exempt file)"
+            }
+            Rule::BlockingInAsync => {
+                "blocking call or MutexGuard held across `.await` in an \
+                 async body (park through the runtime's futures — Notify, \
+                 acquire, yield_now — and drop guards before suspending)"
             }
         }
     }
@@ -525,6 +552,75 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
         }
     }
 
+    // E009: async bodies on the cooperative executor must not block the
+    // worker thread. Walk the file with a running brace depth, a mask of
+    // which lines sit inside an `async` body, and the set of live
+    // `MutexGuard` bindings; flag blocking calls and any `.await`
+    // reached while a guard is still live. A guard dies when its block
+    // closes, when it is `drop()`ed, or (heuristically) at the end of a
+    // non-async region.
+    if ASYNC_HYGIENE_CRATES.contains(&ctx.crate_name) && !ctx.is_test_code {
+        let mask = async_body_mask(&lines);
+        let mut depth = 0usize;
+        // Live guard bindings: (name, brace depth at the binding).
+        let mut guards: Vec<(String, usize)> = Vec::new();
+        for (ln, l) in lines.iter().enumerate() {
+            let code = &l.code;
+            let mut min_depth = depth;
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        min_depth = min_depth.min(depth);
+                    }
+                    _ => {}
+                }
+            }
+            if !mask[ln] || ln >= test_from {
+                guards.clear();
+                continue;
+            }
+            let raw = raw_lines.get(ln).copied().unwrap_or("").trim();
+            if BLOCKING_TOKENS.iter().any(|t| code.contains(t)) {
+                findings.push(LintFinding {
+                    rule: Rule::BlockingInAsync,
+                    file: path.to_path_buf(),
+                    line: ln + 1,
+                    snippet: raw.to_string(),
+                });
+            }
+            // Guards whose enclosing block closed on this line are gone.
+            guards.retain(|(_, d)| *d <= min_depth);
+            // Process the line's bind / drop / await events in source
+            // order, so `let g = m.lock(); work().await` flags but
+            // `drop(g); work().await` does not.
+            for (_, ev) in line_events(code) {
+                match ev {
+                    // Bind at the end-of-line depth: right for the
+                    // common `let g = m.lock();` (depth unchanged) and
+                    // for `if let Ok(g) = m.lock() {`, where the guard
+                    // belongs to the block the line opens.
+                    Event::Bind(name) => guards.push((name, depth)),
+                    Event::Drop(name) => guards.retain(|(n, _)| *n != name),
+                    Event::Await => {
+                        if !guards.is_empty() {
+                            findings.push(LintFinding {
+                                rule: Rule::BlockingInAsync,
+                                file: path.to_path_buf(),
+                                line: ln + 1,
+                                snippet: raw.to_string(),
+                            });
+                            // One finding per line; the guards stay live
+                            // so a later `.await` reports again.
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     for (ln, l) in lines.iter().enumerate() {
         let in_test = ctx.is_test_code || ln >= test_from;
         let raw = raw_lines.get(ln).copied().unwrap_or("").trim();
@@ -664,6 +760,182 @@ fn balanced_argument(lines: &[ScrubbedLine], ln: usize, col: usize) -> String {
         arg.push(' ');
     }
     arg
+}
+
+/// One E009-relevant event on a scrubbed line, in source order.
+enum Event {
+    /// `let <name> = … .lock(…)` — a `MutexGuard` binding goes live.
+    Bind(String),
+    /// `drop(<name>)` — an explicit release.
+    Drop(String),
+    /// An `.await` suspension point.
+    Await,
+}
+
+/// Extract the bind / drop / await events on one scrubbed line, sorted
+/// by column. A `.lock(` produces a bind only when it is `let`-bound
+/// AND the call terminates the initializer (possibly through
+/// `.unwrap()` / `.expect(…)` / `?`): a longer chain like
+/// `m.lock().len()` derefs through a temporary that dies at the end of
+/// its own statement and never outlives an `.await`.
+fn line_events(code: &str) -> Vec<(usize, Event)> {
+    let mut events = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(".lock(") {
+        let at = search + pos;
+        search = at + ".lock(".len();
+        let stmt = &code[..at];
+        let stmt = &stmt[stmt.rfind(';').map_or(0, |p| p + 1)..];
+        let Some(let_at) = stmt.rfind("let ") else {
+            continue;
+        };
+        let Some(eq) = stmt[let_at..].find('=') else {
+            continue;
+        };
+        if !lock_call_is_terminal(code, at + ".lock(".len()) {
+            continue;
+        }
+        // Last identifier of the pattern: handles `mut g` and
+        // destructuring wrappers like `Ok(g)`.
+        let pat = &stmt[let_at + 4..let_at + eq];
+        let name: String = pat
+            .chars()
+            .rev()
+            .skip_while(|c| !c.is_alphanumeric() && *c != '_')
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !name.is_empty() {
+            events.push((at, Event::Bind(name)));
+        }
+    }
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("drop(") {
+        let at = search + pos;
+        search = at + "drop(".len();
+        let inner = code[at + 5..].split(')').next().unwrap_or("").trim();
+        events.push((at, Event::Drop(inner.to_string())));
+    }
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(".await") {
+        let at = search + pos;
+        search = at + ".await".len();
+        events.push((at, Event::Await));
+    }
+    events.sort_by_key(|(pos, _)| *pos);
+    events
+}
+
+/// Does the `.lock(` call whose argument starts at byte `from` end the
+/// expression it sits in? Accepts trailing `?`, `.unwrap()`,
+/// `.expect(…)` and `.unwrap_or_else(…)` (the guard still flows to the
+/// binding through those), then requires `;`, `{` or end-of-line. A
+/// call whose parens never close on this line is treated as terminal
+/// (conservative: multi-line initializers keep their guard).
+fn lock_call_is_terminal(code: &str, from: usize) -> bool {
+    let Some(close) = balanced_close(code, from) else {
+        return true;
+    };
+    let mut i = close + 1;
+    loop {
+        while code[i..].starts_with([' ', '\t']) {
+            i += 1;
+        }
+        if let Some(rest) = code[i..].strip_prefix('?') {
+            i = code.len() - rest.len();
+        } else if let Some(rest) = code[i..].strip_prefix(".unwrap()") {
+            i = code.len() - rest.len();
+        } else if code[i..].starts_with(".expect(") || code[i..].starts_with(".unwrap_or_else(") {
+            let open = i + code[i..].find('(').unwrap_or(0) + 1;
+            match balanced_close(code, open) {
+                Some(c) => i = c + 1,
+                None => return true,
+            }
+        } else {
+            let rest = code[i..].trim_start();
+            return rest.is_empty() || rest.starts_with(';') || rest.starts_with('{');
+        }
+    }
+}
+
+/// Index of the `)` matching an open paren whose contents start at
+/// byte `from` of `code`, or `None` if it never closes on this line.
+fn balanced_close(code: &str, from: usize) -> Option<usize> {
+    let mut depth = 1usize;
+    for (i, c) in code[from..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(from + i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Mark every line that sits inside an `async fn` / `async move` /
+/// `async {…}` body. Runs over scrubbed code, so `async` in prose or
+/// string literals cannot open a region.
+fn async_body_mask(lines: &[ScrubbedLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    for ln in 0..lines.len() {
+        let code = lines[ln].code.clone();
+        let mut search = 0;
+        while let Some(pos) = code[search..].find("async") {
+            let at = search + pos;
+            search = at + "async".len();
+            let before_ok = at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let after_ok = !code[at + 5..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if before_ok && after_ok {
+                mark_async_body(lines, ln, at + 5, &mut mask);
+            }
+        }
+    }
+    mask
+}
+
+/// Brace-match the body following an `async` keyword at (`ln`, `col`)
+/// and set its lines in `mask`. A `;` before any `{` is a bodyless
+/// declaration (trait method signature) and marks nothing.
+fn mark_async_body(lines: &[ScrubbedLine], ln: usize, col: usize, mask: &mut [bool]) {
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (row, l) in lines.iter().enumerate().skip(ln) {
+        let start = if row == ln { col } else { 0 };
+        for c in l.code.get(start..).unwrap_or("").chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        mask[row] = true;
+                        return;
+                    }
+                }
+                ';' if !opened => return,
+                _ => {}
+            }
+        }
+        if opened {
+            mask[row] = true;
+        }
+    }
 }
 
 /// Recursively gather `.rs` files under `dir` (sorted for stable reports).
@@ -1131,6 +1403,87 @@ mod tests {
             is_test_code: false,
         };
         assert!(findings(src, ctx).is_empty());
+    }
+
+    fn serve_ctx() -> LintContext<'static> {
+        LintContext {
+            crate_name: "landau-serve",
+            is_test_code: false,
+        }
+    }
+
+    #[test]
+    fn blocking_sleep_in_async_body_is_flagged() {
+        let src = "pub async fn poll_me() {\n    std::thread::sleep(std::time::Duration::from_millis(5));\n}\n";
+        assert_eq!(findings(src, serve_ctx()), [Rule::BlockingInAsync]);
+        // `async move` blocks are bodies too.
+        let src = "fn spawn_it(rt: &Runtime) {\n    rt.spawn(async move {\n        thread::sleep(d);\n    });\n}\n";
+        assert_eq!(findings(src, serve_ctx()), [Rule::BlockingInAsync]);
+    }
+
+    #[test]
+    fn blocking_calls_in_sync_code_are_not_e009() {
+        // The runtime's own sync plumbing (wait_idle, test harnesses)
+        // parks threads legitimately — only async bodies are executor
+        // territory.
+        let src =
+            "pub fn wait_idle(&self) {\n    std::thread::sleep(Duration::from_micros(200));\n}\n";
+        assert!(findings(src, serve_ctx()).is_empty());
+        // Other crates' async code is out of scope for E009.
+        let src = "pub async fn f() {\n    std::thread::sleep(d);\n}\n";
+        let ctx = LintContext {
+            crate_name: "landau-core",
+            is_test_code: false,
+        };
+        assert!(findings(src, ctx).is_empty());
+    }
+
+    #[test]
+    fn fs_io_in_async_body_is_flagged() {
+        let src =
+            "async fn load(p: &Path) -> Vec<u8> {\n    std::fs::read(p).unwrap_or_default()\n}\n";
+        assert_eq!(findings(src, serve_ctx()), [Rule::BlockingInAsync]);
+    }
+
+    #[test]
+    fn guard_across_await_is_flagged() {
+        let src = "async fn f(m: &Mutex<u32>) {\n    let mut st = m.lock();\n    *st += 1;\n    tick().await;\n}\n";
+        assert_eq!(findings(src, serve_ctx()), [Rule::BlockingInAsync]);
+        // The finding lands on the `.await` line.
+        let fs = lint_source(src, Path::new("x.rs"), serve_ctx());
+        assert_eq!(fs[0].line, 4);
+    }
+
+    #[test]
+    fn guard_dropped_before_await_passes() {
+        // Explicit drop releases the guard.
+        let src = "async fn f(m: &Mutex<u32>) {\n    let st = m.lock();\n    drop(st);\n    tick().await;\n}\n";
+        assert!(findings(src, serve_ctx()).is_empty());
+        // A guard scoped to an inner block dies when the block closes.
+        let src = "async fn f(m: &Mutex<u32>) {\n    {\n        let st = m.lock();\n        let _ = st;\n    }\n    tick().await;\n}\n";
+        assert!(findings(src, serve_ctx()).is_empty());
+        // A temporary (no `let`) is gone at the end of its statement.
+        let src =
+            "async fn f(m: &Mutex<u32>) {\n    let v = m.lock().len();\n    tick(v).await;\n}\n";
+        assert!(findings(src, serve_ctx()).is_empty());
+    }
+
+    #[test]
+    fn e009_exempts_test_code() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    async fn g(m: &Mutex<u32>) {\n        let st = m.lock();\n        tick().await;\n        drop(st);\n    }\n}\n";
+        assert!(findings(src, serve_ctx()).is_empty());
+        let src = "async fn g() { std::thread::sleep(d); }\n";
+        let ctx = LintContext {
+            crate_name: "landau-serve",
+            is_test_code: true,
+        };
+        assert!(findings(src, ctx).is_empty());
+    }
+
+    #[test]
+    fn async_in_string_or_comment_opens_no_body() {
+        let src = "fn f() -> &'static str {\n    // async fn commentary\n    \"async {\"\n}\nfn g() { std::thread::sleep(d); }\n";
+        assert!(findings(src, serve_ctx()).is_empty());
     }
 
     #[test]

@@ -364,6 +364,13 @@ pub trait Storage: Send {
     /// Stable-sorted list of stored object names.
     fn list(&self) -> Result<Vec<String>, CkptError>;
     fn remove(&mut self, name: &str) -> Result<(), CkptError>;
+    /// A second handle onto the **same durable medium**, if the backend
+    /// supports sharing (two processes opening one checkpoint directory).
+    /// `None` for media that cannot be shared. The service layer uses this
+    /// to hand each rebuilt driver its job's checkpoint store.
+    fn clone_box(&self) -> Option<Box<dyn Storage>> {
+        None
+    }
 }
 
 /// Filesystem storage with atomic tmp-write/fsync/rename semantics. This is
@@ -439,6 +446,13 @@ impl Storage for DirStorage {
             detail: format!("{name}: {e}"),
         })
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Storage>> {
+        // Same directory — the directory itself is the shared medium.
+        Some(Box::new(DirStorage {
+            dir: self.dir.clone(),
+        }))
+    }
 }
 
 /// In-memory storage. `Clone` shares the underlying map, modelling the same
@@ -509,6 +523,11 @@ impl Storage for MemStorage {
             m.remove(name);
         }
         Ok(())
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Storage>> {
+        // `Clone` already shares the underlying map.
+        Some(Box::new(self.clone()))
     }
 }
 

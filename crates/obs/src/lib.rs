@@ -102,6 +102,10 @@ pub mod names {
     pub const CKPT_WRITE: &str = "ckpt_write";
     /// One checkpoint load/validate walk over stored generations.
     pub const CKPT_LOAD: &str = "ckpt_load";
+    /// One scheduler-granted budgeted driver slice in the job server.
+    pub const SERVE_SLICE: &str = "serve_slice";
+    /// One driver (re)build for a submitted or resumed server job.
+    pub const SERVE_BUILD: &str = "serve_build";
 }
 
 /// True when span recording is compiled in (`record` feature).

@@ -128,6 +128,29 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Quantile estimate from the log2 buckets: the upper edge of the
+    /// bucket containing the `q`-th sample, clamped to the observed
+    /// `[min, max]` range (so `quantile(1.0)` is exactly `max` and the
+    /// estimate never exceeds a value that was actually recorded).
+    /// Returns 0 on an empty histogram; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&b, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Bucket b holds values in [2^(b-1), 2^b - 1] (b = 0 ⇒ 0).
+                let upper = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Element-wise merge: counts and buckets add, min/max widen.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         if other.count == 0 {

@@ -460,6 +460,14 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Eagerly start the persistent worker pool. The pool normally starts
+/// lazily on the first parallel sweep; latency-sensitive callers (the job
+/// server, benchmarks) call this once up front so the first measured
+/// request does not pay the worker spawn cost.
+pub fn ensure_pool_started() {
+    let _ = pool();
+}
+
 fn pool() -> &'static WorkerPool {
     POOL.get_or_init(|| {
         // Part 0 of every sweep runs on the calling thread, so

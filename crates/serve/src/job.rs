@@ -1,0 +1,105 @@
+//! Job identity, specification and lifecycle state.
+
+use landau_quench::QuenchConfig;
+use std::time::Instant;
+
+/// Opaque job identifier, unique within one server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What a tenant submits: a `QuenchConfig`-family scenario plus the slice
+/// granularity the scheduler preempts it at.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Human-readable label (lands in logs and the grant trace).
+    pub name: String,
+    /// The quench scenario to run.
+    pub cfg: QuenchConfig,
+    /// Driver steps per scheduler slice. Smaller slices mean fairer
+    /// interleaving and fresher checkpoints at the cost of more scheduler
+    /// round-trips.
+    pub slice_steps: u64,
+}
+
+impl JobSpec {
+    /// A spec with the default slice granularity.
+    pub fn new(name: impl Into<String>, cfg: QuenchConfig) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            cfg,
+            slice_steps: 2,
+        }
+    }
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted; no slice has run yet.
+    Queued,
+    /// At least one slice has run and the job is not finished.
+    Running,
+    /// All phases ran to completion.
+    Completed,
+    /// The solver exhausted its recovery budget (message attached).
+    Failed(String),
+    /// Cancelled by the tenant; a checkpoint was cut at the last slice
+    /// boundary, so [`crate::QuenchServer::resume`] can continue it.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// True for states no further slice will change.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Failed(_) | JobStatus::Cancelled
+        )
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejected {
+    /// Which bound was hit.
+    pub reason: RejectReason,
+    /// Client backoff hint in milliseconds (the server's estimate of when
+    /// a slot frees up, derived from the recent slice-duration average).
+    pub retry_after_ms: u64,
+}
+
+/// The admission bound that rejected a submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's own queued+running quota is exhausted.
+    TenantQueueFull,
+    /// The server-wide in-flight bound is exhausted.
+    ServerQueueFull,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let which = match self.reason {
+            RejectReason::TenantQueueFull => "tenant queue full",
+            RejectReason::ServerQueueFull => "server queue full",
+        };
+        write!(f, "{which}; retry after {} ms", self.retry_after_ms)
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Mutable per-job state behind the entry lock.
+pub(crate) struct JobState {
+    pub status: JobStatus,
+    pub completed_steps: u64,
+    pub submitted_at: Instant,
+    pub first_record_at: Option<Instant>,
+    pub finished_at: Option<Instant>,
+}

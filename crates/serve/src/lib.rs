@@ -1,0 +1,44 @@
+//! Simulation-as-a-service over the thermal-quench driver.
+//!
+//! `landau-serve` turns the batch `QuenchDriver` (paper §IV-C) into an
+//! async multi-tenant job service:
+//!
+//! * **submit** a `QuenchConfig`-family scenario and get a [`JobId`] /
+//!   [`JobHandle`] back immediately;
+//! * **stream** `landau-obs-timeseries/1` records as slices produce them
+//!   ([`RecordStream`]);
+//! * **cancel** a job (a checkpoint is cut at the slice boundary),
+//!   **checkpoint** it on demand, and **resume** it later — the resumed
+//!   stream is byte-identical to an uninterrupted run;
+//! * **fairness**: slices are granted per tenant by start-time fair
+//!   queueing with configurable quotas ([`FairScheduler`]), so one noisy
+//!   tenant cannot starve the rest;
+//! * **backpressure**: bounded per-tenant and server-wide queues; an
+//!   over-limit submit is rejected immediately with a `retry_after_ms`
+//!   hint ([`Rejected`]) instead of buffering without bound.
+//!
+//! There is no external async runtime in this workspace (the build is
+//! hermetic), so [`rt`] provides a minimal work-stealing executor built
+//! on `std::task::Wake`: per-worker deques, a global injector, sibling
+//! back-stealing, condvar parking. Job tasks are cooperative at slice
+//! granularity — each scheduler slice runs `run_budgeted(slice_steps)`
+//! on an executor worker while inner velocity-space sweeps fan out
+//! through the persistent `landau-par` pool.
+//!
+//! Observability: the server publishes `serve.*` counters and latency
+//! histograms (submission, queue wait, slice, submit-to-first-record,
+//! end-to-end) through `landau-obs`, and wraps driver slices in
+//! `serve_slice` / `serve_build` spans. The `loadtest` bin in
+//! `landau-bench` drives thousands of concurrent small quenches through
+//! this API and gates the latency distribution in CI.
+
+pub mod rt;
+pub mod sync;
+
+mod job;
+mod scheduler;
+mod server;
+
+pub use job::{JobId, JobSpec, JobStatus, RejectReason, Rejected};
+pub use scheduler::{Acquire, FairScheduler, SlicePermit};
+pub use server::{JobHandle, QuenchServer, RecordStream, ServeConfig};

@@ -1,0 +1,361 @@
+//! Per-tenant fair slice scheduling.
+//!
+//! Jobs do not run to completion: they run in *budgeted slices* (a fixed
+//! number of driver steps via `QuenchDriver::run_budgeted`) and must hold
+//! a [`SlicePermit`] for each slice. The scheduler hands out at most
+//! `max_active` permits at a time and picks who gets the next one by
+//! **start-time fair queueing over tenants**: each tenant accumulates
+//! `service` (slices granted, weighted by the inverse of its quota), and
+//! the backlogged tenant with the smallest normalized service is granted
+//! next (ties break on tenant name, so the grant sequence is a pure
+//! function of the submission sequence — the loadtest and the starvation
+//! test depend on that determinism).
+//!
+//! Starvation bound: with quotas `q_t`, between two consecutive grants to
+//! a backlogged tenant `t` every other tenant `u` receives at most
+//! `ceil(q_u / q_t) + 1` grants. An idle tenant's service clock is clamped
+//! up to the backlogged minimum on re-arrival, so sleeping never banks
+//! credit.
+
+use crate::job::JobId;
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One queued slice request.
+struct Waiter {
+    ticket: u64,
+    job: JobId,
+    waker: Option<Waker>,
+    granted: bool,
+}
+
+struct TenantState {
+    quota: u64,
+    /// Normalized service: slices granted × (weight_scale / quota).
+    service: u128,
+    /// Start tag: `service` *before* the most recent charge. New arrivals
+    /// are clamped to the minimum backlogged start tag (not the finish
+    /// tag), so a tenant arriving mid-slice still contends fairly for the
+    /// very next grant.
+    start: u128,
+    waiting: Vec<Waiter>,
+}
+
+/// Common denominator so integer service increments stay exact across
+/// different quotas (quota q advances service by SCALE/q per slice).
+const SCALE: u128 = 720_720; // lcm(1..=16), covers practical quota ratios
+
+struct SchedState {
+    tenants: BTreeMap<String, TenantState>,
+    active: usize,
+    max_active: usize,
+    next_ticket: u64,
+    grant_log: Vec<(String, JobId)>,
+}
+
+impl SchedState {
+    /// Grant permits while capacity remains: smallest normalized service
+    /// among backlogged tenants wins, FIFO within a tenant.
+    fn pump(&mut self) -> Vec<Waker> {
+        let mut woken = Vec::new();
+        while self.active < self.max_active {
+            let next = self
+                .tenants
+                .iter()
+                .filter(|(_, t)| t.waiting.iter().any(|w| !w.granted))
+                .min_by(|(na, a), (nb, b)| a.service.cmp(&b.service).then(na.cmp(nb)))
+                .map(|(name, _)| name.clone());
+            let Some(name) = next else { break };
+            let t = self.tenants.get_mut(&name).expect("tenant exists");
+            let w = t
+                .waiting
+                .iter_mut()
+                .find(|w| !w.granted)
+                .expect("backlogged tenant has an ungranted waiter");
+            w.granted = true;
+            if let Some(waker) = w.waker.take() {
+                woken.push(waker);
+            }
+            t.start = t.service;
+            t.service += SCALE / u128::from(t.quota.max(1));
+            self.active += 1;
+            self.grant_log.push((name, w.job));
+        }
+        woken
+    }
+
+    fn min_backlogged_start(&self) -> Option<u128> {
+        self.tenants
+            .values()
+            .filter(|t| !t.waiting.is_empty())
+            .map(|t| t.start)
+            .min()
+    }
+}
+
+/// The fair slice scheduler (shared by the server and every job task).
+#[derive(Clone)]
+pub struct FairScheduler {
+    state: Arc<Mutex<SchedState>>,
+}
+
+impl FairScheduler {
+    /// A scheduler allowing `max_active` concurrent slices.
+    pub fn new(max_active: usize) -> FairScheduler {
+        FairScheduler {
+            state: Arc::new(Mutex::new(SchedState {
+                tenants: BTreeMap::new(),
+                active: 0,
+                max_active: max_active.max(1),
+                next_ticket: 0,
+                grant_log: Vec::new(),
+            })),
+        }
+    }
+
+    /// Declare (or update) a tenant's fairness quota. Quotas are relative
+    /// weights; a tenant with twice the quota receives twice the slice
+    /// rate under contention. Unknown tenants submitting jobs get quota 1.
+    pub fn set_quota(&self, tenant: &str, quota: u64) {
+        let mut s = lock(&self.state);
+        let min = s.min_backlogged_start().unwrap_or(0);
+        let t = s.tenants.entry(tenant.to_string()).or_insert(TenantState {
+            quota: 1,
+            service: min,
+            start: min,
+            waiting: Vec::new(),
+        });
+        t.quota = quota.max(1);
+    }
+
+    /// Queue a slice request for `job` owned by `tenant`; the returned
+    /// future resolves to a [`SlicePermit`] when the scheduler picks it.
+    pub fn acquire(&self, tenant: &str, job: JobId) -> Acquire {
+        let ticket = {
+            let mut s = lock(&self.state);
+            let ticket = s.next_ticket;
+            s.next_ticket += 1;
+            // Re-arriving after idleness must not replay banked credit.
+            let clamp = s.min_backlogged_start().unwrap_or(0);
+            let t = s.tenants.entry(tenant.to_string()).or_insert(TenantState {
+                quota: 1,
+                service: clamp,
+                start: clamp,
+                waiting: Vec::new(),
+            });
+            if t.waiting.is_empty() {
+                t.service = t.service.max(clamp);
+                t.start = t.start.max(clamp);
+            }
+            t.waiting.push(Waiter {
+                ticket,
+                job,
+                waker: None,
+                granted: false,
+            });
+            ticket
+        };
+        self.pump_and_wake();
+        Acquire {
+            sched: self.clone(),
+            tenant: tenant.to_string(),
+            ticket,
+        }
+    }
+
+    fn pump_and_wake(&self) {
+        let woken = lock(&self.state).pump();
+        for w in woken {
+            w.wake();
+        }
+    }
+
+    fn release(&self) {
+        let woken = {
+            let mut s = lock(&self.state);
+            s.active = s.active.saturating_sub(1);
+            s.pump()
+        };
+        for w in woken {
+            w.wake();
+        }
+    }
+
+    /// The grant sequence so far: `(tenant, job)` per slice, in grant
+    /// order. Deterministic for a deterministic submission sequence; the
+    /// starvation test asserts interleaving bounds on it.
+    pub fn grant_log(&self) -> Vec<(String, JobId)> {
+        lock(&self.state).grant_log.clone()
+    }
+
+    /// Slices currently holding permits.
+    pub fn active(&self) -> usize {
+        lock(&self.state).active
+    }
+}
+
+/// Future side of [`FairScheduler::acquire`].
+pub struct Acquire {
+    sched: FairScheduler,
+    tenant: String,
+    ticket: u64,
+}
+
+impl Future for Acquire {
+    type Output = SlicePermit;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<SlicePermit> {
+        let mut s = lock(&self.sched.state);
+        let t = s.tenants.get_mut(&self.tenant).expect("tenant registered");
+        let idx = t
+            .waiting
+            .iter()
+            .position(|w| w.ticket == self.ticket)
+            .expect("ticket still queued");
+        if t.waiting[idx].granted {
+            t.waiting.remove(idx);
+            drop(s);
+            return Poll::Ready(SlicePermit {
+                sched: self.sched.clone(),
+            });
+        }
+        t.waiting[idx].waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Held for the duration of one run slice; dropping it releases the slot
+/// and lets the scheduler grant the next fairest waiter.
+pub struct SlicePermit {
+    sched: FairScheduler,
+}
+
+impl Drop for SlicePermit {
+    fn drop(&mut self) {
+        self.sched.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rt::block_on;
+
+    #[test]
+    fn equal_quotas_alternate_under_contention() {
+        let sched = FairScheduler::new(1);
+        sched.set_quota("a", 1);
+        sched.set_quota("b", 1);
+        // Queue 4 slices per tenant, then drain one at a time.
+        let mut futs = Vec::new();
+        for i in 0..4u64 {
+            futs.push(sched.acquire("a", JobId(i)));
+            futs.push(sched.acquire("b", JobId(100 + i)));
+        }
+        for _ in 0..8 {
+            // Exactly one is granted at a time; find and consume it.
+            let mut granted_any = false;
+            futs.retain_mut(|f| {
+                if granted_any {
+                    return true;
+                }
+                let mut noop = noop_context();
+                if let Poll::Ready(permit) = Pin::new(&mut *f).poll(&mut noop.1) {
+                    drop(permit);
+                    granted_any = true;
+                    return false;
+                }
+                true
+            });
+            assert!(granted_any, "scheduler stalled");
+        }
+        // Releases pump eagerly, so the log may run one grant ahead of the
+        // permits we consumed; judge the 8 grants we actually drove.
+        let log: Vec<String> = sched
+            .grant_log()
+            .into_iter()
+            .take(8)
+            .map(|(t, _)| t)
+            .collect();
+        // Strict alternation a,b,a,b,… (ties break on name: a first).
+        for pair in log.chunks(2) {
+            assert_eq!(pair, ["a".to_string(), "b".to_string()]);
+        }
+    }
+
+    #[test]
+    fn quota_weights_shift_the_grant_ratio() {
+        let sched = FairScheduler::new(1);
+        sched.set_quota("heavy", 3);
+        sched.set_quota("light", 1);
+        let mut futs = Vec::new();
+        for i in 0..12u64 {
+            futs.push(sched.acquire("heavy", JobId(i)));
+        }
+        for i in 0..4u64 {
+            futs.push(sched.acquire("light", JobId(100 + i)));
+        }
+        let mut heavy = 0;
+        let mut light = 0;
+        for _ in 0..8 {
+            let mut granted_any = false;
+            futs.retain_mut(|f| {
+                if granted_any {
+                    return true;
+                }
+                let mut noop = noop_context();
+                if let Poll::Ready(permit) = Pin::new(&mut *f).poll(&mut noop.1) {
+                    drop(permit);
+                    granted_any = true;
+                    return false;
+                }
+                true
+            });
+            assert!(granted_any);
+        }
+        for (t, _) in sched.grant_log().into_iter().take(8) {
+            if t == "heavy" {
+                heavy += 1;
+            } else {
+                light += 1;
+            }
+        }
+        // 3:1 weights → among 8 grants, heavy gets 6, light gets 2.
+        assert_eq!((heavy, light), (6, 2), "log {:?}", sched.grant_log());
+    }
+
+    #[test]
+    fn acquire_resolves_through_the_runtime() {
+        let sched = FairScheduler::new(2);
+        sched.set_quota("t", 1);
+        let p1 = block_on(sched.acquire("t", JobId(1)));
+        let p2 = block_on(sched.acquire("t", JobId(2)));
+        assert_eq!(sched.active(), 2);
+        drop(p1);
+        let p3 = block_on(sched.acquire("t", JobId(3)));
+        drop(p2);
+        drop(p3);
+        assert_eq!(sched.active(), 0);
+    }
+
+    /// A waker/context pair that does nothing (polling directly in tests).
+    fn noop_context() -> (std::task::Waker, Context<'static>) {
+        use std::task::{RawWaker, RawWakerVTable};
+        fn no(_: *const ()) {}
+        fn cl(_: *const ()) -> RawWaker {
+            RawWaker::new(std::ptr::null(), &VT)
+        }
+        static VT: RawWakerVTable = RawWakerVTable::new(cl, no, no, no);
+        // SAFETY: the vtable functions ignore the data pointer entirely.
+        let waker = unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VT)) };
+        // Extend lifetime by leaking a clone; tests only.
+        let w: &'static Waker = Box::leak(Box::new(waker));
+        (w.clone(), Context::from_waker(w))
+    }
+}

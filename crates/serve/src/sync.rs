@@ -1,0 +1,127 @@
+//! Async notification primitive for the service layer.
+//!
+//! [`Notify`] is the one synchronization shape the server needs beyond
+//! mutexes: "wake every future currently waiting for a state change".
+//! Record streams wait on it between slices, and `wait()` futures wait on
+//! it for terminal status. It is level-triggered via a generation counter:
+//! a `notified()` future created *before* a `notify_waiters` call resolves
+//! on its next poll, so a wake between "check state" and "await" is never
+//! lost.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct NotifyState {
+    generation: u64,
+    waiters: Vec<Waker>,
+}
+
+/// Broadcast wake-up: every [`Notified`] future outstanding at
+/// [`Notify::notify_waiters`] time resolves.
+#[derive(Clone)]
+pub struct Notify {
+    state: Arc<Mutex<NotifyState>>,
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Notify::new()
+    }
+}
+
+impl Notify {
+    /// A fresh notifier.
+    pub fn new() -> Notify {
+        Notify {
+            state: Arc::new(Mutex::new(NotifyState {
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// A future that resolves at the next `notify_waiters` call (or
+    /// immediately, if one happened after this future was created).
+    pub fn notified(&self) -> Notified {
+        let born = lock(&self.state).generation;
+        Notified {
+            state: self.state.clone(),
+            born,
+        }
+    }
+
+    /// Wake every outstanding waiter.
+    pub fn notify_waiters(&self) {
+        let waiters = {
+            let mut s = lock(&self.state);
+            s.generation = s.generation.wrapping_add(1);
+            std::mem::take(&mut s.waiters)
+        };
+        for w in waiters {
+            w.wake();
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    state: Arc<Mutex<NotifyState>>,
+    born: u64,
+}
+
+impl Future for Notified {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = lock(&self.state);
+        if s.generation != self.born {
+            return Poll::Ready(());
+        }
+        s.waiters.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rt::{block_on, Runtime};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn notify_wakes_all_waiters() {
+        let rt = Runtime::new(2);
+        let n = Notify::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let n = n.clone();
+                let h = hits.clone();
+                rt.spawn(async move {
+                    n.notified().await;
+                    h.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        // Give the waiters time to register, then broadcast.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        n.notify_waiters();
+        for h in handles {
+            block_on(h);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn pre_created_notified_never_misses_a_wake() {
+        let n = Notify::new();
+        let fut = n.notified();
+        n.notify_waiters(); // fires before the first poll
+        block_on(fut); // must still resolve
+    }
+}

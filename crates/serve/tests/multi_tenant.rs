@@ -1,0 +1,225 @@
+//! End-to-end service tests: submission, streaming, fairness, cancel /
+//! checkpoint / resume, and backpressure.
+
+use landau_core::ckpt::CheckpointStore;
+use landau_obs::MetricRegistry;
+use landau_quench::QuenchConfig;
+use landau_serve::rt::block_on;
+use landau_serve::{JobSpec, JobStatus, QuenchServer, RejectReason, ServeConfig};
+use std::sync::Arc;
+
+/// The smallest quench scenario that still exercises both phases: a
+/// coarse velocity mesh and a short pulse, ~150 ms per step on one core.
+fn tiny_cfg(quench_steps: usize) -> QuenchConfig {
+    QuenchConfig {
+        domain: 2.0,
+        cells_per_vt: 0.3,
+        k_outer: 1.0,
+        ion_mass: 16.0,
+        t_cold: 0.15,
+        dt: 0.1,
+        max_equil_steps: 2,
+        quench_steps,
+        pulse_duration: 3.0,
+        mass_factor: 3.0,
+        ..QuenchConfig::default()
+    }
+}
+
+fn small_server() -> QuenchServer {
+    QuenchServer::with_registry(
+        ServeConfig {
+            workers: 2,
+            max_active_slices: 2,
+            ..ServeConfig::default()
+        },
+        Arc::new(MetricRegistry::new()),
+    )
+}
+
+#[test]
+fn submitted_jobs_complete_and_stream_all_records() {
+    let server = small_server();
+    let mut handles = Vec::new();
+    for tenant in ["alice", "bob"] {
+        for i in 0..2 {
+            let spec = JobSpec::new(format!("{tenant}-{i}"), tiny_cfg(4));
+            handles.push(server.submit(tenant, spec).expect("admitted"));
+        }
+    }
+    for h in &handles {
+        assert_eq!(block_on(h.wait()), JobStatus::Completed);
+    }
+    // Streams deliver every record the driver published, in step order.
+    for h in &handles {
+        let mut stream = h.stream();
+        let mut last_step = None;
+        while let Some(rec) = block_on(stream.next()) {
+            if let Some(prev) = last_step {
+                assert!(rec.step > prev, "records out of order");
+            }
+            last_step = Some(rec.step);
+        }
+        assert!(stream.delivered() > 0, "job produced no records");
+        let json = h.series_json();
+        assert!(json.contains("landau-obs-timeseries/1"));
+    }
+}
+
+#[test]
+fn cancel_mid_slice_leaves_a_loadable_checkpoint() {
+    let server = small_server();
+    let spec = JobSpec::new("long", tiny_cfg(8));
+    let h = server.submit("alice", spec).expect("admitted");
+    // Wait for the first record so at least one slice has run, then
+    // cancel: the job task cuts a checkpoint at the slice boundary.
+    let mut stream = h.stream();
+    let first = block_on(stream.next());
+    assert!(first.is_some(), "job never produced a record");
+    h.cancel();
+    assert_eq!(block_on(h.wait()), JobStatus::Cancelled);
+    assert!(h.completed_steps() > 0);
+    // The checkpoint is durable and loadable through a second handle onto
+    // the job's storage medium — exactly what resume() will do.
+    let medium = server.job_storage(h.id).expect("storage is shareable");
+    let mut store = CheckpointStore::new(medium, 2);
+    let loaded = store.load_latest().expect("checkpoint medium readable");
+    assert!(loaded.is_some(), "cancel left no loadable checkpoint");
+}
+
+#[test]
+fn resume_after_cancel_streams_byte_identical_timeseries() {
+    // Reference: the same scenario run uninterrupted.
+    let server = small_server();
+    let cfg = tiny_cfg(8);
+    let reference = {
+        let h = server
+            .submit("ref", JobSpec::new("uninterrupted", cfg.clone()))
+            .expect("admitted");
+        assert_eq!(block_on(h.wait()), JobStatus::Completed);
+        h.series_json()
+    };
+
+    // Interrupted run: cancel mid-flight (kill), then resume from the
+    // checkpoint and run to completion.
+    let h = server
+        .submit("alice", JobSpec::new("interrupted", cfg))
+        .expect("admitted");
+    let mut stream = h.stream();
+    assert!(block_on(stream.next()).is_some());
+    h.cancel();
+    assert_eq!(block_on(h.wait()), JobStatus::Cancelled);
+    let steps_at_cancel = h.completed_steps();
+
+    let h2 = server.resume(h.id).expect("resumable");
+    assert_eq!(block_on(h2.wait()), JobStatus::Completed);
+    assert!(h2.completed_steps() > steps_at_cancel);
+
+    // The export after kill+resume is byte-identical to the
+    // uninterrupted run: restore repushes the pre-kill records bitwise
+    // and the physics replays deterministically from the slice boundary.
+    assert_eq!(h2.series_json(), reference);
+
+    // The live stream kept its cursor across the kill: draining it now
+    // yields the remaining records with no duplicates and no gaps.
+    let mut last = None;
+    while let Some(rec) = block_on(stream.next()) {
+        if let Some(prev) = last {
+            assert!(rec.step > prev);
+        }
+        last = Some(rec.step);
+    }
+}
+
+#[test]
+fn quota_starvation_is_bounded() {
+    // One slice lane, a noisy tenant flooding 6 jobs before a meek
+    // tenant's single job arrives: fair queueing must grant the meek
+    // tenant a slice almost immediately, not after the flood drains.
+    let server = QuenchServer::with_registry(
+        ServeConfig {
+            workers: 1,
+            max_active_slices: 1,
+            ..ServeConfig::default()
+        },
+        Arc::new(MetricRegistry::new()),
+    );
+    server.set_tenant_quota("noisy", 1);
+    server.set_tenant_quota("meek", 1);
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let spec = JobSpec::new(format!("noisy-{i}"), tiny_cfg(3));
+        handles.push(server.submit("noisy", spec).expect("admitted"));
+    }
+    let meek = server
+        .submit("meek", JobSpec::new("meek-0", tiny_cfg(3)))
+        .expect("admitted");
+    handles.push(meek.clone());
+    for h in &handles {
+        assert_eq!(block_on(h.wait()), JobStatus::Completed);
+    }
+    // Starvation bound: with equal quotas, once the meek job is queued,
+    // consecutive meek grants are separated by at most 2 noisy grants
+    // (ceil(q_noisy/q_meek) + 1). Find the meek grants in the log.
+    let log = server.grant_log();
+    let meek_positions: Vec<usize> = log
+        .iter()
+        .enumerate()
+        .filter(|(_, (t, _))| t == "meek")
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!meek_positions.is_empty(), "meek tenant never granted");
+    for pair in meek_positions.windows(2) {
+        assert!(
+            pair[1] - pair[0] <= 3,
+            "meek starved for {} grants: log {log:?}",
+            pair[1] - pair[0]
+        );
+    }
+}
+
+#[test]
+fn over_limit_submissions_reject_with_retry_after() {
+    let server = QuenchServer::with_registry(
+        ServeConfig {
+            workers: 1,
+            max_active_slices: 1,
+            max_in_flight_per_tenant: 2,
+            max_in_flight_total: 3,
+            min_retry_after_ms: 25,
+            ..ServeConfig::default()
+        },
+        Arc::new(MetricRegistry::new()),
+    );
+    let mut handles = Vec::new();
+    for i in 0..2 {
+        let spec = JobSpec::new(format!("a-{i}"), tiny_cfg(10));
+        handles.push(server.submit("alice", spec).expect("admitted"));
+    }
+    // Tenant bound: alice's third concurrent job bounces.
+    let rej = server
+        .submit("alice", JobSpec::new("a-2", tiny_cfg(10)))
+        .expect_err("tenant over limit");
+    assert_eq!(rej.reason, RejectReason::TenantQueueFull);
+    assert!(rej.retry_after_ms >= 25, "hint {}", rej.retry_after_ms);
+    // Server bound: one more admission fills the global limit, then any
+    // tenant bounces with the server-wide reason.
+    handles.push(
+        server
+            .submit("bob", JobSpec::new("b-0", tiny_cfg(10)))
+            .expect("admitted"),
+    );
+    let rej = server
+        .submit("carol", JobSpec::new("c-0", tiny_cfg(10)))
+        .expect_err("server full");
+    assert_eq!(rej.reason, RejectReason::ServerQueueFull);
+    // Backpressure is advisory, not fatal: once jobs finish, the same
+    // submission is admitted.
+    for h in &handles {
+        assert!(block_on(h.wait()).is_terminal());
+    }
+    server
+        .submit("carol", JobSpec::new("c-0", tiny_cfg(4)))
+        .expect("admitted after drain");
+    server.drain();
+}

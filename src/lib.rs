@@ -12,6 +12,7 @@ pub use landau_math as math;
 pub use landau_mesh as mesh;
 pub use landau_obs as obs;
 pub use landau_quench as quench;
+pub use landau_serve as serve;
 pub use landau_sparse as sparse;
 pub use landau_vgpu as vgpu;
 
