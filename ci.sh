@@ -75,8 +75,14 @@ run_bench() {
   echo "== batch scaling bench (quick gate: fused/host bitwise identity + 2x speedup at 256/1024)"
   cargo bench -q -p landau-bench --bench batch_scaling -- --quick
 
-  echo "== landau-serve load test (quick: 200 jobs / 4 tenants, kill-resume probe)"
+  echo "== live telemetry bench (quick gate: journal overhead + bitwise identity + scrape p99)"
+  cargo bench -q -p landau-bench --bench obs_live -- --quick
+
+  echo "== landau-serve load test (quick: 200 jobs / 4 tenants, kill-resume + scrape/journal probes)"
   cargo run -q --release -p landau-bench --bin loadtest -- --quick
+
+  echo "== telemetry export smoke (validated scrape, journal drain, per-job trace)"
+  cargo run -q --release -p landau-bench --bin obs_export -- --smoke
 
   echo "== bench regression gate (fresh BENCH_*.json vs baselines/, verify.* pinned to 0)"
   cargo run -q --release -p landau-bench --bin bench_gate

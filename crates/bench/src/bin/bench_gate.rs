@@ -67,10 +67,14 @@ fn rule_for(name: &str) -> Rule {
         // The quench step count depends on the quasi-equilibrium detector,
         // which can fire a step early/late across hosts.
         "invariant.steps" => Rule::RelTol(0.25),
-        // The span/metric recording, the conservation monitor and the
-        // per-step checkpoint writer must each cost under 2% on the
-        // guarded solve (min-of-3 ABAB measurements).
-        "obs_overhead_frac" | "monitor_overhead_frac" | "ckpt_overhead_frac" => Rule::Ceiling(0.02),
+        // The span/metric recording, the conservation monitor, the
+        // per-step checkpoint writer and the event journal must each
+        // cost under 2% on the guarded solve (min-of-3 ABAB
+        // measurements).
+        "obs_overhead_frac"
+        | "monitor_overhead_frac"
+        | "ckpt_overhead_frac"
+        | "obs.journal_overhead_frac" => Rule::Ceiling(0.02),
         // Any byte flip slipping past the frame checksums is a durability
         // defect — the corruption matrix gates at exactly zero.
         "ckpt_silent_restores" => Rule::Zero,
@@ -105,6 +109,19 @@ fn rule_for(name: &str) -> Rule {
         "serve.fairness_spread" => Rule::Ceiling(0.5),
         // Rejection volume depends on arrival timing — informational.
         "serve.rejected_jobs" => Rule::Info,
+        // -- live telemetry plane (BENCH_obs_live.json) -----------------
+        // Journal publishing must be pure observation: the enabled and
+        // disabled arms land on the same bits, and every scrape under
+        // load parses as OpenMetrics.
+        "obs.journal_bitwise_identical" | "obs.scrape_valid" => Rule::Floor(1.0),
+        // Scrape wall time against a warm registry: the measured p99 is
+        // well under a millisecond; 250 ms is the "the scrape path grew
+        // a registry copy or allocation storm" line, absolute so a
+        // regression fails even if the baseline drifts with it.
+        "serve.scrape_p99_ms" => Rule::Ceiling(250.0),
+        // Event volume tracks checkpoint cadence, which shifts with the
+        // quick/full shape — informational.
+        "obs.journal_events_published" => Rule::Info,
         // Fused-batch speedup over the host loop must hold its 2× floor at
         // the large batch sizes (the tentpole acceptance); small batches
         // can't amortize and are informational.
@@ -195,6 +212,7 @@ fn main() {
         ("BENCH_verify.json", "verify"),
         ("BENCH_batch_scaling.json", "batch_scaling"),
         ("BENCH_serve.json", "serve"),
+        ("BENCH_obs_live.json", "obs_live"),
     ];
     let mut failures = 0;
     for (file, name) in pairs {

@@ -5,20 +5,27 @@
 //! submissions retry after the server's `retry_after_ms` hint), then
 //! reports:
 //!
-//! * p50/p99 submit-to-first-record and end-to-end latency (client-side
-//!   per-job samples),
+//! * p50/p99 submit-to-first-record and end-to-end latency, read from
+//!   the server's own `serve.*` histograms via the batch
+//!   [`HistogramSnapshot::quantiles`] API,
 //! * throughput (completed jobs per second of wall time),
 //! * fairness spread across tenants (relative grant-count imbalance),
 //! * a kill–resume probe: one job is cancelled mid-flight and resumed,
 //!   and its exported timeseries must be byte-identical to an
-//!   uninterrupted run of the same scenario.
+//!   uninterrupted run of the same scenario. The probe also drains the
+//!   global event journal in two batches and checks that the merged
+//!   stream is seq-ordered and survives a `landau-obs-events/1`
+//!   round-trip,
+//! * a live scrape probe: `metrics_scrape()` is called while the flood
+//!   is still in flight and must return valid OpenMetrics text carrying
+//!   `serve_*`, `alert_*`, and journal drop-counter families.
 //!
 //! Results land in `BENCH_serve.json` (gated by `bench_gate`) and the
 //! raw `serve.*` latency histograms in `SERVE_latency_hist.json` (CI
 //! artifact). `--quick` is the CI shape: 200 jobs across 4 tenants.
 
 use landau_bench::{print_table, workspace_root, write_bench_json};
-use landau_obs::MetricRegistry;
+use landau_obs::{events_to_json, merge_drained, parse_events, EventKind, Journal, MetricRegistry};
 use landau_quench::QuenchConfig;
 use landau_serve::rt::block_on;
 use landau_serve::{JobHandle, JobSpec, JobStatus, QuenchServer, ServeConfig};
@@ -56,18 +63,15 @@ fn small_quench(rng: &mut u64, quench_steps: usize) -> QuenchConfig {
     }
 }
 
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 /// Kill–resume probe: run a scenario to completion, then the same
 /// scenario cancelled after its first record and resumed; the two
-/// timeseries exports must be byte-identical.
+/// timeseries exports must be byte-identical. Doubles as the journal
+/// semantics probe: the events emitted around the kill/resume are
+/// drained in two batches whose merge must be seq-ordered and must
+/// survive a `landau-obs-events/1` encode/parse round-trip.
 fn resume_probe(server: &QuenchServer) -> bool {
+    let journal = Journal::global();
+    journal.drain(); // discard any events from earlier in the process
     let mut rng = 7u64;
     let cfg = small_quench(&mut rng, 4);
     let reference = {
@@ -90,11 +94,68 @@ fn resume_probe(server: &QuenchServer) -> bool {
     if block_on(h.wait()) != JobStatus::Cancelled {
         return false;
     }
+    // First drain batch: everything up to and including the cancel.
+    let batch_a = journal.drain();
     let h2 = match server.resume(h.id) {
         Ok(h2) => h2,
         Err(_) => return false,
     };
-    block_on(h2.wait()) == JobStatus::Completed && h2.series_json() == reference
+    if block_on(h2.wait()) != JobStatus::Completed || h2.series_json() != reference {
+        return false;
+    }
+    let batch_b = journal.drain();
+    journal_probe(batch_a, batch_b, journal.dropped(), h.id.0)
+}
+
+/// Check the journal semantics exercised by the kill–resume probe:
+/// batch-independent merge ordering, lifecycle coverage for the killed
+/// job, and a lossless `landau-obs-events/1` round-trip.
+fn journal_probe(
+    batch_a: Vec<landau_obs::Event>,
+    batch_b: Vec<landau_obs::Event>,
+    dropped: u64,
+    killed_job: u64,
+) -> bool {
+    let merged = merge_drained(vec![batch_a, batch_b]);
+    if merged.windows(2).any(|w| w[0].seq >= w[1].seq) {
+        eprintln!("journal probe: merged drain is not strictly seq-ordered");
+        return false;
+    }
+    let kinds_for_killed: Vec<EventKind> = merged
+        .iter()
+        .filter(|e| e.job == killed_job)
+        .map(|e| e.kind)
+        .collect();
+    for want in [
+        EventKind::JobSubmitted,
+        EventKind::JobCancelled,
+        EventKind::JobResumed,
+        EventKind::JobCompleted,
+    ] {
+        if !kinds_for_killed.contains(&want) {
+            eprintln!("journal probe: killed job missing {want:?} event");
+            return false;
+        }
+    }
+    let text = events_to_json(&merged, dropped).to_text();
+    match parse_events(&text) {
+        Ok((parsed, parsed_dropped)) => {
+            let seqs_match = parsed.len() == merged.len()
+                && parsed
+                    .iter()
+                    .zip(&merged)
+                    .all(|(p, m)| p.seq == m.seq && p.kind == m.kind && p.job == m.job);
+            if !seqs_match || parsed_dropped != dropped {
+                eprintln!("journal probe: round-trip mismatch");
+                return false;
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("journal probe: round-trip parse failed: {e}");
+            false
+        }
+    }
 }
 
 struct Args {
@@ -176,6 +237,22 @@ fn main() {
         // Seeded sub-millisecond arrival jitter.
         std::thread::sleep(Duration::from_micros(splitmix64(&mut rng) % 800));
     }
+    // Live scrape probe: while the flood is still in flight, a scrape
+    // must come back as valid OpenMetrics carrying the serve, alert,
+    // and journal families.
+    let scrape = server.metrics_scrape();
+    landau_obs::openmetrics::validate(&scrape).expect("mid-load scrape is valid OpenMetrics");
+    for family in [
+        "serve_",
+        "alert_",
+        "obs_journal_published",
+        "obs_journal_dropped",
+    ] {
+        assert!(
+            scrape.contains(family),
+            "mid-load scrape is missing the {family} family"
+        );
+    }
     let mut completed = 0usize;
     for h in &handles {
         if block_on(h.wait()) == JobStatus::Completed {
@@ -183,11 +260,6 @@ fn main() {
         }
     }
     let wall = t0.elapsed().as_secs_f64();
-
-    let mut first_ms: Vec<f64> = handles.iter().filter_map(|h| h.latency_ms().0).collect();
-    let mut e2e_ms: Vec<f64> = handles.iter().filter_map(|h| h.latency_ms().1).collect();
-    first_ms.sort_by(|a, b| a.total_cmp(b));
-    e2e_ms.sort_by(|a, b| a.total_cmp(b));
 
     // Fairness spread: relative imbalance of slice grants across tenants
     // (0 = perfectly even). The probe tenant is excluded.
@@ -208,20 +280,25 @@ fn main() {
     let rejected = snap.counter("serve.rejected_jobs") as f64;
     let throughput = completed as f64 / wall.max(1e-9);
 
+    // Latency quantiles come from the server's own histograms now, via
+    // the single-pass batch API (one bucket walk per histogram).
+    let hist_quantiles = |name: &str| -> Vec<f64> {
+        snap.histograms
+            .get(name)
+            .map(|h| h.quantiles(&[0.50, 0.99]))
+            .unwrap_or_else(|| vec![0.0, 0.0])
+    };
+    let first_q = hist_quantiles("serve.submit_to_first_record_ms");
+    let e2e_q = hist_quantiles("serve.job_e2e_ms");
+
     let entries = vec![
         ("serve.jobs_total".to_string(), args.jobs as f64),
         ("serve.jobs_completed".to_string(), completed as f64),
         ("serve.tenants".to_string(), args.tenants as f64),
-        (
-            "serve.p50_submit_to_first_ms".to_string(),
-            quantile(&first_ms, 0.50),
-        ),
-        (
-            "serve.p99_submit_to_first_ms".to_string(),
-            quantile(&first_ms, 0.99),
-        ),
-        ("serve.p50_e2e_ms".to_string(), quantile(&e2e_ms, 0.50)),
-        ("serve.p99_e2e_ms".to_string(), quantile(&e2e_ms, 0.99)),
+        ("serve.p50_submit_to_first_ms".to_string(), first_q[0]),
+        ("serve.p99_submit_to_first_ms".to_string(), first_q[1]),
+        ("serve.p50_e2e_ms".to_string(), e2e_q[0]),
+        ("serve.p99_e2e_ms".to_string(), e2e_q[1]),
         ("serve.throughput_jobs_per_sec".to_string(), throughput),
         ("serve.fairness_spread".to_string(), spread),
         ("serve.rejected_jobs".to_string(), rejected),
@@ -247,13 +324,14 @@ fn main() {
             .iter()
             .map(|(b, n)| format!("\"{b}\": {n}"))
             .collect();
+        let q = h.quantiles(&[0.5, 0.99]);
         hist.push_str(&format!(
             "  \"{name}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": {{{}}}}}{comma}\n",
             h.count,
             h.min,
             h.max,
-            h.quantile(0.5),
-            h.quantile(0.99),
+            q[0],
+            q[1],
             buckets.join(", ")
         ));
     }

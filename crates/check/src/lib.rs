@@ -1,7 +1,7 @@
 //! Workspace lint pass: textual source checks for the discipline the
 //! virtual-GPU execution model depends on.
 //!
-//! Nine rules, all enforced by [`lint_source`] over comment- and
+//! Ten rules, all enforced by [`lint_source`] over comment- and
 //! string-stripped source (so the patterns cannot match inside literals or
 //! prose):
 //!
@@ -57,6 +57,17 @@
 //!   it, and a guard held across a suspension point deadlocks as soon
 //!   as the guard's owner parks while another worker resumes a task
 //!   that wants the same lock. Sync helpers and test code are exempt.
+//! * **E010** — journal events in library crates must be built through the
+//!   typed `landau_obs::Event` constructors (`Event::slice_start(…)`,
+//!   `Event::degrade(…)`, …), never as ad-hoc `Event { … }` struct
+//!   literals: the constructors are what keep the `landau-obs-events/1`
+//!   wire schema stable and the trace context attached. And a
+//!   `.publish(…Event…)` call on a serve/library hot path must not
+//!   allocate inside its argument (`format!`, `.to_string()`, `vec![`,
+//!   …): the ring publish is designed to be a handful of atomics, and an
+//!   allocating payload turns every traversal of the hot path into a
+//!   malloc. Only the journal implementation itself
+//!   ([`JOURNAL_IMPL_FILES`]) and test code are exempt.
 //!
 //! The `lint` binary walks every workspace crate and exits nonzero on any
 //! finding; `ci.sh` runs it alongside rustfmt and clippy. The sibling
@@ -155,6 +166,24 @@ pub const CKPT_STORAGE_FILES: &[&str] = &["crates/core/src/ckpt.rs"];
 /// Raw filesystem-write tokens (`E008`).
 const RAW_FS_TOKENS: &[&str] = &["fs::write(", "File::create(", "OpenOptions::new("];
 
+/// The only library file allowed to build `Event { … }` literals
+/// directly (`E010`): the journal implementation, which owns the typed
+/// constructors and the wire schema. Paths are workspace-relative with
+/// `/` separators.
+pub const JOURNAL_IMPL_FILES: &[&str] = &["crates/obs/src/journal.rs"];
+
+/// Allocation tokens banned inside a journal `.publish(…Event…)`
+/// argument on library hot paths (`E010`): the ring publish must stay a
+/// handful of atomics.
+const ALLOC_TOKENS: &[&str] = &[
+    "format!(",
+    ".to_string()",
+    "String::from(",
+    ".to_owned(",
+    "vec![",
+    "Vec::new(",
+];
+
 /// Lint rule identifiers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rule {
@@ -181,6 +210,9 @@ pub enum Rule {
     /// Blocking call or `MutexGuard` held across an `.await` inside an
     /// async body on the cooperative executor.
     BlockingInAsync,
+    /// Ad-hoc `Event { … }` literal, or an allocating journal
+    /// `.publish(…Event…)` argument, in library-crate code.
+    AdHocJournalEvent,
 }
 
 impl Rule {
@@ -196,6 +228,7 @@ impl Rule {
             Rule::ScratchConstLen => "E007",
             Rule::RawFsInLibrary => "E008",
             Rule::BlockingInAsync => "E009",
+            Rule::AdHocJournalEvent => "E010",
         }
     }
 
@@ -240,6 +273,13 @@ impl Rule {
                 "blocking call or MutexGuard held across `.await` in an \
                  async body (park through the runtime's futures — Notify, \
                  acquire, yield_now — and drop guards before suspending)"
+            }
+            Rule::AdHocJournalEvent => {
+                "ad-hoc journal event in library code (build events \
+                 through the typed Event:: constructors so the wire \
+                 schema stays stable, and keep publish arguments \
+                 allocation-free — the ring publish is a handful of \
+                 atomics, not a malloc site)"
             }
         }
     }
@@ -466,6 +506,7 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
     let no_panic_file = NO_PANIC_FILES.iter().any(|f| path_str.ends_with(f));
     let stats_file = STATS_FILES.iter().any(|f| path_str.ends_with(f));
     let storage_impl_file = CKPT_STORAGE_FILES.iter().any(|f| path_str.ends_with(f));
+    let journal_impl_file = JOURNAL_IMPL_FILES.iter().any(|f| path_str.ends_with(f));
 
     // E005: on the instrumented solve path, walk each `pub fn` (signature
     // through the brace-matched end of its body, over scrubbed code so
@@ -683,6 +724,58 @@ pub fn lint_source(src: &str, path: &Path, ctx: LintContext<'_>) -> Vec<LintFind
                 line: ln + 1,
                 snippet: raw.to_string(),
             });
+        }
+
+        // E010: journal events in library code go through the typed
+        // constructors (the wire schema lives there), and a journal
+        // publish must not allocate inside its argument — the ring
+        // publish is a handful of atomics, and serve's per-slice hot
+        // path traverses it.
+        if LIBRARY_CRATES.contains(&ctx.crate_name) && !in_test && !journal_impl_file {
+            // Ad-hoc `Event { … }` literal. A path prefix (`::Event {`)
+            // still counts; a longer identifier (`KernelEvent {`) does
+            // not.
+            let mut search = 0;
+            let mut flagged = false;
+            while let Some(pos) = l.code[search..].find("Event {") {
+                let at = search + pos;
+                let boundary = !l.code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if boundary {
+                    findings.push(LintFinding {
+                        rule: Rule::AdHocJournalEvent,
+                        file: path.to_path_buf(),
+                        line: ln + 1,
+                        snippet: raw.to_string(),
+                    });
+                    flagged = true;
+                    break;
+                }
+                search = at + "Event {".len();
+            }
+            // Allocating publish argument. Only journal publishes are in
+            // scope — stats `.publish(registry, prefix)` calls never
+            // mention `Event`.
+            let mut search = 0;
+            while let Some(pos) = l.code[search..].find(".publish(") {
+                if flagged {
+                    break;
+                }
+                let arg_start = search + pos + ".publish(".len();
+                let arg = balanced_argument(&lines, ln, arg_start);
+                if arg.contains("Event") && ALLOC_TOKENS.iter().any(|t| arg.contains(t)) {
+                    findings.push(LintFinding {
+                        rule: Rule::AdHocJournalEvent,
+                        file: path.to_path_buf(),
+                        line: ln + 1,
+                        snippet: raw.to_string(),
+                    });
+                    break;
+                }
+                search = arg_start;
+            }
         }
 
         if !ctx.kernel_crate() || in_test {
@@ -1484,6 +1577,71 @@ mod tests {
     fn async_in_string_or_comment_opens_no_body() {
         let src = "fn f() -> &'static str {\n    // async fn commentary\n    \"async {\"\n}\nfn g() { std::thread::sleep(d); }\n";
         assert!(findings(src, serve_ctx()).is_empty());
+    }
+
+    #[test]
+    fn ad_hoc_event_literal_is_flagged() {
+        let src = "fn f(j: &Journal) {\n    j.publish(Event { seq: 0, kind: EventKind::Recovery, job: 0, slice: 0, step: 0, value: 0.0, code: Cow::Borrowed(\"\"), tenant: None });\n}\n";
+        assert_eq!(findings(src, serve_ctx()), [Rule::AdHocJournalEvent]);
+        // Path-qualified literals are still ad-hoc (and the `-> Event {`
+        // signature is flagged too: constructors live in the journal).
+        let src = "fn f() -> landau_obs::Event {\n    landau_obs::Event { seq: 0 }\n}\n";
+        assert_eq!(
+            findings(src, serve_ctx()),
+            [Rule::AdHocJournalEvent, Rule::AdHocJournalEvent]
+        );
+    }
+
+    #[test]
+    fn longer_event_identifiers_are_not_e010() {
+        // `KernelEvent` is a different type; `Event {` must match on an
+        // identifier boundary.
+        let src = "fn f() {\n    let e = KernelEvent { id: 3 };\n    consume(e);\n}\n";
+        assert!(findings(src, serve_ctx()).is_empty());
+    }
+
+    #[test]
+    fn allocating_publish_argument_is_flagged() {
+        let src = "fn f(j: &Journal, site: &str) {\n    j.publish(Event::recovery_owned(format!(\"retry-{site}\"), 1));\n}\n";
+        assert_eq!(findings(src, serve_ctx()), [Rule::AdHocJournalEvent]);
+        // Multi-line arguments are searched paren-balanced.
+        let src = "fn f(j: &Journal, site: &str) {\n    j.publish(Event::recovery_owned(\n        site.to_string(),\n        1,\n    ));\n}\n";
+        assert_eq!(findings(src, serve_ctx()), [Rule::AdHocJournalEvent]);
+    }
+
+    #[test]
+    fn typed_constructor_publish_passes() {
+        let src = "fn f(j: &Journal) {\n    j.publish(Event::recovery(\"step_retry\", 2));\n    j.publish(Event::slice_start(1, &tenant, 0));\n}\n";
+        assert!(findings(src, serve_ctx()).is_empty());
+    }
+
+    #[test]
+    fn stats_publish_is_not_e010() {
+        // Metric-stats publishes allocate prefixed names freely — only
+        // journal publishes (arguments mentioning `Event`) are in scope.
+        let src = "fn f(s: &StepTally, m: &MetricRegistry) {\n    s.publish(m, format!(\"quench.{}\", 1).as_str());\n}\n";
+        assert!(findings(src, serve_ctx()).is_empty());
+    }
+
+    #[test]
+    fn e010_exempts_tests_and_the_journal_impl() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(j: &Journal) { j.publish(Event { seq: 0 }); }\n}\n";
+        assert!(findings(src, serve_ctx()).is_empty());
+        // The journal implementation owns the constructors.
+        let src = "fn scoped(kind: EventKind) -> Event {\n    Event { seq: 0, kind }\n}\n";
+        let obs_ctx = LintContext {
+            crate_name: "landau-obs",
+            is_test_code: false,
+        };
+        let fs = lint_source(src, Path::new("crates/obs/src/journal.rs"), obs_ctx);
+        assert!(fs.is_empty(), "{fs:?}");
+        // The same source elsewhere in the obs crate is flagged — both
+        // the `-> Event {` signature (constructors live in the journal)
+        // and the literal itself.
+        assert_eq!(
+            findings(src, obs_ctx),
+            [Rule::AdHocJournalEvent, Rule::AdHocJournalEvent]
+        );
     }
 
     #[test]

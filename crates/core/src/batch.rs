@@ -591,6 +591,8 @@ impl BatchedAdvance {
                                 lane_modes[v] = LaneMode::Host;
                                 lane_bad_streak[v] = 0;
                                 metrics.add("degrade.demotions", 1);
+                                landau_obs::Journal::global()
+                                    .publish(landau_obs::Event::degrade("host", v as u64));
                             }
                         }
                     }
@@ -608,6 +610,8 @@ impl BatchedAdvance {
                                     lane_modes[v] = LaneMode::Host;
                                     lane_bad_streak[v] = 0;
                                     metrics.add("degrade.demotions", 1);
+                                    landau_obs::Journal::global()
+                                        .publish(landau_obs::Event::degrade("host", v as u64));
                                 }
                                 LaneMode::Host if !lane_rolled_back[v] => {
                                     // Final rung before retirement: roll the
@@ -615,6 +619,8 @@ impl BatchedAdvance {
                                     // pin Δt at the policy floor.
                                     lane_rolled_back[v] = true;
                                     metrics.add("degrade.rollbacks", 1);
+                                    landau_obs::Journal::global()
+                                        .publish(landau_obs::Event::degrade("rollback", v as u64));
                                     let st = &mut steppers[v];
                                     if st.checkpoint().len() == states[v].len() {
                                         let ck = st.checkpoint().to_vec();
@@ -626,6 +632,8 @@ impl BatchedAdvance {
                                     lane_modes[v] = LaneMode::Failed;
                                     per_vertex[v].failed = true;
                                     metrics.add("degrade.failed_lanes", 1);
+                                    landau_obs::Journal::global()
+                                        .publish(landau_obs::Event::degrade("failed", v as u64));
                                     break;
                                 }
                             }

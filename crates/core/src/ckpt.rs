@@ -725,6 +725,10 @@ impl CheckpointStore {
         }
         self.count("ckpt.writes", 1);
         self.count("ckpt.write_bytes", frame.len() as u64);
+        landau_obs::Journal::global().publish(landau_obs::Event::checkpoint_write(
+            generation,
+            frame.len() as u64,
+        ));
         // Prune: keep the newest `keep` generations including the new one.
         let total = gens.len() + 1;
         for (_, name) in gens.iter().take(total.saturating_sub(self.keep)) {
@@ -752,6 +756,10 @@ impl CheckpointStore {
                 Ok(payload) => {
                     self.count("ckpt.loads", 1);
                     self.count("ckpt.corrupt_skipped", skipped);
+                    landau_obs::Journal::global().publish(landau_obs::Event::checkpoint_load(
+                        *generation,
+                        payload.len() as u64,
+                    ));
                     return Ok(Some(LoadedCheckpoint {
                         generation: *generation,
                         payload,

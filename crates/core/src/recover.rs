@@ -104,6 +104,15 @@ impl RecoveryStats {
             &format!("{prefix}.neg_dt_fraction_min"),
             -self.dt_fraction_min,
         );
+        // Journal only the exceptional case: an advance that actually
+        // burned retries (the common zero-retry step stays silent, so
+        // the ring holds incidents rather than heartbeat noise).
+        if self.retried > 0 {
+            landau_obs::Journal::global().publish(landau_obs::Event::recovery(
+                "step_retry",
+                self.retried as u64,
+            ));
+        }
     }
 }
 

@@ -1,0 +1,616 @@
+//! Bounded lock-free event journal: the live half of the telemetry plane.
+//!
+//! A [`Journal`] is a fixed-capacity multi-producer ring of structured
+//! [`Event`]s. Producers (solver recovery, checkpoint store, degradation
+//! ladder, the job server) publish with a CAS claim plus one release
+//! store — no locks, no allocation, and when the ring is full the event
+//! is **dropped and counted** instead of blocking the hot path. A single
+//! consumer (the scrape/export side) drains in ring order; every event
+//! carries the ring sequence number it was claimed at, so batches drained
+//! at different times [`merge_drained`] back into one deterministic
+//! stream.
+//!
+//! Events serialize under the stable `landau-obs-events/1` schema
+//! ([`EVENTS_SCHEMA`]): a versioned envelope with the drop counter and a
+//! flat array of typed records. [`events_to_json`] / [`parse_events`]
+//! round-trip exactly.
+//!
+//! Publishing is runtime-switchable ([`Journal::set_enabled`]); a
+//! disabled journal costs one relaxed atomic load per publish and records
+//! nothing, which is what the `obs.journal_overhead_frac` bench gate
+//! measures against.
+
+use crate::json::{num_u64, Json};
+use crate::span::trace_ctx;
+use std::borrow::Cow;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Stable schema identifier for the journal's JSON envelope.
+pub const EVENTS_SCHEMA: &str = "landau-obs-events/1";
+
+/// Default capacity of the process-global journal (events).
+pub const GLOBAL_JOURNAL_CAPACITY: usize = 4096;
+
+/// What happened. The set is closed and versioned with the schema: adding
+/// a kind is a schema revision, not a free-form string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job was admitted into the server.
+    JobSubmitted,
+    /// A terminal job was re-spawned from its newest checkpoint.
+    JobResumed,
+    /// A scheduler-granted budgeted slice began.
+    SliceStart,
+    /// A budgeted slice finished (value = wall milliseconds).
+    SliceEnd,
+    /// A job reached `Completed` (value = completed driver steps).
+    JobCompleted,
+    /// A job reached `Cancelled` (value = completed driver steps).
+    JobCancelled,
+    /// A job reached `Failed` (value = completed driver steps).
+    JobFailed,
+    /// The recovery layer retried a step (value = attempts burned).
+    Recovery,
+    /// The degradation ladder moved a lane down a rung (`code` = rung).
+    Degrade,
+    /// A checkpoint generation was durably written (step = generation,
+    /// value = frame bytes).
+    CheckpointWrite,
+    /// A checkpoint generation was validated and restored (step =
+    /// generation, value = payload bytes).
+    CheckpointLoad,
+    /// An SLO watchdog rule breached (`code` = rule, value = observed).
+    Alert,
+}
+
+impl EventKind {
+    /// The schema's wire name for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::JobSubmitted => "job_submitted",
+            EventKind::JobResumed => "job_resumed",
+            EventKind::SliceStart => "slice_start",
+            EventKind::SliceEnd => "slice_end",
+            EventKind::JobCompleted => "job_completed",
+            EventKind::JobCancelled => "job_cancelled",
+            EventKind::JobFailed => "job_failed",
+            EventKind::Recovery => "recovery",
+            EventKind::Degrade => "degrade",
+            EventKind::CheckpointWrite => "ckpt_write",
+            EventKind::CheckpointLoad => "ckpt_load",
+            EventKind::Alert => "alert",
+        }
+    }
+
+    /// Parse a wire name back to the kind.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "job_submitted" => EventKind::JobSubmitted,
+            "job_resumed" => EventKind::JobResumed,
+            "slice_start" => EventKind::SliceStart,
+            "slice_end" => EventKind::SliceEnd,
+            "job_completed" => EventKind::JobCompleted,
+            "job_cancelled" => EventKind::JobCancelled,
+            "job_failed" => EventKind::JobFailed,
+            "recovery" => EventKind::Recovery,
+            "degrade" => EventKind::Degrade,
+            "ckpt_write" => EventKind::CheckpointWrite,
+            "ckpt_load" => EventKind::CheckpointLoad,
+            "alert" => EventKind::Alert,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured journal record. Constructed only through the typed
+/// constructors below (lint E010): the hot-path fields are plain scalars,
+/// `code` is a static label and `tenant` an `Arc` clone, so publishing
+/// never allocates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Ring position the publish claimed — the global merge key.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Job id (0 when not job-scoped). Filled from the thread's
+    /// [`crate::TraceCtx`] when one is installed and the constructor was
+    /// not given an explicit id.
+    pub job: u64,
+    /// Slice index within the job (from the trace context).
+    pub slice: u64,
+    /// Kind-specific ordinal (driver step, checkpoint generation, …).
+    pub step: u64,
+    /// Kind-specific measurement (milliseconds, bytes, attempts, …).
+    pub value: f64,
+    /// Static detail label (fault site, ladder rung, alert rule).
+    pub code: Cow<'static, str>,
+    /// Owning tenant, when job-scoped.
+    pub tenant: Option<Arc<str>>,
+}
+
+impl Event {
+    /// Base record: job/tenant/slice from the installed trace context.
+    fn scoped(kind: EventKind) -> Event {
+        let ctx = trace_ctx();
+        Event {
+            seq: 0,
+            kind,
+            job: ctx.as_ref().map_or(0, |c| c.job),
+            slice: ctx.as_ref().map_or(0, |c| c.slice),
+            step: 0,
+            value: 0.0,
+            code: Cow::Borrowed(""),
+            tenant: ctx.map(|c| c.tenant),
+        }
+    }
+
+    fn for_job(kind: EventKind, job: u64, tenant: &Arc<str>) -> Event {
+        Event {
+            job,
+            tenant: Some(tenant.clone()),
+            ..Event::scoped(kind)
+        }
+    }
+
+    /// A job was admitted.
+    pub fn job_submitted(job: u64, tenant: &Arc<str>) -> Event {
+        Event::for_job(EventKind::JobSubmitted, job, tenant)
+    }
+
+    /// A terminal job was resumed from its checkpoint.
+    pub fn job_resumed(job: u64, tenant: &Arc<str>) -> Event {
+        Event::for_job(EventKind::JobResumed, job, tenant)
+    }
+
+    /// A budgeted slice began.
+    pub fn slice_start(job: u64, tenant: &Arc<str>, slice: u64) -> Event {
+        Event {
+            slice,
+            ..Event::for_job(EventKind::SliceStart, job, tenant)
+        }
+    }
+
+    /// A budgeted slice ended after `ms` wall milliseconds, leaving the
+    /// driver at `step` completed steps.
+    pub fn slice_end(job: u64, tenant: &Arc<str>, slice: u64, step: u64, ms: f64) -> Event {
+        Event {
+            slice,
+            step,
+            value: ms,
+            ..Event::for_job(EventKind::SliceEnd, job, tenant)
+        }
+    }
+
+    /// A job reached a terminal state with `steps` completed driver steps.
+    /// `kind` must be one of the three terminal kinds.
+    pub fn job_terminal(kind: EventKind, job: u64, tenant: &Arc<str>, steps: u64) -> Event {
+        debug_assert!(matches!(
+            kind,
+            EventKind::JobCompleted | EventKind::JobCancelled | EventKind::JobFailed
+        ));
+        Event {
+            step: steps,
+            ..Event::for_job(kind, job, tenant)
+        }
+    }
+
+    /// The recovery layer burned `attempts` retries at `site`.
+    pub fn recovery(site: &'static str, attempts: u64) -> Event {
+        Event {
+            value: attempts as f64,
+            code: Cow::Borrowed(site),
+            ..Event::scoped(EventKind::Recovery)
+        }
+    }
+
+    /// The degradation ladder moved lane `lane` down to `rung`.
+    pub fn degrade(rung: &'static str, lane: u64) -> Event {
+        Event {
+            step: lane,
+            code: Cow::Borrowed(rung),
+            ..Event::scoped(EventKind::Degrade)
+        }
+    }
+
+    /// Checkpoint `generation` written as a `bytes`-byte frame.
+    pub fn checkpoint_write(generation: u64, bytes: u64) -> Event {
+        Event {
+            step: generation,
+            value: bytes as f64,
+            ..Event::scoped(EventKind::CheckpointWrite)
+        }
+    }
+
+    /// Checkpoint `generation` validated and restored (`bytes` payload).
+    pub fn checkpoint_load(generation: u64, bytes: u64) -> Event {
+        Event {
+            step: generation,
+            value: bytes as f64,
+            ..Event::scoped(EventKind::CheckpointLoad)
+        }
+    }
+
+    /// SLO rule `rule` breached with `observed` against `threshold`.
+    pub fn alert(rule: &'static str, observed: f64, threshold: f64) -> Event {
+        Event {
+            step: threshold.abs().ceil() as u64,
+            value: observed,
+            code: Cow::Borrowed(rule),
+            ..Event::scoped(EventKind::Alert)
+        }
+    }
+}
+
+/// One ring slot: a Vyukov-style sequence gate plus the payload cell.
+struct Slot {
+    /// Publication state: `pos` = free for the producer claiming `pos`,
+    /// `pos + 1` = holds the event published at `pos`, `pos + capacity`
+    /// = drained and free for the next lap.
+    seq: AtomicU64,
+    value: UnsafeCell<Option<Event>>,
+}
+
+// SAFETY: a slot's `value` cell is accessed exclusively by whichever
+// thread the `seq` protocol currently grants ownership to — the producer
+// that CAS-claimed the position (between its claim and its release store)
+// or the single drain holder (between observing the release store and its
+// own release store). The atomics order those accesses, so sharing the
+// cell across threads is sound.
+unsafe impl Sync for Slot {}
+
+/// Bounded, lock-free MPSC ring of journal events.
+///
+/// Producers never block and never allocate: a full ring drops the event
+/// and increments [`Journal::dropped`]. Drains are serialized internally
+/// (single-consumer discipline enforced by a mutex that producers never
+/// touch) and return events in ring order.
+pub struct Journal {
+    enabled: AtomicBool,
+    mask: u64,
+    tail: AtomicU64,
+    slots: Box<[Slot]>,
+    dropped: AtomicU64,
+    /// Drain cursor; the mutex is the single-consumer discipline.
+    head: Mutex<u64>,
+}
+
+static GLOBAL: OnceLock<Arc<Journal>> = OnceLock::new();
+
+impl Journal {
+    /// A journal holding up to `capacity` undrained events (rounded up to
+    /// a power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Journal {
+        let cap = capacity.next_power_of_two().max(2);
+        Journal {
+            enabled: AtomicBool::new(true),
+            mask: (cap - 1) as u64,
+            tail: AtomicU64::new(0),
+            slots: (0..cap)
+                .map(|i| Slot {
+                    seq: AtomicU64::new(i as u64),
+                    value: UnsafeCell::new(None),
+                })
+                .collect(),
+            dropped: AtomicU64::new(0),
+            head: Mutex::new(0),
+        }
+    }
+
+    /// The process-wide default journal (sink for components that were
+    /// not handed an explicit one).
+    pub fn global() -> &'static Journal {
+        Journal::global_arc();
+        GLOBAL.get().expect("initialized above")
+    }
+
+    /// Shared handle to the process-wide default journal.
+    pub fn global_arc() -> Arc<Journal> {
+        GLOBAL
+            .get_or_init(|| Arc::new(Journal::with_capacity(GLOBAL_JOURNAL_CAPACITY)))
+            .clone()
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Turn publishing on or off. Off costs one relaxed load per publish.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True when publishes are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Events accepted so far (monotonic; also the next sequence number).
+    pub fn published(&self) -> u64 {
+        self.tail.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped on a full ring so far (monotonic).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Publish `ev`. Returns `false` iff the event was dropped because
+    /// the ring is full (the drop counter has already been bumped).
+    /// Never blocks; a disabled journal accepts and discards.
+    pub fn publish(&self, mut ev: Event) -> bool {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return true;
+        }
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        ev.seq = pos;
+                        // SAFETY: the successful CAS above granted this
+                        // thread exclusive ownership of slot `pos`; no
+                        // other producer can claim it until the release
+                        // store below, and the consumer only reads after
+                        // observing that store.
+                        unsafe { *slot.value.get() = Some(ev) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return true;
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if seq < pos {
+                // A full lap behind: the slot still holds an undrained
+                // event. Drop-and-count instead of blocking the producer.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                // Another producer claimed `pos` between our loads.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain every published event, in ring order. Single-consumer:
+    /// concurrent drains serialize, and each event is delivered exactly
+    /// once across all drains.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut head = self.head.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        loop {
+            let slot = &self.slots[(*head & self.mask) as usize];
+            if slot.seq.load(Ordering::Acquire) != *head + 1 {
+                return out;
+            }
+            // SAFETY: seq == head + 1 means the publishing producer's
+            // release store has made the payload visible, and the head
+            // mutex makes this thread the only consumer; the slot is ours
+            // until the release store below recycles it.
+            let ev = unsafe { (*slot.value.get()).take() };
+            slot.seq
+                .store(*head + self.slots.len() as u64, Ordering::Release);
+            *head += 1;
+            if let Some(ev) = ev {
+                out.push(ev);
+            }
+        }
+    }
+}
+
+/// Merge independently drained batches back into one stream, ordered by
+/// publish sequence. Deterministic: the result depends only on the set of
+/// events, not on how they were batched.
+pub fn merge_drained(batches: Vec<Vec<Event>>) -> Vec<Event> {
+    let mut all: Vec<Event> = batches.into_iter().flatten().collect();
+    all.sort_by_key(|e| e.seq);
+    all
+}
+
+/// Render events (plus the drop counter) as a `landau-obs-events/1`
+/// document.
+pub fn events_to_json(events: &[Event], dropped: u64) -> Json {
+    let rows = events
+        .iter()
+        .map(|e| {
+            let mut fields = vec![
+                ("seq".to_string(), num_u64(e.seq)),
+                ("kind".to_string(), Json::Str(e.kind.as_str().to_string())),
+                ("job".to_string(), num_u64(e.job)),
+                ("slice".to_string(), num_u64(e.slice)),
+                ("step".to_string(), num_u64(e.step)),
+                ("value".to_string(), Json::Num(e.value)),
+                ("code".to_string(), Json::Str(e.code.to_string())),
+            ];
+            if let Some(t) = &e.tenant {
+                fields.push(("tenant".to_string(), Json::Str(t.to_string())));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(EVENTS_SCHEMA.to_string())),
+        ("dropped".to_string(), num_u64(dropped)),
+        ("events".to_string(), Json::Arr(rows)),
+    ])
+}
+
+/// Parse a `landau-obs-events/1` document back into `(events, dropped)`.
+pub fn parse_events(text: &str) -> Result<(Vec<Event>, u64), String> {
+    let doc = Json::parse(text).map_err(|e| format!("events json: {e:?}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(EVENTS_SCHEMA) => {}
+        other => return Err(format!("unsupported events schema {other:?}")),
+    }
+    let dropped = doc
+        .get("dropped")
+        .and_then(Json::as_u64)
+        .ok_or("missing dropped counter")?;
+    let rows = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("missing events array")?;
+    let mut events = Vec::with_capacity(rows.len());
+    for row in rows {
+        let str_field = |k: &str| row.get(k).and_then(Json::as_str).map(str::to_string);
+        let u64_field = |k: &str| row.get(k).and_then(Json::as_u64).ok_or(format!("bad {k}"));
+        let kind = str_field("kind")
+            .and_then(|s| EventKind::parse(&s))
+            .ok_or("bad kind")?;
+        events.push(Event {
+            seq: u64_field("seq")?,
+            kind,
+            job: u64_field("job")?,
+            slice: u64_field("slice")?,
+            step: u64_field("step")?,
+            value: row.get("value").and_then(Json::as_f64).ok_or("bad value")?,
+            code: Cow::Owned(str_field("code").ok_or("bad code")?),
+            tenant: str_field("tenant").map(Arc::from),
+        });
+    }
+    Ok((events, dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(name: &str) -> Arc<str> {
+        Arc::from(name)
+    }
+
+    #[test]
+    fn publish_drain_round_trip_in_order() {
+        let j = Journal::with_capacity(8);
+        for i in 0..5 {
+            assert!(j.publish(Event::job_submitted(i, &tenant("t"))));
+        }
+        let evs = j.drain();
+        assert_eq!(evs.len(), 5);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.job, i as u64);
+        }
+        assert_eq!(j.dropped(), 0);
+        assert!(j.drain().is_empty(), "second drain must be empty");
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_exactly() {
+        let j = Journal::with_capacity(4);
+        let mut accepted = 0;
+        for i in 0..11 {
+            if j.publish(Event::job_submitted(i, &tenant("t"))) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 4);
+        assert_eq!(j.dropped(), 7);
+        assert_eq!(j.drain().len(), 4);
+        // Drained slots are reusable; the drop counter is monotonic.
+        assert!(j.publish(Event::job_submitted(99, &tenant("t"))));
+        assert_eq!(j.dropped(), 7);
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let j = Journal::with_capacity(8);
+        j.set_enabled(false);
+        assert!(j.publish(Event::recovery("site", 1)));
+        assert_eq!(j.published(), 0);
+        assert!(j.drain().is_empty());
+        j.set_enabled(true);
+        assert!(j.publish(Event::recovery("site", 1)));
+        assert_eq!(j.drain().len(), 1);
+    }
+
+    #[test]
+    fn merge_drained_is_batching_independent() {
+        let j = Journal::with_capacity(16);
+        for i in 0..6 {
+            j.publish(Event::degrade("host", i));
+        }
+        let a = j.drain();
+        for i in 6..10 {
+            j.publish(Event::degrade("host", i));
+        }
+        let b = j.drain();
+        let merged = merge_drained(vec![b, a]);
+        let seqs: Vec<u64> = merged.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let j = Journal::with_capacity(16);
+        j.publish(Event::job_submitted(3, &tenant("acme")));
+        j.publish(Event::slice_end(3, &tenant("acme"), 2, 7, 12.5));
+        j.publish(Event::checkpoint_write(1, 4096));
+        j.publish(Event::alert("slice_p99", 900.0, 500.0));
+        // Overflow a tiny sibling so dropped is nonzero in the envelope.
+        let evs = j.drain();
+        let text = events_to_json(&evs, 5).to_text();
+        let (back, dropped) = parse_events(&text).expect("parse back");
+        assert_eq!(dropped, 5);
+        assert_eq!(back, evs);
+        // Re-render is byte-identical (stable field order).
+        assert_eq!(events_to_json(&back, dropped).to_text(), text);
+    }
+
+    #[test]
+    fn concurrent_producers_keep_per_producer_order() {
+        let j = Arc::new(Journal::with_capacity(4096));
+        let producers = 4;
+        let per = 250;
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let j = j.clone();
+                s.spawn(move || {
+                    let t = tenant("t");
+                    for i in 0..per {
+                        j.publish(Event::slice_start(p, &t, i));
+                    }
+                });
+            }
+        });
+        let evs = j.drain();
+        assert_eq!(evs.len(), (producers * per) as usize);
+        assert_eq!(j.dropped(), 0);
+        // Ring order is globally strict...
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
+        // ...and each producer's events appear in its own publish order.
+        for p in 0..producers {
+            let slices: Vec<u64> = evs.iter().filter(|e| e.job == p).map(|e| e.slice).collect();
+            assert_eq!(slices, (0..per).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn concurrent_overflow_accounting_is_exact() {
+        let j = Arc::new(Journal::with_capacity(64));
+        let producers = 8;
+        let per = 100u64;
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let j = j.clone();
+                s.spawn(move || {
+                    let t = tenant("t");
+                    for i in 0..per {
+                        j.publish(Event::slice_start(p, &t, i));
+                    }
+                });
+            }
+        });
+        let drained = j.drain().len() as u64;
+        assert_eq!(drained, j.published());
+        assert_eq!(j.published() + j.dropped(), producers * per);
+    }
+}

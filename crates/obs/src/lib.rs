@@ -22,6 +22,16 @@
 //! - **Trace export** ([`chrome_trace`], [`folded_stacks`]): the merged
 //!   span forest rendered as a Chrome-Trace/Perfetto-loadable timeline
 //!   (deterministic synthetic timestamps) or folded flamegraph stacks.
+//! - **Journal** ([`Journal`], [`Event`]): a bounded lock-free ring of
+//!   structured events (job lifecycle, recovery, degradation,
+//!   checkpoints, alerts) under the stable `landau-obs-events/1` schema;
+//!   full rings drop-and-count instead of blocking.
+//! - **Trace context** ([`TraceCtx`], [`push_trace_ctx`]): job/tenant/
+//!   slice attribution that follows work across executor and pool
+//!   threads, so [`job_spans_snapshot`] yields one rooted per-job tree.
+//! - **Live export** ([`openmetrics`], [`SloWatchdog`]): OpenMetrics
+//!   text rendering of one consistent snapshot, plus burn-rate SLO rules
+//!   that publish `alert.*` metrics and journal events.
 //!
 //! Recording is feature-gated (`record`, on by default) and runtime-
 //! switchable ([`set_recording`]). With the feature off every call site
@@ -30,20 +40,29 @@
 //! arithmetic: fault-free runs are bitwise identical with recording on,
 //! off, or compiled out.
 
+pub mod alert;
+pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
 pub mod profile;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
 
+pub use alert::{AlertMode, Firing, SloRule, SloSignal, SloViolation, SloWatchdog};
+pub use journal::{
+    events_to_json, merge_drained, parse_events, Event, EventKind, Journal, EVENTS_SCHEMA,
+};
 pub use metrics::{Counter, HistogramSnapshot, MetricRegistry, MetricSnapshot};
 pub use profile::{reset_global, Profile, Table7Components, PROFILE_SCHEMA};
 pub use span::{
-    recording, reset_spans, set_recording, span, spans_snapshot, SpanGuard, SpanNode, SpanSnapshot,
+    job_spans_snapshot, push_trace_ctx, recording, reset_spans, set_recording, span,
+    spans_snapshot, trace_ctx, traced_jobs, SpanGuard, SpanNode, SpanSnapshot, TraceCtx,
+    TraceCtxGuard,
 };
 pub use timeseries::{Record, SeriesSink, TimeSeries, TIMESERIES_SCHEMA};
-pub use trace::{chrome_trace, chrome_trace_deterministic, folded_stacks};
+pub use trace::{chrome_trace, chrome_trace_deterministic, folded_stacks, job_chrome_trace};
 
 /// Well-known span names used across the workspace, so call sites and
 /// consumers (table renderers, tests) agree on spelling.

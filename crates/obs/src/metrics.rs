@@ -151,6 +151,71 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Batch quantile estimates with in-bucket interpolation, in one
+    /// pass over the buckets.
+    ///
+    /// Each query `q` maps to rank `⌈q·count⌉` (clamped to `[1, count]`).
+    /// The rank's bucket `b` spans `[2^(b-1), 2^b - 1]` (bucket 0 is the
+    /// single value 0); the estimate interpolates linearly between the
+    /// bucket's edges by the rank's position among the bucket's samples:
+    ///
+    /// ```text
+    /// frac = (rank - samples_before_bucket) / samples_in_bucket
+    /// est  = lo + frac * (hi - lo)          // lo = 2^(b-1), hi = 2^b - 1
+    /// ```
+    ///
+    /// Estimates are clamped to the observed `[min, max]` and are
+    /// guaranteed monotone: if `qs[i] <= qs[j]` then `out[i] <= out[j]`,
+    /// regardless of query order. Unlike [`HistogramSnapshot::quantile`]
+    /// (which returns the raw bucket upper edge) the interpolated
+    /// estimate moves smoothly as samples accumulate, which is what the
+    /// serve latency reports want. Empty histogram ⇒ all zeros.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        if self.count == 0 || qs.is_empty() {
+            return vec![0.0; qs.len()];
+        }
+        // Sort queries by rank so one forward pass over the buckets
+        // serves them all, then scatter results back to query order.
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        order.sort_by(|&a, &b| qs[a].total_cmp(&qs[b]));
+        let mut out = vec![0.0f64; qs.len()];
+        let mut buckets = self.buckets.iter();
+        let mut seen_before = 0u64;
+        let mut current: Option<(u32, u64)> = None;
+        let mut prev_est = 0.0f64;
+        for (k, &qi) in order.iter().enumerate() {
+            let q = qs[qi].clamp(0.0, 1.0);
+            let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+            // Advance to the bucket containing `rank`.
+            loop {
+                if let Some((_, n)) = current {
+                    if seen_before + n >= rank {
+                        break;
+                    }
+                    seen_before += n;
+                }
+                let (&b, &n) = buckets.next().expect("ranks never exceed count");
+                current = Some((b, n));
+            }
+            let (b, n) = current.expect("set above");
+            let (lo, hi) = if b == 0 {
+                (0.0, 0.0)
+            } else {
+                ((1u64 << (b - 1)) as f64, ((1u64 << b) - 1) as f64)
+            };
+            let frac = (rank - seen_before) as f64 / n as f64;
+            let mut est = (lo + frac * (hi - lo)).clamp(self.min as f64, self.max as f64);
+            // Monotonicity across queries is structural (ranks ascend),
+            // but guard against FP rounding at bucket seams anyway.
+            if k > 0 {
+                est = est.max(prev_est);
+            }
+            prev_est = est;
+            out[qi] = est;
+        }
+        out
+    }
+
     /// Element-wise merge: counts and buckets add, min/max widen.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         if other.count == 0 {
@@ -406,6 +471,45 @@ mod tests {
         assert_eq!(h.buckets[&0], 1);
         assert_eq!(h.buckets[&2], 2);
         assert_eq!(h.buckets[&4], 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_stay_monotone() {
+        let reg = MetricRegistry::new();
+        for v in 1..=1000u64 {
+            reg.observe("h", v);
+        }
+        let h = reg.snapshot().histograms["h"].clone();
+        // Batch answers agree regardless of query order, and ascend.
+        let qs = [0.99, 0.5, 0.0, 1.0, 0.9];
+        let got = h.quantiles(&qs);
+        assert_eq!(got[2], 1.0, "q=0 clamps to min");
+        assert_eq!(got[3], 1000.0, "q=1 clamps to max");
+        assert!(got[1] <= got[4] && got[4] <= got[0]);
+        // Interpolated estimates sit inside the rank's bucket and are
+        // closer to the true quantile than the raw bucket upper edge.
+        let p50 = got[1];
+        assert!((256.0..=511.0).contains(&p50), "p50={p50}");
+        assert!((p50 - 500.0).abs() <= (h.quantile(0.5) as f64 - 500.0).abs());
+        // Never coarser than the single-quantile API's bucket edge.
+        assert!(p50 <= h.quantile(0.5) as f64);
+        // Sorted-query path matches the scattered-query path.
+        let sorted = h.quantiles(&[0.0, 0.5, 0.9, 0.99, 1.0]);
+        assert_eq!(sorted, vec![got[2], got[1], got[4], got[0], got[3]]);
+    }
+
+    #[test]
+    fn quantiles_handle_edge_histograms() {
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantiles(&[0.5, 0.99]), vec![0.0, 0.0]);
+        let reg = MetricRegistry::new();
+        reg.observe("one", 7);
+        let one = reg.snapshot().histograms["one"].clone();
+        assert_eq!(one.quantiles(&[0.0, 0.5, 1.0]), vec![7.0, 7.0, 7.0]);
+        reg.observe("zeros", 0);
+        reg.observe("zeros", 0);
+        let zeros = reg.snapshot().histograms["zeros"].clone();
+        assert_eq!(zeros.quantiles(&[0.5, 1.0]), vec![0.0, 0.0]);
     }
 
     #[test]

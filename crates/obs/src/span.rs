@@ -11,6 +11,52 @@
 //! Recording is compiled out entirely without the `record` feature and
 //! can be toggled at runtime with [`set_recording`]; a span opened while
 //! recording is off costs one relaxed atomic load and records nothing.
+//!
+//! # Trace context
+//!
+//! A thread may carry a [`TraceCtx`] (installed with [`push_trace_ctx`],
+//! restored on guard drop). When a thread's outermost span closes, its
+//! arena is folded into the bucket keyed by the context's job id — or
+//! the unattributed bucket when no context is installed. This is how
+//! spans recorded on different executor workers, different `landau-par`
+//! pool threads, and different sides of a kill/resume all stitch into
+//! one per-job tree ([`job_spans_snapshot`]) instead of a forest of
+//! orphan fragments. [`spans_snapshot`] still merges every bucket, so
+//! whole-process consumers (profiles, Table VII) see the union.
+
+use std::sync::Arc;
+
+/// Job-scoped trace context: identifies which job (and which budgeted
+/// slice of it) the current thread is doing work for. Cloned freely —
+/// two `u64`s and an `Arc` bump.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Server-assigned job id (stable across kill/resume).
+    pub job: u64,
+    /// Owning tenant.
+    pub tenant: Arc<str>,
+    /// Zero-based budgeted-slice index within the job.
+    pub slice: u64,
+}
+
+impl TraceCtx {
+    /// Context for `job` owned by `tenant`, starting at slice 0.
+    pub fn new(job: u64, tenant: Arc<str>) -> TraceCtx {
+        TraceCtx {
+            job,
+            tenant,
+            slice: 0,
+        }
+    }
+
+    /// The same context pointed at slice `slice`.
+    pub fn at_slice(&self, slice: u64) -> TraceCtx {
+        TraceCtx {
+            slice,
+            ..self.clone()
+        }
+    }
+}
 
 /// One aggregated node in a merged span tree. `children` is sorted by
 /// name, which makes snapshots comparable with `==`.
@@ -139,15 +185,26 @@ impl SpanSnapshot {
 
 #[cfg(feature = "record")]
 mod rec {
-    use super::{merge_into, SpanNode, SpanSnapshot};
+    use super::{merge_into, SpanNode, SpanSnapshot, TraceCtx};
     use std::cell::RefCell;
+    use std::collections::BTreeMap;
     use std::marker::PhantomData;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Mutex;
     use std::time::Instant;
 
+    /// The global accumulator, bucketed by job id. Threads with no
+    /// installed [`TraceCtx`] flush into `unattributed`.
+    struct Forest {
+        unattributed: Vec<SpanNode>,
+        jobs: BTreeMap<u64, Vec<SpanNode>>,
+    }
+
     static ENABLED: AtomicBool = AtomicBool::new(true);
-    static GLOBAL: Mutex<Vec<SpanNode>> = Mutex::new(Vec::new());
+    static GLOBAL: Mutex<Forest> = Mutex::new(Forest {
+        unattributed: Vec::new(),
+        jobs: BTreeMap::new(),
+    });
 
     struct Node {
         name: &'static str,
@@ -191,12 +248,46 @@ mod rec {
 
     thread_local! {
         static LOCAL: RefCell<Local> = RefCell::new(Local::fresh());
+        static CTX: RefCell<Option<TraceCtx>> = const { RefCell::new(None) };
     }
 
-    fn global_lock() -> std::sync::MutexGuard<'static, Vec<SpanNode>> {
+    fn global_lock() -> std::sync::MutexGuard<'static, Forest> {
         // A panicking test thread may poison the lock; the data (plain
         // counters) is still structurally sound, so keep going.
         GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The trace context currently installed on this thread, if any.
+    pub fn trace_ctx() -> Option<TraceCtx> {
+        CTX.with(|c| c.borrow().clone())
+    }
+
+    /// RAII guard returned by [`push_trace_ctx`]; restores the previous
+    /// context on drop.
+    #[must_use = "the context is popped when the guard drops"]
+    pub struct TraceCtxGuard {
+        prev: Option<TraceCtx>,
+        // Not Send: the guard must pop on the thread that pushed.
+        _not_send: PhantomData<*const ()>,
+    }
+
+    /// Install `ctx` as this thread's trace context until the returned
+    /// guard drops (`None` explicitly clears it — used by pool workers
+    /// between jobs). Nests: dropping restores whatever was installed
+    /// before.
+    pub fn push_trace_ctx(ctx: Option<TraceCtx>) -> TraceCtxGuard {
+        let prev = CTX.with(|c| c.replace(ctx));
+        TraceCtxGuard {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+
+    impl Drop for TraceCtxGuard {
+        fn drop(&mut self) {
+            let prev = self.prev.take();
+            CTX.with(|c| *c.borrow_mut() = prev);
+        }
     }
 
     /// Enable or disable span recording at runtime (process-wide).
@@ -212,15 +303,38 @@ mod rec {
     /// Clear the global accumulator (open spans on other threads will
     /// flush post-reset data when their roots close).
     pub fn reset_spans() {
-        global_lock().clear();
+        let mut g = global_lock();
+        g.unattributed.clear();
+        g.jobs.clear();
     }
 
-    /// Snapshot the merged span forest. Spans still open (anywhere) have
-    /// not been flushed yet; capture between root spans for full trees.
+    /// Snapshot the merged span forest across every bucket — the
+    /// whole-process union (unattributed work plus all jobs). Spans
+    /// still open (anywhere) have not been flushed yet; capture between
+    /// root spans for full trees.
     pub fn spans_snapshot() -> SpanSnapshot {
-        SpanSnapshot {
-            roots: global_lock().clone(),
+        let g = global_lock();
+        let mut roots = g.unattributed.clone();
+        for bucket in g.jobs.values() {
+            for r in bucket {
+                merge_into(&mut roots, r);
+            }
         }
+        SpanSnapshot { roots }
+    }
+
+    /// Snapshot only the spans attributed to `job` — work recorded on
+    /// any thread while that job's [`TraceCtx`] was installed, across
+    /// all of its slices (including post-resume ones).
+    pub fn job_spans_snapshot(job: u64) -> SpanSnapshot {
+        SpanSnapshot {
+            roots: global_lock().jobs.get(&job).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Job ids that currently have attributed spans, ascending.
+    pub fn traced_jobs() -> Vec<u64> {
+        global_lock().jobs.keys().copied().collect()
     }
 
     /// RAII guard returned by [`span`]; records on drop.
@@ -285,13 +399,19 @@ mod rec {
                 l.stack.pop();
                 if l.stack.is_empty() {
                     // Outermost span closed: fold this thread's tree into
-                    // the global forest and start a fresh arena.
+                    // the bucket named by the installed trace context (or
+                    // the unattributed pile) and start a fresh arena.
                     let roots: Vec<SpanNode> =
                         l.nodes[0].children.iter().map(|&c| l.to_tree(c)).collect();
                     *l = Local::fresh();
+                    let job = CTX.with(|c| c.borrow().as_ref().map(|ctx| ctx.job));
                     let mut g = global_lock();
+                    let bucket = match job {
+                        Some(j) => g.jobs.entry(j).or_default(),
+                        None => &mut g.unattributed,
+                    };
                     for r in roots {
-                        merge_into(&mut g, &r);
+                        merge_into(bucket, &r);
                     }
                 }
             });
@@ -301,7 +421,7 @@ mod rec {
 
 #[cfg(not(feature = "record"))]
 mod rec {
-    use super::SpanSnapshot;
+    use super::{SpanSnapshot, TraceCtx};
     use std::marker::PhantomData;
 
     /// No-op without the `record` feature.
@@ -320,6 +440,34 @@ mod rec {
         SpanSnapshot::default()
     }
 
+    /// Always empty without the `record` feature.
+    pub fn job_spans_snapshot(_job: u64) -> SpanSnapshot {
+        SpanSnapshot::default()
+    }
+
+    /// Always empty without the `record` feature.
+    pub fn traced_jobs() -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Always `None` without the `record` feature.
+    pub fn trace_ctx() -> Option<TraceCtx> {
+        None
+    }
+
+    /// Unit guard compiled when recording is off.
+    #[must_use = "the context is popped when the guard drops"]
+    pub struct TraceCtxGuard {
+        _not_send: PhantomData<*const ()>,
+    }
+
+    /// Compiles to nothing without the `record` feature.
+    pub fn push_trace_ctx(_ctx: Option<TraceCtx>) -> TraceCtxGuard {
+        TraceCtxGuard {
+            _not_send: PhantomData,
+        }
+    }
+
     /// Unit guard compiled when recording is off.
     #[must_use = "a span records when the guard drops; bind it with `let _sp = span(..)`"]
     pub struct SpanGuard {
@@ -335,7 +483,10 @@ mod rec {
     }
 }
 
-pub use rec::{recording, reset_spans, set_recording, span, spans_snapshot, SpanGuard};
+pub use rec::{
+    job_spans_snapshot, push_trace_ctx, recording, reset_spans, set_recording, span,
+    spans_snapshot, trace_ctx, traced_jobs, SpanGuard, TraceCtxGuard,
+};
 
 #[cfg(test)]
 mod tests {

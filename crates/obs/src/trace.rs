@@ -81,6 +81,24 @@ pub fn chrome_trace_deterministic(snap: &SpanSnapshot) -> Json {
     chrome_trace_with(snap, false)
 }
 
+/// Export one job's spans as a Chrome Trace document with a **single
+/// synthesized root** (`job <id>`) wrapping the job's whole forest, so
+/// work recorded on different executor workers, pool threads, and
+/// kill/resume sides renders as one rooted tree instead of disconnected
+/// fragments. Timestamps are synthetic and shape-deterministic, like
+/// [`chrome_trace_deterministic`].
+pub fn job_chrome_trace(job: u64, snap: &SpanSnapshot) -> Json {
+    let root = SpanNode {
+        name: format!("job {job}"),
+        // The synthesized root closes once; synthetic_dur still nests
+        // every child strictly inside it.
+        count: 1,
+        total_ns: snap.roots.iter().map(|r| r.total_ns).sum(),
+        children: snap.roots.clone(),
+    };
+    chrome_trace_with(&SpanSnapshot { roots: vec![root] }, false)
+}
+
 /// Export the span forest as folded-stack flamegraph text: one line per
 /// forest node, `root;child;leaf count`, weighted by close count (the
 /// deterministic weight; wall-clock totals are aggregate and live in the
@@ -195,6 +213,25 @@ mod tests {
             sample().shape().len()
         );
         assert_eq!(doc.to_text(), text);
+    }
+
+    #[test]
+    fn job_trace_is_one_rooted_tree() {
+        let snap = sample();
+        let doc = job_chrome_trace(7, &snap);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), snap.shape().len() + 1);
+        let root = &events[0];
+        assert_eq!(root.get("name").unwrap().as_str(), Some("job 7"));
+        let r0 = root.get("ts").unwrap().as_u64().unwrap();
+        let r1 = r0 + root.get("dur").unwrap().as_u64().unwrap();
+        // Every other event — including the second original root — sits
+        // strictly inside the synthesized job root: no orphan fragments.
+        for e in &events[1..] {
+            let ts = e.get("ts").unwrap().as_u64().unwrap();
+            let dur = e.get("dur").unwrap().as_u64().unwrap();
+            assert!(ts >= r0 && ts + dur <= r1);
+        }
     }
 
     #[test]

@@ -183,3 +183,44 @@ fn registry_updates_from_pool_threads_are_complete() {
     assert_eq!(snap.histograms["sweep.value"].count, 10_000);
     assert_eq!(snap.histograms["sweep.value"].max, 9_999);
 }
+
+#[test]
+fn pool_worker_spans_attach_to_the_installed_job() {
+    // Regression: spans opened inside `landau-par` pool workers used to
+    // flush as orphan roots on `landau-par-N` threads, fragmenting the
+    // per-job span forest. The pool now captures the dispatcher's trace
+    // context and installs it around every part, so worker-side spans
+    // land in the job's bucket.
+    let _l = lock();
+    set_recording(true);
+    reset_spans();
+    let tenant: std::sync::Arc<str> = std::sync::Arc::from("acme");
+    let ctx = landau_obs::TraceCtx::new(42, tenant);
+    let _g = landau_obs::push_trace_ctx(Some(ctx));
+    {
+        let _slice = span("serve_slice");
+        let v: Vec<u64> = (0..64).collect();
+        let s: u64 = v
+            .par_iter()
+            .map(|&x| {
+                let _k = span("kernel");
+                x
+            })
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, (0..64u64).sum());
+    }
+    if !recording_compiled() {
+        assert!(spans_snapshot().is_empty());
+        return;
+    }
+    // Everything — including the worker-thread kernel spans — is in job
+    // 42's bucket; nothing leaked into the unattributed forest.
+    assert_eq!(landau_obs::traced_jobs(), vec![42]);
+    let job_snap = landau_obs::job_spans_snapshot(42);
+    assert_eq!(job_snap.count_of("serve_slice"), 1);
+    assert_eq!(job_snap.count_of("kernel"), 64);
+    let merged = spans_snapshot();
+    assert_eq!(merged.count_of("kernel"), 64, "global view still merges");
+    drop(_g);
+    reset_spans();
+}

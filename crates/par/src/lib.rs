@@ -504,11 +504,17 @@ impl WorkerPool {
     {
         let k = parts.len();
         let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        // The dispatching thread's trace context rides along with every
+        // part, so spans recorded on pool workers attribute to the same
+        // job as the sweep that spawned them.
+        let ctx = landau_obs::trace_ctx();
         let mut it = parts.into_iter();
         let part0 = it.next().expect("at least one part");
         for (idx, part) in it.enumerate() {
             let tx = tx.clone();
+            let ctx = ctx.clone();
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let _ctx = landau_obs::push_trace_ctx(ctx);
                 let r = catch_unwind(AssertUnwindSafe(|| work(part)));
                 let _ = tx.send((idx, r));
             });

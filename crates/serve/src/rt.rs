@@ -22,6 +22,7 @@
 //! `landau-par` pool. The executor only multiplexes *jobs*, the pool
 //! multiplexes *elements* — see `DESIGN.md` §16.
 
+use landau_obs::TraceCtx;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
@@ -219,6 +220,21 @@ impl Runtime {
         JoinHandle { state }
     }
 
+    /// Spawn a future that carries a job's [`TraceCtx`]: the context is
+    /// installed around **every poll**, so it follows the task across
+    /// worker threads and steals, and any spans (or journal events) the
+    /// poll records attribute to the job no matter which worker ran it.
+    pub fn spawn_traced<T, F>(&self, ctx: TraceCtx, fut: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        self.spawn(Traced {
+            ctx,
+            inner: Box::pin(fut),
+        })
+    }
+
     /// Block the calling thread until every spawned task has finished.
     /// (The service uses this to drain in-flight jobs at shutdown.)
     pub fn wait_idle(&self) {
@@ -235,6 +251,23 @@ impl Drop for Runtime {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+    }
+}
+
+/// Future wrapper that installs a [`TraceCtx`] for the duration of each
+/// poll (see [`Runtime::spawn_traced`]). Boxing the inner future keeps
+/// the wrapper `Unpin` without unsafe pin projection.
+struct Traced<F> {
+    ctx: TraceCtx,
+    inner: Pin<Box<F>>,
+}
+
+impl<F: Future> Future for Traced<F> {
+    type Output = F::Output;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<F::Output> {
+        let this = self.get_mut();
+        let _ctx = landau_obs::push_trace_ctx(Some(this.ctx.clone()));
+        this.inner.as_mut().poll(cx)
     }
 }
 
@@ -360,6 +393,28 @@ mod tests {
     #[test]
     fn block_on_plain_future() {
         assert_eq!(block_on(async { 7 + 35 }), 42);
+    }
+
+    #[test]
+    fn traced_tasks_carry_their_context_across_polls() {
+        let rt = Runtime::new(2);
+        let handles: Vec<_> = (0..16u64)
+            .map(|job| {
+                let ctx = TraceCtx::new(job, Arc::from("acme"));
+                rt.spawn_traced(ctx, async move {
+                    let before = landau_obs::trace_ctx().map(|c| c.job);
+                    // Re-polls may land on a different worker; the
+                    // context must follow the task, not the thread.
+                    yield_now().await;
+                    yield_now().await;
+                    let after = landau_obs::trace_ctx().map(|c| c.job);
+                    (before, after)
+                })
+            })
+            .collect();
+        for (job, h) in (0..16u64).zip(handles) {
+            assert_eq!(block_on(h), (Some(job), Some(job)));
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@ use crate::scheduler::FairScheduler;
 use crate::sync::Notify;
 use landau_core::ckpt::{CheckpointPolicy, MemStorage, Storage};
 use landau_obs::timeseries::{Record, SeriesSink};
-use landau_obs::MetricRegistry;
+use landau_obs::{
+    AlertMode, Event, EventKind, Firing, Journal, MetricRegistry, SloViolation, SloWatchdog,
+    TraceCtx,
+};
 use landau_quench::{QuenchDriver, RunOutcome};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +51,10 @@ pub struct ServeConfig {
     pub min_retry_after_ms: u64,
     /// Checkpoint generations kept per job.
     pub keep_checkpoints: usize,
+    /// SLO watchdog mode: [`AlertMode::Record`] publishes `alert.*` and
+    /// keeps serving; [`AlertMode::Fail`] makes
+    /// [`QuenchServer::check_slos`] report breaches as errors.
+    pub alert_mode: AlertMode,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +70,7 @@ impl Default for ServeConfig {
             max_in_flight_total: 256,
             min_retry_after_ms: 25,
             keep_checkpoints: 2,
+            alert_mode: AlertMode::Record,
         }
     }
 }
@@ -71,8 +79,11 @@ impl Default for ServeConfig {
 /// writes.
 pub(crate) struct JobEntry {
     id: JobId,
-    tenant: String,
+    tenant: Arc<str>,
     spec: JobSpec,
+    /// Budgeted slices granted so far (the trace context's slice index;
+    /// monotonic across resumes).
+    slices: AtomicU64,
     /// Step-level physics timeseries the driver publishes into; record
     /// streams read it through a cursor.
     series: Arc<SeriesSink>,
@@ -92,6 +103,11 @@ struct ServerInner {
     jobs: Mutex<BTreeMap<JobId, Arc<JobEntry>>>,
     next_id: AtomicU64,
     metrics: Arc<MetricRegistry>,
+    /// Structured event sink (the process-global journal, so driver-side
+    /// recovery/checkpoint events interleave with job lifecycle here).
+    journal: Arc<Journal>,
+    /// Burn-rate SLO rules evaluated on every scrape.
+    watchdog: SloWatchdog,
     /// EMA of slice wall time in ms (drives the retry-after hint).
     slice_ms_ema: Mutex<f64>,
 }
@@ -116,6 +132,13 @@ impl QuenchServer {
         landau_par::ensure_pool_started();
         let rt = Runtime::new(cfg.workers);
         let sched = FairScheduler::new(cfg.max_active_slices.max(1));
+        let journal = Journal::global_arc();
+        let watchdog = SloWatchdog::new(
+            cfg.alert_mode,
+            SloWatchdog::serve_rules(),
+            metrics.clone(),
+            journal.clone(),
+        );
         QuenchServer {
             inner: Arc::new(ServerInner {
                 cfg,
@@ -124,6 +147,8 @@ impl QuenchServer {
                 jobs: Mutex::new(BTreeMap::new()),
                 next_id: AtomicU64::new(1),
                 metrics,
+                journal,
+                watchdog,
                 slice_ms_ema: Mutex::new(0.0),
             }),
         }
@@ -145,7 +170,7 @@ impl QuenchServer {
                 continue;
             }
             total += 1;
-            if e.tenant == tenant {
+            if &*e.tenant == tenant {
                 mine += 1;
             }
         }
@@ -184,8 +209,9 @@ impl QuenchServer {
         let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let entry = Arc::new(JobEntry {
             id,
-            tenant: tenant.to_string(),
+            tenant: Arc::from(tenant),
             spec,
+            slices: AtomicU64::new(0),
             series: Arc::new(SeriesSink::new()),
             storage: Mutex::new(Box::new(MemStorage::new())),
             cancel: AtomicBool::new(false),
@@ -204,6 +230,9 @@ impl QuenchServer {
         self.inner
             .metrics
             .gauge_max("serve.jobs_in_flight", (total + 1) as f64);
+        self.inner
+            .journal
+            .publish(Event::job_submitted(id.0, &entry.tenant));
         self.spawn_job_task(entry, false);
         Ok(self.handle(id))
     }
@@ -233,6 +262,9 @@ impl QuenchServer {
         }
         entry.cancel.store(false, Ordering::Release);
         self.inner.metrics.add("serve.resumed", 1);
+        self.inner
+            .journal
+            .publish(Event::job_resumed(id.0, &entry.tenant));
         self.spawn_job_task(entry, true);
         Ok(self.handle(id))
     }
@@ -276,12 +308,55 @@ impl QuenchServer {
             .gauge_max("serve.rt_steals", self.inner.rt.steal_count() as f64);
     }
 
+    /// The journal this server publishes lifecycle events into.
+    pub fn journal(&self) -> Arc<Journal> {
+        self.inner.journal.clone()
+    }
+
+    /// Render the server's metrics — plus journal publish/drop counters
+    /// — as OpenMetrics text, in one snapshot-consistent pass: the SLO
+    /// watchdog evaluates first, then a second snapshot is rendered so
+    /// the `alert.*` families reflect this very scrape. Scrape cost is
+    /// itself recorded in `serve.scrape_ms`.
+    pub fn metrics_scrape(&self) -> String {
+        let t0 = Instant::now();
+        let mut snap = self.inner.metrics.snapshot();
+        self.insert_journal_counters(&mut snap);
+        self.inner.watchdog.evaluate(&snap);
+        let mut snap = self.inner.metrics.snapshot();
+        self.insert_journal_counters(&mut snap);
+        let text = landau_obs::openmetrics::render(&snap);
+        observe_ms(&self.inner.metrics, "serve.scrape_ms", t0);
+        text
+    }
+
+    fn insert_journal_counters(&self, snap: &mut landau_obs::MetricSnapshot) {
+        snap.counters.insert(
+            "obs.journal.published".to_string(),
+            self.inner.journal.published(),
+        );
+        snap.counters.insert(
+            "obs.journal.dropped".to_string(),
+            self.inner.journal.dropped(),
+        );
+    }
+
+    /// Evaluate the SLO rules right now. In [`AlertMode::Fail`] breaches
+    /// come back as an error; in [`AlertMode::Record`] they are returned
+    /// for inspection (and published as `alert.*` either way).
+    pub fn check_slos(&self) -> Result<Vec<Firing>, SloViolation> {
+        let mut snap = self.inner.metrics.snapshot();
+        self.insert_journal_counters(&mut snap);
+        self.inner.watchdog.enforce(&snap)
+    }
+
     /// The job loop: build the driver, then alternate permit acquisition
     /// and budgeted slices until done, failed or cancelled.
     fn spawn_job_task(&self, entry: Arc<JobEntry>, resuming: bool) {
         let inner = self.inner.clone();
         let sched = self.inner.sched.clone();
-        self.inner.rt.spawn(async move {
+        let ctx = TraceCtx::new(entry.id.0, entry.tenant.clone());
+        self.inner.rt.spawn_traced(ctx, async move {
             let mut driver = match build_driver(&inner, &entry, resuming) {
                 Ok(d) => d,
                 Err(msg) => {
@@ -367,12 +442,29 @@ fn run_slice(
     entry: &Arc<JobEntry>,
     driver: &mut QuenchDriver,
 ) -> Result<RunOutcome, String> {
+    let slice = entry.slices.fetch_add(1, Ordering::Relaxed);
+    // Refine the task-level context with this slice's index: spans
+    // recorded below (including on pool workers) and journal events from
+    // the driver's recovery/checkpoint paths attribute to (job, slice).
+    let _ctx = landau_obs::push_trace_ctx(Some(
+        TraceCtx::new(entry.id.0, entry.tenant.clone()).at_slice(slice),
+    ));
+    inner
+        .journal
+        .publish(Event::slice_start(entry.id.0, &entry.tenant, slice));
     let t0 = Instant::now();
     let outcome = {
         let _sp = landau_obs::span(landau_obs::names::SERVE_SLICE);
         driver.run_budgeted(Some(entry.spec.slice_steps.max(1)))
     };
     let ms = t0.elapsed().as_secs_f64() * 1e3;
+    inner.journal.publish(Event::slice_end(
+        entry.id.0,
+        &entry.tenant,
+        slice,
+        driver.completed_steps(),
+        ms,
+    ));
     {
         let mut ema = lock(&inner.slice_ms_ema);
         *ema = if *ema == 0.0 {
@@ -406,12 +498,18 @@ fn run_slice(
 
 /// Terminal transition: status, wall-clock bookkeeping, counters, wake.
 fn finish(inner: &Arc<ServerInner>, entry: &Arc<JobEntry>, status: JobStatus) {
-    let counter = match &status {
-        JobStatus::Completed => "serve.completed",
-        JobStatus::Cancelled => "serve.cancelled",
-        JobStatus::Failed(_) => "serve.failed",
-        _ => "serve.unexpected_finish",
+    let (counter, kind) = match &status {
+        JobStatus::Completed => ("serve.completed", Some(EventKind::JobCompleted)),
+        JobStatus::Cancelled => ("serve.cancelled", Some(EventKind::JobCancelled)),
+        JobStatus::Failed(_) => ("serve.failed", Some(EventKind::JobFailed)),
+        _ => ("serve.unexpected_finish", None),
     };
+    if let Some(kind) = kind {
+        let steps = lock(&entry.state).completed_steps;
+        inner
+            .journal
+            .publish(Event::job_terminal(kind, entry.id.0, &entry.tenant, steps));
+    }
     {
         let mut st = lock(&entry.state);
         let now = Instant::now();
